@@ -1,0 +1,73 @@
+"""Ablations the paper calls out: LUT entry count, precision, input scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core import functions
+from repro.core.approximators import LutLayerNorm
+from repro.core.quantization import quantize_lut_fp16, quantize_lut_int32
+from repro.core.registry import fit_lut
+from repro.core.scaling import InputScaler
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_entry_count_ablation(benchmark, bench_registry):
+    """16 entries are enough (paper Sec. 4.1): accuracy saturates beyond that."""
+
+    def sweep():
+        errors = {}
+        grid = np.linspace(-5, 5, 2000)
+        for entries in (4, 8, 16, 32):
+            primitive = bench_registry.get("gelu", num_entries=entries)
+            errors[entries] = float(np.mean(np.abs(primitive.lut(grid) - functions.gelu(grid))))
+        return errors
+
+    errors = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nGELU mean L1 error vs LUT entries:", {k: round(v, 5) for k, v in errors.items()})
+    assert errors[16] < errors[4]
+    assert errors[16] < 0.01
+    # Beyond 16 entries the improvement is marginal (well under one more decade).
+    assert errors[16] < 10 * errors[32]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_precision_ablation(benchmark, bench_registry):
+    """FP16 / INT32 table quantisation barely moves the approximation error."""
+
+    def sweep():
+        primitive = bench_registry.get("gelu", num_entries=16)
+        grid = np.linspace(-5, 5, 2000)
+        reference = functions.gelu(grid)
+        return {
+            "fp32": float(np.mean(np.abs(primitive.lut(grid) - reference))),
+            "fp16": float(np.mean(np.abs(quantize_lut_fp16(primitive.lut)(grid) - reference))),
+            "int32": float(
+                np.mean(np.abs(quantize_lut_int32(primitive.lut, (-5, 5))(grid) - reference))
+            ),
+        }
+
+    errors = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nGELU mean L1 error vs table precision:", {k: round(v, 5) for k, v in errors.items()})
+    assert errors["fp16"] < errors["fp32"] + 0.01
+    assert errors["int32"] < errors["fp32"] + 0.001
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_input_scaling_ablation(benchmark, bench_registry):
+    """Input scaling (Sec. 3.3.2) is what makes small-variance LayerNorm work."""
+
+    def sweep():
+        primitive = bench_registry.get("rsqrt", num_entries=16)
+        rng = np.random.default_rng(0)
+        x = rng.normal(0.0, 0.05, size=(64, 256))  # variance ~ 0.0025
+        reference = functions.layer_norm(x)
+        with_scaling = LutLayerNorm(primitive.lut, scaler=InputScaler())
+        without_scaling = LutLayerNorm(primitive.lut, scaler=None)
+        return {
+            "with_scaling": float(np.mean(np.abs(with_scaling(x) - reference))),
+            "without_scaling": float(np.mean(np.abs(without_scaling(x) - reference))),
+        }
+
+    errors = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\nSmall-variance LayerNorm error:", {k: round(v, 4) for k, v in errors.items()})
+    assert errors["with_scaling"] < errors["without_scaling"]

@@ -1,0 +1,17 @@
+"""Figure 2: operator-level approximation accuracy (NN-LUT vs Linear-LUT)."""
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_operator_accuracy(benchmark, bench_registry):
+    result = benchmark.pedantic(
+        lambda: run_figure2(registry=bench_registry), iterations=1, rounds=1
+    )
+    print("\n" + result.report())
+    errors = result.errors
+    # Reproduction checks: NN-LUT clearly better on the wide-dynamic-range ops.
+    assert errors["NN-LUT"]["softmax"] < errors["Linear-LUT"]["softmax"]
+    assert errors["NN-LUT"]["layernorm"] < errors["Linear-LUT"]["layernorm"]

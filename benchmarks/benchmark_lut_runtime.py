@@ -1,0 +1,28 @@
+"""Micro-benchmarks: LUT fitting and evaluation throughput."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import fit_lut
+from repro.core.training import TrainingConfig
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_lut_evaluation_throughput(benchmark, bench_registry):
+    """Evaluating a 16-entry LUT over a large tensor (the inference hot loop)."""
+    lut = bench_registry.get("gelu", num_entries=16).lut
+    x = np.random.default_rng(0).uniform(-5, 5, size=1_000_000)
+    result = benchmark(lut, x)
+    assert result.shape == x.shape
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_nn_lut_fitting_time(benchmark):
+    """One-time offline fitting cost of a 16-entry NN-LUT (paper: ~2 min on V100)."""
+    config = TrainingConfig(
+        hidden_size=15, num_samples=10_000, batch_size=2048, epochs=20, num_restarts=1
+    )
+    primitive = benchmark.pedantic(
+        lambda: fit_lut("gelu", num_entries=16, config=config), iterations=1, rounds=1
+    )
+    assert primitive.lut.num_entries == 16

@@ -1,0 +1,23 @@
+"""Table 2(a): direct approximation of non-linear ops on the FP32 model."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.table2 import run_table2a
+
+
+@pytest.mark.benchmark(group="table2a")
+def test_table2a_direct_approximation(benchmark, bench_registry, small_scale):
+    result = benchmark.pedantic(
+        lambda: run_table2a(scale=small_scale, registry=bench_registry),
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + result.report())
+    scores = result.scores
+    baseline = np.mean(list(scores["Baseline"].values()))
+    nn_all = np.mean(list(scores["NN-LUT Altogether"].values()))
+    linear_all = np.mean(list(scores["Linear-LUT Altogether"].values()))
+    # Paper shape: NN-LUT tracks the baseline; Linear-LUT falls behind NN-LUT.
+    assert abs(baseline - nn_all) < 10.0
+    assert nn_all > linear_all - 2.0

@@ -1,0 +1,25 @@
+"""Table 2(b): INT8-matmul model, I-BERT vs NN-LUT, with calibration."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.table2 import run_table2b
+
+
+@pytest.mark.benchmark(group="table2b")
+def test_table2b_int8_model(benchmark, bench_registry, small_scale):
+    result = benchmark.pedantic(
+        lambda: run_table2b(scale=small_scale, registry=bench_registry),
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + result.report())
+    averages = result.averages()
+    # Paper shape: on the INT8 model NN-LUT is on par with I-BERT, and the
+    # INT32 variant tracks the FP32 one.  (Operator-level calibration gains
+    # are asserted in tests/core and the ablation benchmarks; the end-to-end
+    # "+C" rows are reported here without a hard threshold because the
+    # synthetic-task variance is of the same order as the calibration effect.)
+    assert abs(averages["NN-LUT FP32"] - averages["I-BERT"]) < 10.0
+    assert abs(averages["NN-LUT INT32"] - averages["NN-LUT FP32"]) < 10.0
+    assert "NN-LUT FP32+C" in averages and "NN-LUT INT32+C" in averages

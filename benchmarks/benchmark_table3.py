@@ -1,0 +1,22 @@
+"""Table 3: MobileBERT-like / synthetic SQuAD with Softmax approximated."""
+
+import pytest
+
+from repro.experiments.table3 import run_table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_squad_softmax(benchmark, bench_registry, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_table3(scale=bench_scale, registry=bench_registry),
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + result.report())
+    baseline = result.results["Baseline"].f1
+    nn_fp32 = result.results["NN-LUT FP32"].f1
+    nn_fp16 = result.results["NN-LUT FP16"].f1
+    # Paper shape: NN-LUT matches the baseline in both precisions.
+    assert baseline > 60.0
+    assert abs(baseline - nn_fp32) < 10.0
+    assert abs(nn_fp32 - nn_fp16) < 5.0

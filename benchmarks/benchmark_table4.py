@@ -1,0 +1,19 @@
+"""Table 4: arithmetic-unit area / power / delay comparison."""
+
+import pytest
+
+from repro.experiments.table4 import PAPER_TABLE4, run_table4
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_arithmetic_units(benchmark):
+    result = benchmark(run_table4)
+    print("\n" + result.report())
+    ratios = result.ratios()
+    assert 2.0 < ratios["area_ratio"] < 3.5        # paper: 2.63x
+    assert 20.0 < ratios["power_ratio"] < 60.0     # paper: 36.4x
+    assert 3.0 < ratios["delay_ratio"] < 5.0       # paper: 3.93x
+    for unit in result.units:
+        key = f"{unit.name} {unit.precision}"
+        paper_area = PAPER_TABLE4[key]["area_um2"]
+        assert abs(unit.area_um2 - paper_area) / paper_area < 0.25

@@ -1,0 +1,14 @@
+"""Table 5: system-level cycle breakdown and NN-LUT speedup over I-BERT."""
+
+import pytest
+
+from repro.experiments.table5 import PAPER_SPEEDUPS, run_table5
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_system_performance(benchmark):
+    result = benchmark(run_table5)
+    print("\n" + result.report())
+    speedups = result.speedups()
+    for sequence_length, paper_value in PAPER_SPEEDUPS.items():
+        assert speedups[sequence_length] == pytest.approx(paper_value, abs=0.05)

@@ -1,0 +1,44 @@
+"""Replace every non-linear operation of a Transformer and measure the impact.
+
+This mirrors the Table-2 protocol on one synthetic GLUE task: fit the task
+head with exact operators, then evaluate the same frozen model with NN-LUT,
+Linear-LUT and I-BERT backends.
+
+Run with:  python examples/approximate_transformer.py
+"""
+
+from repro.tasks import GlueBenchmark
+from repro.transformer import (
+    RobertaLikeModel,
+    exact_backend,
+    ibert_backend,
+    linear_lut_backend,
+    nn_lut_backend,
+)
+
+
+def main() -> None:
+    model = RobertaLikeModel.build(seed=3)
+    benchmark = GlueBenchmark.build(
+        model,
+        task_names=["SST-2", "MRPC"],
+        seed=0,
+        spec_overrides={"num_train": 192, "num_test": 96, "sequence_length": 48},
+    )
+
+    backends = {
+        "Baseline (exact FP32)": exact_backend(),
+        "NN-LUT (all ops)": nn_lut_backend(),
+        "NN-LUT (LayerNorm only)": nn_lut_backend(replace=["layernorm"]),
+        "Linear-LUT (all ops)": linear_lut_backend(),
+        "I-BERT": ibert_backend(),
+    }
+    print(f"Model: {model.config.name}, {model.num_parameters():,} parameters")
+    print(f"{'backend':28s} " + " ".join(f"{task:>8s}" for task in benchmark.tasks))
+    for name, backend in backends.items():
+        scores = benchmark.score_all(backend)
+        print(f"{name:28s} " + " ".join(f"{scores[task]:8.1f}" for task in benchmark.tasks))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Hardware evaluation demo: Table 4 unit costs and Table 5 system speedup.
+
+Run with:  python examples/hardware_speedup.py
+"""
+
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+
+def main() -> None:
+    print(run_table4().report())
+    print()
+    result = run_table5()
+    print(result.report())
+    speedups = result.speedups()
+    print(
+        f"\nNN-LUT end-to-end speedup over I-BERT grows from "
+        f"{speedups[16]:.2f}x at sequence length 16 to {speedups[1024]:.2f}x at 1024."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Quickstart: fit an NN-LUT, convert it, and use it as a drop-in GELU.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import LutGelu, fit_lut, functions, lut_matches_network
+
+
+def main() -> None:
+    # 1. Fit a one-hidden-layer ReLU network to GELU and convert it to a
+    #    16-entry look-up table (paper Sec. 3.2, Table 1 recipe).
+    primitive = fit_lut("gelu", num_entries=16)
+    lut = primitive.lut
+    print(f"Fitted GELU NN-LUT: {lut.num_entries} entries, "
+          f"final L1 loss {primitive.training_result.final_loss:.4f}")
+
+    # 2. The conversion is exact: the network and the table agree everywhere.
+    exact_equivalence = lut_matches_network(primitive.network, lut, primitive.input_range)
+    print(f"NN(x) == LUT(x) on the training range: {exact_equivalence}")
+
+    # 3. Use the table as a drop-in replacement of GELU.
+    gelu_op = LutGelu(lut)
+    x = np.linspace(-6, 6, 13)
+    approx = gelu_op(x)
+    exact = functions.gelu(x)
+    print(f"{'x':>6} {'GELU':>9} {'NN-LUT':>9} {'error':>9}")
+    for xi, e, a in zip(x, exact, approx):
+        print(f"{xi:6.1f} {e:9.4f} {a:9.4f} {abs(e - a):9.5f}")
+
+    # 4. Inspect the learned table (breakpoints concentrate where GELU bends).
+    print("\nBreakpoints:", np.round(lut.breakpoints, 3))
+    print("Slopes     :", np.round(lut.slopes, 3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""NN-LUT reproduction: neural approximation of Transformer non-linearities.
+
+Reproduction of Yu et al., "NN-LUT: Neural Approximation of Non-Linear
+Operations for Efficient Transformer Inference" (DAC 2022).
+
+Sub-packages
+------------
+``repro.core``
+    The NN-LUT framework itself: ReLU-network fitting, the exact NN->LUT
+    transform, precision variants, input scaling and calibration.
+``repro.baselines``
+    Linear-mode / Exponential-mode LUT baselines and the I-BERT integer
+    approximation algorithms the paper compares against.
+``repro.quant``
+    Fixed-point / FP16 numeric helpers shared by the quantised variants.
+``repro.transformer``
+    Pure-numpy Transformer encoder substrate (RoBERTa-like, MobileBERT-like)
+    with pluggable non-linear backends.
+``repro.tasks``
+    Synthetic GLUE / SQuAD style task generators, metrics and head training
+    used for the software accuracy experiments.
+``repro.hardware``
+    7-nm-calibrated arithmetic-unit cost models and the accelerator cycle
+    simulator used for the hardware experiments.
+``repro.experiments``
+    One driver per table / figure of the paper.
+"""
+
+from . import core
+from .core import (
+    LookupTable,
+    LutGelu,
+    LutLayerNorm,
+    LutSoftmax,
+    OneHiddenReluNet,
+    TrainingConfig,
+    default_registry,
+    fit_lut,
+    fit_network,
+    network_to_lut,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "LookupTable",
+    "OneHiddenReluNet",
+    "TrainingConfig",
+    "fit_network",
+    "fit_lut",
+    "network_to_lut",
+    "default_registry",
+    "LutGelu",
+    "LutSoftmax",
+    "LutLayerNorm",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Operator-level error analysis (Figure 2) and report formatting helpers."""
+
+from .approx_error import OperatorErrorCurve, operator_error_curve, operator_error_summary
+from .reporting import format_mapping_table, format_table
+
+__all__ = [
+    "OperatorErrorCurve",
+    "operator_error_curve",
+    "operator_error_summary",
+    "format_table",
+    "format_mapping_table",
+]

@@ -1,0 +1,57 @@
+"""Plain-text table formatting for experiment reports.
+
+The experiment drivers print their results in the same layout as the paper's
+tables so the reproduction can be eyeballed against the original numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_mapping_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_mapping_table(
+    results: Mapping[str, Mapping[str, float]],
+    row_label: str = "method",
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render ``{row: {column: value}}`` as a text table with a stable column order."""
+    columns: List[str] = []
+    for row_values in results.values():
+        for column in row_values:
+            if column not in columns:
+                columns.append(column)
+    headers = [row_label] + columns
+    rows = []
+    for row_name, row_values in results.items():
+        rows.append([row_name] + [row_values.get(column, float("nan")) for column in columns])
+    return format_table(headers, rows, float_format=float_format)

@@ -1,0 +1,50 @@
+"""Exponential-mode LUT baseline.
+
+The second pre-determined breakpoint scheme described in Sec. 3.1 of the
+paper (and used by NPU LUT hardware such as NVDLA): interval widths grow
+geometrically from the low end of the range, so low-range values get short
+intervals and high-range values long ones.  Like Linear-mode, the breakpoints
+are fixed by the hardware indexing scheme rather than learned.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..core.functions import get_target_function, get_training_range
+from ..core.lut import LookupTable
+from .polyfit import build_lut_from_breakpoints, exponential_breakpoints
+
+__all__ = ["fit_exponential_lut", "exponential_lut_for"]
+
+
+def fit_exponential_lut(
+    function: Callable[[np.ndarray], np.ndarray],
+    input_range: Tuple[float, float],
+    num_entries: int = 16,
+    method: str = "least_squares",
+    name: str = "",
+) -> LookupTable:
+    """Construct an Exponential-mode LUT for an arbitrary scalar function."""
+    breakpoints = exponential_breakpoints(input_range, num_entries)
+    lut = build_lut_from_breakpoints(
+        function, breakpoints, input_range, method=method, name=name
+    )
+    return lut.with_metadata(mode="exponential", num_entries=num_entries)
+
+
+def exponential_lut_for(
+    function_name: str,
+    num_entries: int = 16,
+    input_range: Tuple[float, float] | None = None,
+    method: str = "least_squares",
+) -> LookupTable:
+    """Exponential-mode LUT for one of the registered scalar primitives."""
+    function = get_target_function(function_name)
+    if input_range is None:
+        input_range = get_training_range(function_name)
+    return fit_exponential_lut(
+        function, input_range, num_entries=num_entries, method=method, name=function_name
+    )

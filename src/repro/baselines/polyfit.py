@@ -1,0 +1,136 @@
+"""Piecewise first-order curve-fitting utilities shared by the LUT baselines.
+
+The paper's Linear-LUT baseline (Sec. 4.1) is "a linear-mode LUT constructed
+by curve fitting with the 1st order polynomial": breakpoints are fixed on a
+pre-determined grid (equally spaced for linear mode, geometrically spaced for
+exponential mode) and each segment gets the least-squares best line for the
+target function on that segment.  Unlike the NN-LUT transform this produces a
+*discontinuous* piecewise-linear function in general, exactly as a fixed-grid
+hardware LUT does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..core.lut import LookupTable
+
+__all__ = [
+    "linear_breakpoints",
+    "exponential_breakpoints",
+    "fit_segments_least_squares",
+    "fit_segments_interpolation",
+    "build_lut_from_breakpoints",
+]
+
+
+def linear_breakpoints(input_range: Tuple[float, float], num_entries: int) -> np.ndarray:
+    """Equally-spaced breakpoints for an ``num_entries``-segment table."""
+    low, high = float(input_range[0]), float(input_range[1])
+    if not high > low:
+        raise ValueError(f"input_range must satisfy high > low, got {input_range}")
+    if num_entries < 2:
+        raise ValueError("num_entries must be >= 2")
+    return np.linspace(low, high, num_entries + 1)[1:-1]
+
+
+def exponential_breakpoints(
+    input_range: Tuple[float, float], num_entries: int
+) -> np.ndarray:
+    """Exponential-mode breakpoints: short intervals at the low end.
+
+    Matches the Exponential-mode described for NPU LUT hardware (paper
+    Sec. 3.1): interval widths grow geometrically from the low end of the
+    range.  Works for ranges of either sign by operating on the offset from
+    the low endpoint.
+    """
+    low, high = float(input_range[0]), float(input_range[1])
+    if not high > low:
+        raise ValueError(f"input_range must satisfy high > low, got {input_range}")
+    if num_entries < 2:
+        raise ValueError("num_entries must be >= 2")
+    # Offsets 2^1 .. 2^(N-1) scaled to the range width: the k-th breakpoint is
+    # low + width * (2^k - 1) / (2^N - 1).
+    exponents = np.arange(1, num_entries)
+    offsets = (2.0**exponents - 1.0) / (2.0**num_entries - 1.0)
+    return low + (high - low) * offsets
+
+
+def fit_segments_least_squares(
+    function: Callable[[np.ndarray], np.ndarray],
+    breakpoints: np.ndarray,
+    input_range: Tuple[float, float],
+    points_per_segment: int = 256,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Least-squares line fit of ``function`` on every breakpoint segment.
+
+    Returns ``(slopes, intercepts)`` with ``len(breakpoints) + 1`` entries.
+    The two unbounded outer segments are fitted on the part of ``input_range``
+    they cover.
+    """
+    low, high = float(input_range[0]), float(input_range[1])
+    edges = np.concatenate(([low], np.asarray(breakpoints, dtype=np.float64), [high]))
+    if np.any(np.diff(edges) <= 0):
+        raise ValueError("breakpoints must lie strictly inside input_range and be sorted")
+    num_segments = edges.size - 1
+    slopes = np.empty(num_segments)
+    intercepts = np.empty(num_segments)
+    for segment in range(num_segments):
+        left, right = edges[segment], edges[segment + 1]
+        xs = np.linspace(left, right, points_per_segment)
+        ys = np.asarray(function(xs), dtype=np.float64)
+        design = np.stack([xs, np.ones_like(xs)], axis=1)
+        coeffs, *_ = np.linalg.lstsq(design, ys, rcond=None)
+        slopes[segment] = coeffs[0]
+        intercepts[segment] = coeffs[1]
+    return slopes, intercepts
+
+
+def fit_segments_interpolation(
+    function: Callable[[np.ndarray], np.ndarray],
+    breakpoints: np.ndarray,
+    input_range: Tuple[float, float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Endpoint-interpolation line fit of ``function`` on every segment.
+
+    The classic LUT construction: each segment's line passes through the
+    function values at the segment edges, so the approximation is continuous
+    but not error-optimal.
+    """
+    low, high = float(input_range[0]), float(input_range[1])
+    edges = np.concatenate(([low], np.asarray(breakpoints, dtype=np.float64), [high]))
+    if np.any(np.diff(edges) <= 0):
+        raise ValueError("breakpoints must lie strictly inside input_range and be sorted")
+    values = np.asarray(function(edges), dtype=np.float64)
+    slopes = np.diff(values) / np.diff(edges)
+    intercepts = values[:-1] - slopes * edges[:-1]
+    return slopes, intercepts
+
+
+def build_lut_from_breakpoints(
+    function: Callable[[np.ndarray], np.ndarray],
+    breakpoints: np.ndarray,
+    input_range: Tuple[float, float],
+    method: str = "least_squares",
+    name: str = "",
+) -> LookupTable:
+    """Assemble a :class:`LookupTable` with fixed breakpoints.
+
+    ``method`` is ``"least_squares"`` (the paper's curve-fitting baseline) or
+    ``"interpolation"``.
+    """
+    if method == "least_squares":
+        slopes, intercepts = fit_segments_least_squares(function, breakpoints, input_range)
+    elif method == "interpolation":
+        slopes, intercepts = fit_segments_interpolation(function, breakpoints, input_range)
+    else:
+        raise ValueError(f"method must be 'least_squares' or 'interpolation', got {method!r}")
+    return LookupTable(
+        breakpoints=np.asarray(breakpoints, dtype=np.float64),
+        slopes=slopes,
+        intercepts=intercepts,
+        name=name,
+        metadata={"source": f"fixed_breakpoints/{method}", "input_range": tuple(input_range)},
+    )

@@ -1,0 +1,207 @@
+"""Composite Transformer operators built from scalar approximators.
+
+The Transformer's non-linear blocks decompose into scalar primitives plus
+exact linear reductions (sums, means), which a MAC array computes natively:
+
+* **GELU** — a single table look-up per element.
+* **Softmax** — ``exp`` look-ups on max-subtracted inputs, an exact row sum,
+  then a ``1/x`` look-up on the sum and a multiply (the paper trains the
+  ``exp`` table on (-256, 0) and the ``divide`` table on (1, 1024)).
+* **LayerNorm** — exact mean/variance, a ``1/sqrt`` look-up on the variance
+  (with the Sec.-3.3.2 input scaling), then a multiply per element.
+
+Each composite takes *any* scalar approximator with a ``__call__`` interface —
+a float LookupTable, an FP16/INT32 quantised table, a Linear-LUT baseline, an
+I-BERT integer kernel, or the exact reference — so the same classes drive the
+software-accuracy experiments for every method in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from . import functions
+from .scaling import InputScaler
+
+__all__ = [
+    "ScalarApproximator",
+    "ExactScalar",
+    "LutGelu",
+    "LutSoftmax",
+    "LutLayerNorm",
+    "ExactGelu",
+    "ExactSoftmax",
+    "ExactLayerNorm",
+]
+
+#: Anything mapping an ndarray of scalars to an ndarray of the same shape.
+ScalarApproximator = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class ExactScalar:
+    """Wrap an exact numpy function so it quacks like a LookupTable."""
+
+    function: ScalarApproximator
+    name: str = "exact"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(self.function(np.asarray(x, dtype=np.float64)))
+
+
+# --------------------------------------------------------------------------- #
+# GELU
+# --------------------------------------------------------------------------- #
+@dataclass
+class LutGelu:
+    """Element-wise GELU through a scalar approximator.
+
+    ``clip_range`` bounds the table input to its training range; outside it
+    GELU is effectively linear/zero and the outer LUT segments extrapolate,
+    but clipping to the trained range is what the fixed-width hardware
+    comparator does, so we model it explicitly.
+    """
+
+    gelu_approx: ScalarApproximator
+    clip_range: tuple[float, float] | None = (-5.0, 5.0)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.clip_range is None:
+            return np.asarray(self.gelu_approx(x))
+        low, high = self.clip_range
+        inside = np.clip(x, low, high)
+        approx = np.asarray(self.gelu_approx(inside))
+        # Saturated tails: GELU(x) ~ x for large x and ~0 for very negative x.
+        result = np.where(x > high, x, approx)
+        result = np.where(x < low, 0.0, result)
+        return result
+
+
+@dataclass
+class ExactGelu:
+    """Exact GELU with the same call signature as :class:`LutGelu`."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return functions.gelu(x)
+
+
+# --------------------------------------------------------------------------- #
+# Softmax
+# --------------------------------------------------------------------------- #
+@dataclass
+class LutSoftmax:
+    """Softmax whose transcendental steps go through scalar approximators.
+
+    Parameters
+    ----------
+    exp_approx:
+        Approximator of ``exp`` on the max-subtracted logits.  The paper's
+        training range is (-256, 0): after subtracting the row max every
+        input is non-positive.
+    reciprocal_approx:
+        Approximator of ``1/x`` applied to the row sum of exponentials, which
+        lies in ``[1, row_length]`` — the paper's (1, 1024) range covers
+        sequence lengths up to 1024.
+    exp_clip:
+        Lower clip applied before the exp table (the table saturates below its
+        training range anyway; exp of anything below -256 is zero at FP32).
+    """
+
+    exp_approx: ScalarApproximator
+    reciprocal_approx: ScalarApproximator
+    exp_clip: float = -256.0
+    axis: int = -1
+
+    def __call__(self, x: np.ndarray, axis: int | None = None) -> np.ndarray:
+        axis = self.axis if axis is None else axis
+        x = np.asarray(x, dtype=np.float64)
+        shifted = x - np.max(x, axis=axis, keepdims=True)
+        shifted = np.clip(shifted, self.exp_clip, 0.0)
+        exps = np.asarray(self.exp_approx(shifted), dtype=np.float64)
+        # The exp table can produce tiny negative values near its right edge;
+        # a probability mass must stay non-negative.
+        exps = np.maximum(exps, 0.0)
+        denom = np.sum(exps, axis=axis, keepdims=True)
+        denom = np.maximum(denom, 1e-12)
+        inv = np.asarray(self.reciprocal_approx(denom), dtype=np.float64)
+        inv = np.maximum(inv, 0.0)
+        return exps * inv
+
+
+@dataclass
+class ExactSoftmax:
+    """Exact Softmax with the same call signature as :class:`LutSoftmax`."""
+
+    axis: int = -1
+
+    def __call__(self, x: np.ndarray, axis: int | None = None) -> np.ndarray:
+        return functions.softmax(x, axis=self.axis if axis is None else axis)
+
+
+# --------------------------------------------------------------------------- #
+# LayerNorm
+# --------------------------------------------------------------------------- #
+@dataclass
+class LutLayerNorm:
+    """LayerNorm whose ``1/sqrt`` goes through a scalar approximator.
+
+    Mean and variance are exact reductions (the MAC array handles them); only
+    the inverse square root of the variance is approximated.  ``scaler``
+    enables the paper's Sec.-3.3.2 input scaling for variances below one.
+    """
+
+    rsqrt_approx: ScalarApproximator
+    scaler: InputScaler | None = None
+    eps: float = 1e-5
+    axis: int = -1
+    clip_max: float | None = 1024.0
+
+    def _rsqrt(self, variance: np.ndarray) -> np.ndarray:
+        variance = np.asarray(variance, dtype=np.float64)
+        if self.clip_max is not None:
+            variance = np.minimum(variance, self.clip_max)
+        if self.scaler is None:
+            return np.asarray(self.rsqrt_approx(variance), dtype=np.float64)
+        return self.scaler.apply(variance, self.rsqrt_approx)
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray | None = None,
+        beta: np.ndarray | None = None,
+        axis: int | None = None,
+    ) -> np.ndarray:
+        axis = self.axis if axis is None else axis
+        x = np.asarray(x, dtype=np.float64)
+        mean = np.mean(x, axis=axis, keepdims=True)
+        var = np.mean((x - mean) ** 2, axis=axis, keepdims=True)
+        inv_std = self._rsqrt(var + self.eps)
+        normalised = (x - mean) * inv_std
+        if gamma is not None:
+            normalised = normalised * gamma
+        if beta is not None:
+            normalised = normalised + beta
+        return normalised
+
+
+@dataclass
+class ExactLayerNorm:
+    """Exact LayerNorm with the same call signature as :class:`LutLayerNorm`."""
+
+    eps: float = 1e-5
+    axis: int = -1
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray | None = None,
+        beta: np.ndarray | None = None,
+        axis: int | None = None,
+    ) -> np.ndarray:
+        return functions.layer_norm(
+            x, gamma=gamma, beta=beta, axis=self.axis if axis is None else axis, eps=self.eps
+        )

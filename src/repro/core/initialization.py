@@ -1,0 +1,166 @@
+"""Parameter-initialisation recipes for NN-LUT training (paper Table 1).
+
+The paper reports that the hidden-layer weight (``n_i``) and bias (``b_i``)
+signs must be chosen per target function for the network to find good LUT
+parameters:
+
+==============  ==================  =====================
+Function        Weight init (n_i)   Bias init (b_i)
+==============  ==================  =====================
+GELU            random              random
+Exp             positive random     positive random
+Divide (1/x)    negative random     positive random
+1/SQRT          negative random     positive random
+==============  ==================  =====================
+
+In addition to the sign constraints we spread the implied breakpoints
+``-b_i / n_i`` across the training range, which makes the 16-entry fits
+reliable without hand tuning (the paper describes the init only at the level
+of the table above; uniform coverage of the input range is the natural way to
+realise it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .network import NetworkParameters, OneHiddenReluNet
+
+__all__ = [
+    "InitSpec",
+    "INIT_SPECS",
+    "get_init_spec",
+    "initialize_network",
+]
+
+
+@dataclass(frozen=True)
+class InitSpec:
+    """Sign constraints on the hidden-layer parameters of the approximator.
+
+    ``weight_sign`` / ``bias_sign`` take values ``"random"``, ``"positive"``
+    or ``"negative"`` following paper Table 1.
+    """
+
+    weight_sign: str = "random"
+    bias_sign: str = "random"
+
+    _ALLOWED = ("random", "positive", "negative")
+
+    def __post_init__(self) -> None:
+        for field_name, value in (("weight_sign", self.weight_sign), ("bias_sign", self.bias_sign)):
+            if value not in self._ALLOWED:
+                raise ValueError(
+                    f"{field_name} must be one of {self._ALLOWED}, got {value!r}"
+                )
+
+
+#: Table 1 of the paper, keyed by scalar primitive name.
+INIT_SPECS: Dict[str, InitSpec] = {
+    "gelu": InitSpec(weight_sign="random", bias_sign="random"),
+    "erf": InitSpec(weight_sign="random", bias_sign="random"),
+    "exp": InitSpec(weight_sign="positive", bias_sign="positive"),
+    "reciprocal": InitSpec(weight_sign="negative", bias_sign="positive"),
+    "rsqrt": InitSpec(weight_sign="negative", bias_sign="positive"),
+}
+
+
+def get_init_spec(function_name: str) -> InitSpec:
+    """Return the Table-1 initialisation spec for ``function_name``.
+
+    Unknown functions fall back to fully random initialisation, which is the
+    generic recipe for monotonic-but-unknown targets.
+    """
+    return INIT_SPECS.get(function_name, InitSpec())
+
+
+def _signed(values: np.ndarray, sign: str) -> np.ndarray:
+    if sign == "positive":
+        return np.abs(values)
+    if sign == "negative":
+        return -np.abs(values)
+    return values
+
+
+def initialize_network(
+    function_name: str,
+    hidden_size: int,
+    input_range: Tuple[float, float],
+    rng: np.random.Generator | None = None,
+    output_bias: bool = True,
+    anchors: np.ndarray | None = None,
+) -> OneHiddenReluNet:
+    """Create an initialised :class:`OneHiddenReluNet` for a target function.
+
+    Parameters
+    ----------
+    function_name:
+        Scalar primitive name (``"gelu"``, ``"exp"``, ``"reciprocal"``,
+        ``"rsqrt"`` …); selects the Table-1 sign constraints.
+    hidden_size:
+        Number of hidden neurons; an ``N``-entry LUT uses ``N - 1`` neurons.
+    input_range:
+        ``(low, high)`` training range; breakpoints are spread over it.
+    rng:
+        Optional numpy random generator for reproducibility.
+    output_bias:
+        Whether the network keeps a trainable output bias term.
+    anchors:
+        Optional explicit initial breakpoint locations (length ``hidden_size``),
+        e.g. quantiles of the training-input distribution.  When omitted the
+        breakpoints are spread uniformly over ``input_range``.  When provided,
+        the Table-1 bias-sign constraint is not re-applied: the constraint's
+        purpose is to place the initial breakpoints inside the target range,
+        which explicit anchors already guarantee (and, unlike the weight sign,
+        the bias sign is not invariant under the affine input normalisation
+        used during fitting).
+    """
+    if hidden_size < 1:
+        raise ValueError(f"hidden_size must be >= 1, got {hidden_size}")
+    low, high = float(input_range[0]), float(input_range[1])
+    if not high > low:
+        raise ValueError(f"input_range must satisfy high > low, got {input_range}")
+    rng = rng if rng is not None else np.random.default_rng()
+    spec = get_init_spec(function_name)
+
+    # Spread the implied breakpoints -b/n across the training range with a
+    # small jitter, then derive (n, b) pairs that honour the sign constraints.
+    explicit_anchors = anchors is not None
+    if anchors is None:
+        anchors = np.linspace(low, high, hidden_size + 2)[1:-1]
+        jitter = (high - low) / (4.0 * (hidden_size + 1))
+        anchors = anchors + rng.uniform(-jitter, jitter, size=hidden_size)
+    else:
+        anchors = np.asarray(anchors, dtype=np.float64).ravel()
+        if anchors.size != hidden_size:
+            raise ValueError(
+                f"anchors must have length hidden_size={hidden_size}, got {anchors.size}"
+            )
+
+    weight_magnitude = rng.uniform(0.5, 1.5, size=hidden_size)
+    weights = _signed(weight_magnitude, spec.weight_sign)
+    if spec.weight_sign == "random":
+        signs = rng.choice([-1.0, 1.0], size=hidden_size)
+        weights = weight_magnitude * signs
+
+    biases = -weights * anchors
+    # Honour the bias sign constraint when it conflicts with the anchor-derived
+    # bias: flip the anchor to the admissible side of zero.  Skipped for
+    # explicit anchors (see the docstring).
+    if not explicit_anchors:
+        if spec.bias_sign == "positive":
+            biases = np.abs(biases)
+        elif spec.bias_sign == "negative":
+            biases = -np.abs(biases)
+
+    second = rng.normal(0.0, 0.5, size=hidden_size)
+    params = NetworkParameters(
+        first_weight=weights,
+        first_bias=biases,
+        second_weight=second,
+        output_bias=0.0,
+    )
+    return OneHiddenReluNet(params=params, trainable_output_bias=output_bias)

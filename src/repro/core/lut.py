@@ -1,0 +1,138 @@
+"""First-order look-up-table approximation (paper Sec. 3.1, Eq. 4).
+
+A :class:`LookupTable` holds ``N`` entries ``(s_i, t_i)`` and ``N - 1`` sorted
+breakpoints ``d_i``.  Evaluation is a piecewise-linear function:
+
+    LUT(x) = s_1 x + t_1              if x <  d_1
+           = s_i x + t_i              if d_{i-1} <= x < d_i
+           = s_N x + t_N              if x >= d_{N-1}
+
+which in hardware costs one comparator-driven table read, one multiply and
+one add per element (two pipeline cycles in the paper's unit, Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["LookupTable"]
+
+
+@dataclass
+class LookupTable:
+    """Piecewise first-order approximation table.
+
+    Attributes
+    ----------
+    breakpoints:
+        Sorted segment boundaries ``d_i`` (length ``N - 1``).
+    slopes:
+        Per-segment slopes ``s_i`` (length ``N``).
+    intercepts:
+        Per-segment intercepts ``t_i`` (length ``N``).
+    name:
+        Optional human-readable tag (e.g. ``"gelu"``); carried through
+        precision conversion and serialisation for bookkeeping.
+    metadata:
+        Free-form provenance (training range, precision, calibration flags).
+    """
+
+    breakpoints: np.ndarray
+    slopes: np.ndarray
+    intercepts: np.ndarray
+    name: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.breakpoints = np.asarray(self.breakpoints, dtype=np.float64).ravel()
+        self.slopes = np.asarray(self.slopes, dtype=np.float64).ravel()
+        self.intercepts = np.asarray(self.intercepts, dtype=np.float64).ravel()
+        if self.slopes.size != self.intercepts.size:
+            raise ValueError(
+                f"slopes ({self.slopes.size}) and intercepts ({self.intercepts.size}) "
+                "must have the same length"
+            )
+        if self.slopes.size < 1:
+            raise ValueError("a LookupTable needs at least one segment")
+        if self.breakpoints.size != self.slopes.size - 1:
+            raise ValueError(
+                f"expected {self.slopes.size - 1} breakpoints for {self.slopes.size} "
+                f"segments, got {self.breakpoints.size}"
+            )
+        if self.breakpoints.size > 1 and np.any(np.diff(self.breakpoints) < 0):
+            raise ValueError("breakpoints must be sorted in ascending order")
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    @property
+    def num_entries(self) -> int:
+        """Number of table entries ``N`` (segments)."""
+        return int(self.slopes.size)
+
+    def segment_index(self, x: np.ndarray) -> np.ndarray:
+        """Return the table index selected for each element of ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        return np.searchsorted(self.breakpoints, x, side="right")
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate Eq. (4); output has the shape and dtype float64 of ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        idx = self.segment_index(x)
+        return self.slopes[idx] * x + self.intercepts[idx]
+
+    # ------------------------------------------------------------------ #
+    # Introspection / serialisation
+    # ------------------------------------------------------------------ #
+    def segment_edges(self) -> np.ndarray:
+        """Segment boundaries including ``-inf`` / ``+inf`` sentinels."""
+        return np.concatenate(([-np.inf], self.breakpoints, [np.inf]))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to plain Python containers (JSON-friendly)."""
+        return {
+            "name": self.name,
+            "breakpoints": self.breakpoints.tolist(),
+            "slopes": self.slopes.tolist(),
+            "intercepts": self.intercepts.tolist(),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LookupTable":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            breakpoints=np.asarray(data["breakpoints"], dtype=np.float64),
+            slopes=np.asarray(data["slopes"], dtype=np.float64),
+            intercepts=np.asarray(data["intercepts"], dtype=np.float64),
+            name=str(data.get("name", "")),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def copy(self) -> "LookupTable":
+        return LookupTable(
+            breakpoints=self.breakpoints.copy(),
+            slopes=self.slopes.copy(),
+            intercepts=self.intercepts.copy(),
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def with_metadata(self, **updates: object) -> "LookupTable":
+        """Return a copy with ``metadata`` updated by ``updates``."""
+        out = self.copy()
+        out.metadata.update(updates)
+        return out
+
+    def max_error(self, function, input_range, num_points: int = 10_000) -> float:
+        """Max absolute error against ``function`` on a dense grid."""
+        grid = np.linspace(float(input_range[0]), float(input_range[1]), num_points)
+        return float(np.max(np.abs(self(grid) - np.asarray(function(grid)))))
+
+    def mean_l1_error(self, function, input_range, num_points: int = 10_000) -> float:
+        """Mean absolute error against ``function`` on a dense grid."""
+        grid = np.linspace(float(input_range[0]), float(input_range[1]), num_points)
+        return float(np.mean(np.abs(self(grid) - np.asarray(function(grid)))))

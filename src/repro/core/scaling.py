@@ -1,0 +1,83 @@
+"""Input scaling for wide-range approximation (paper Sec. 3.3.2).
+
+The ``1/sqrt`` primitive inside LayerNorm has a very steep output for inputs
+below one (small activation variance), which a small ReLU network cannot fit
+together with the shallow tail up to 1024.  The paper's fix:
+
+1. train the LUT only on the well-behaved range ``[1, K]`` (``K >> 1``),
+2. at inference, when the input falls below one, multiply it by a large
+   power-of-two constant ``S`` (a bit-shift in hardware) so it lands in
+   ``[1, K]``, look up the table, and multiply the result by ``sqrt(S)``
+   (a constant multiply), since ``1/sqrt(x) = sqrt(S) * 1/sqrt(S * x)``.
+
+:class:`InputScaler` implements the dispatch; it is used by
+``repro.core.approximators.LutLayerNorm`` and can wrap any rsqrt-like table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["InputScaler", "ScaledRsqrt"]
+
+
+@dataclass(frozen=True)
+class InputScaler:
+    """Power-of-two input scaling for ``1/sqrt`` style functions.
+
+    Parameters
+    ----------
+    scale_bits:
+        ``S = 2 ** scale_bits``; the paper suggests ``S = 2^10``.
+    threshold:
+        Inputs below this threshold are scaled up before the table look-up.
+    """
+
+    scale_bits: int = 10
+    threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale_bits < 0:
+            raise ValueError("scale_bits must be non-negative")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+    @property
+    def scale(self) -> float:
+        """The multiplicative input scale ``S`` (a power of two)."""
+        return float(2**self.scale_bits)
+
+    @property
+    def output_scale(self) -> float:
+        """Output correction factor ``sqrt(S)``."""
+        return float(np.sqrt(self.scale))
+
+    def apply(
+        self, x: np.ndarray, rsqrt_approx: Callable[[np.ndarray], np.ndarray]
+    ) -> np.ndarray:
+        """Evaluate ``1/sqrt(x)`` through ``rsqrt_approx`` with scaling.
+
+        Elements ``x < threshold`` are evaluated as
+        ``sqrt(S) * rsqrt_approx(S * x)``; the rest go straight through.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        small = x < self.threshold
+        scaled_input = np.where(small, x * self.scale, x)
+        raw = np.asarray(rsqrt_approx(scaled_input), dtype=np.float64)
+        return np.where(small, raw * self.output_scale, raw)
+
+
+@dataclass
+class ScaledRsqrt:
+    """Callable wrapper bundling an rsqrt approximator with an InputScaler."""
+
+    rsqrt_approx: Callable[[np.ndarray], np.ndarray]
+    scaler: InputScaler | None = None
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.scaler is None:
+            return np.asarray(self.rsqrt_approx(np.asarray(x, dtype=np.float64)))
+        return self.scaler.apply(x, self.rsqrt_approx)

@@ -1,0 +1,37 @@
+"""Experiment drivers: one module per table / figure of the paper.
+
+* :mod:`repro.experiments.figure2` — operator-level approximation accuracy.
+* :mod:`repro.experiments.table2` — GLUE accuracy under approximation
+  (direct FP32 and INT8-matmul + calibration).
+* :mod:`repro.experiments.table3` — MobileBERT-like / SQuAD Softmax-only.
+* :mod:`repro.experiments.table4` — arithmetic-unit hardware comparison.
+* :mod:`repro.experiments.table5` — system-level cycle breakdown / speedup.
+"""
+
+from .common import DEFAULT_SCALE, SMOKE_SCALE, ExperimentScale
+from .figure2 import Figure2Result, run_figure2
+from .table2 import Table2aResult, Table2bResult, calibrate_layernorm_lut, run_table2a, run_table2b
+from .table3 import Table3Result, run_table3
+from .table4 import PAPER_TABLE4, Table4Result, run_table4
+from .table5 import PAPER_SPEEDUPS, Table5Result, run_table5
+
+__all__ = [
+    "ExperimentScale",
+    "DEFAULT_SCALE",
+    "SMOKE_SCALE",
+    "Figure2Result",
+    "run_figure2",
+    "Table2aResult",
+    "Table2bResult",
+    "run_table2a",
+    "run_table2b",
+    "calibrate_layernorm_lut",
+    "Table3Result",
+    "run_table3",
+    "Table4Result",
+    "run_table4",
+    "PAPER_TABLE4",
+    "Table5Result",
+    "run_table5",
+    "PAPER_SPEEDUPS",
+]

@@ -1,0 +1,54 @@
+"""Shared configuration for the experiment drivers.
+
+The paper's software experiments run full-size RoBERTa / MobileBERT on real
+GLUE / SQuAD data on a GPU; the reproduction uses scaled-down encoders and
+synthetic tasks (see DESIGN.md).  This module centralises the experiment
+scale so the table drivers, the examples and the benchmark harness all use
+the same settings — and so a single knob (``ExperimentScale``) can shrink
+everything for smoke tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+__all__ = ["ExperimentScale", "DEFAULT_SCALE", "SMOKE_SCALE"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling how much work the software experiments do."""
+
+    #: Synthetic-task sizes (per task).
+    num_train: int = 256
+    num_test: int = 128
+    sequence_length: int = 48
+    #: Which GLUE tasks to run (None = all eight).
+    glue_tasks: Sequence[str] | None = None
+    #: Encoder seed (the "pre-trained checkpoint" identity).
+    model_seed: int = 3
+    #: Task / head seed.
+    task_seed: int = 0
+    #: LUT size used throughout (the paper's setting).
+    num_lut_entries: int = 16
+
+    def spec_overrides(self) -> Dict[str, object]:
+        """Overrides applied to every GLUE task spec."""
+        return {
+            "num_train": self.num_train,
+            "num_test": self.num_test,
+            "sequence_length": self.sequence_length,
+        }
+
+
+#: Scale used by the benchmark harness and EXPERIMENTS.md numbers.
+DEFAULT_SCALE = ExperimentScale()
+
+#: Much smaller scale for CI-style smoke runs and unit tests.
+SMOKE_SCALE = ExperimentScale(
+    num_train=96,
+    num_test=64,
+    sequence_length=32,
+    glue_tasks=("SST-2", "MRPC"),
+)

@@ -1,0 +1,205 @@
+"""Table 2: GLUE accuracy under approximation of the non-linear operations.
+
+Part (a): direct approximation on the FP32 RoBERTa-like model — Linear-LUT
+and NN-LUT, each replacing GELU only, Softmax only, LayerNorm only, and all
+three together.
+
+Part (b): the INT8-matmul model — I-BERT's integer approximations versus
+NN-LUT in FP32 and INT32, with and without the dataset-free calibration of
+the LayerNorm table ("+C" rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..analysis.reporting import format_mapping_table
+from ..core import functions
+from ..core.calibration import CalibrationConfig, calibrate_network
+from ..core.conversion import network_to_lut
+from ..core.lut import LookupTable
+from ..core.registry import LutRegistry, default_registry
+from ..core.scaling import InputScaler
+from ..tasks.evaluation import GlueBenchmark
+from ..tasks.glue import list_glue_tasks
+from ..transformer.models import RobertaLikeModel
+from ..transformer.nonlinear_backend import (
+    NonlinearBackend,
+    exact_backend,
+    ibert_backend,
+    linear_lut_backend,
+    nn_lut_backend,
+)
+from .common import DEFAULT_SCALE, ExperimentScale
+
+__all__ = [
+    "Table2aResult",
+    "Table2bResult",
+    "run_table2a",
+    "run_table2b",
+    "calibrate_layernorm_lut",
+]
+
+
+@dataclass
+class Table2aResult:
+    """Scores per method per task for the direct-approximation experiment."""
+
+    scores: Dict[str, Dict[str, float]]
+
+    def report(self) -> str:
+        header = "Table 2(a) reproduction — direct approximation on the FP32 model\n"
+        return header + format_mapping_table(self.scores, row_label="method")
+
+
+@dataclass
+class Table2bResult:
+    """Scores per method per task for the INT8-matmul experiment, plus averages."""
+
+    scores: Dict[str, Dict[str, float]]
+
+    def averages(self) -> Dict[str, float]:
+        return {
+            method: float(np.mean(list(task_scores.values())))
+            for method, task_scores in self.scores.items()
+        }
+
+    def report(self) -> str:
+        header = "Table 2(b) reproduction — INT8 MatMul model\n"
+        body = format_mapping_table(self.scores, row_label="method")
+        avg_lines = "\n".join(
+            f"  {method:22s} avg = {value:.1f}" for method, value in self.averages().items()
+        )
+        return f"{header}{body}\n\nAverages:\n{avg_lines}"
+
+
+def _task_names(scale: ExperimentScale) -> List[str]:
+    return list(scale.glue_tasks) if scale.glue_tasks is not None else list_glue_tasks()
+
+
+def _build_benchmark(scale: ExperimentScale, matmul_precision: str = "fp32") -> GlueBenchmark:
+    model = RobertaLikeModel.build(seed=scale.model_seed, matmul_precision=matmul_precision)
+    return GlueBenchmark.build(
+        model,
+        task_names=_task_names(scale),
+        seed=scale.task_seed,
+        spec_overrides=scale.spec_overrides(),
+    )
+
+
+def run_table2a(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    registry: LutRegistry | None = None,
+) -> Table2aResult:
+    """Direct approximation on the FP32 model (Table 2a)."""
+    registry = registry or default_registry()
+    benchmark = _build_benchmark(scale, matmul_precision="fp32")
+    entries = scale.num_lut_entries
+
+    variants: Dict[str, NonlinearBackend] = {"Baseline": exact_backend()}
+    per_op = (("GELU only", ["gelu"]), ("Softmax only", ["softmax"]),
+              ("LayerNorm only", ["layernorm"]), ("Altogether", ["gelu", "softmax", "layernorm"]))
+    for label, ops in per_op:
+        variants[f"Linear-LUT {label}"] = linear_lut_backend(num_entries=entries, replace=ops)
+    for label, ops in per_op:
+        variants[f"NN-LUT {label}"] = nn_lut_backend(
+            registry=registry, num_entries=entries, replace=ops
+        )
+
+    scores = {name: benchmark.score_all(backend) for name, backend in variants.items()}
+    return Table2aResult(scores=scores)
+
+
+def calibrate_layernorm_lut(
+    benchmark: GlueBenchmark,
+    registry: LutRegistry,
+    scale: ExperimentScale,
+    max_sequences: int = 64,
+    calibration_config: CalibrationConfig | None = None,
+) -> LookupTable:
+    """Dataset-free calibration of the LayerNorm (1/sqrt) table.
+
+    Mirrors Sec. 3.3.3: run the frozen model over a small set of *unlabelled*
+    training sequences, record what actually reaches the LayerNorm sites,
+    convert those activations into the 1/sqrt query points (variance, with the
+    input-scaling mapping applied), and re-fit the approximation network
+    against the exact reference on that distribution.
+    """
+    backend = exact_backend()
+    backend.recorder.enabled = True
+    scaler = InputScaler()
+
+    # A small unlabelled subset (about one tenth of the training data, as in
+    # the paper) drawn from the benchmark's existing tasks.
+    count = 0
+    for task in benchmark.tasks.values():
+        tokens = task.train_tokens[: max(4, max_sequences // max(1, len(benchmark.tasks)))]
+        benchmark.model.forward(tokens, backend=backend)
+        count += tokens.shape[0]
+        if count >= max_sequences:
+            break
+
+    variance_samples: List[np.ndarray] = []
+    for recorded in backend.recorder.layernorm_inputs:
+        mean = np.mean(recorded, axis=-1, keepdims=True)
+        variance = np.mean((recorded - mean) ** 2, axis=-1) + 1e-5
+        variance_samples.append(variance.ravel())
+    if not variance_samples:
+        raise RuntimeError("no LayerNorm activations were recorded for calibration")
+    variance = np.concatenate(variance_samples)
+    # The table is queried at S*var for small variances (input scaling).
+    queries = np.where(variance < scaler.threshold, variance * scaler.scale, variance)
+    # Mix in a small share of generic log-uniform samples over the training
+    # range so the calibrated table keeps its global shape outside the
+    # recorded distribution (guards against extrapolation damage).
+    rng = np.random.default_rng(0)
+    num_generic = max(1, queries.size // 5)
+    generic = np.exp(rng.uniform(np.log(1.0), np.log(1024.0), size=num_generic))
+    queries = np.concatenate([queries, generic])
+
+    primitive = registry.get("rsqrt", num_entries=scale.num_lut_entries)
+    config = calibration_config or CalibrationConfig(epochs=5, learning_rate=5e-4)
+    calibrated = calibrate_network(primitive.network, functions.rsqrt, queries, config)
+    lut = network_to_lut(calibrated, name="rsqrt")
+    return lut.with_metadata(calibrated=True, num_calibration_samples=int(queries.size))
+
+
+def run_table2b(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    registry: LutRegistry | None = None,
+) -> Table2bResult:
+    """INT8-matmul model comparison against I-BERT, with calibration (Table 2b)."""
+    registry = registry or default_registry()
+    benchmark = _build_benchmark(scale, matmul_precision="int8")
+    entries = scale.num_lut_entries
+
+    calibrated_rsqrt = calibrate_layernorm_lut(benchmark, registry, scale)
+    overrides = {"rsqrt": calibrated_rsqrt}
+
+    variants: Dict[str, NonlinearBackend] = {
+        "Baseline": exact_backend(),
+        "I-BERT": ibert_backend(),
+        "NN-LUT FP32": nn_lut_backend(registry=registry, num_entries=entries, precision="fp32"),
+        "NN-LUT FP32+C": nn_lut_backend(
+            registry=registry, num_entries=entries, precision="fp32", lut_overrides=overrides
+        ),
+        "NN-LUT INT32": nn_lut_backend(registry=registry, num_entries=entries, precision="int32"),
+        "NN-LUT INT32+C": nn_lut_backend(
+            registry=registry, num_entries=entries, precision="int32", lut_overrides=overrides
+        ),
+    }
+    scores = {name: benchmark.score_all(backend) for name, backend in variants.items()}
+    return Table2bResult(scores=scores)
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    print(run_table2a().report())
+    print()
+    print(run_table2b().report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,50 @@
+"""Hardware cost models: arithmetic units (Table 4) and the NPU cycle model (Table 5)."""
+
+from .accelerator import (
+    AcceleratorConfig,
+    AcceleratorSimulator,
+    CycleBreakdown,
+    IBERT_COST_MODEL,
+    NN_LUT_COST_MODEL,
+    NonlinearCostModel,
+)
+from .arithmetic_unit import IBertUnit, NnLutUnit, UnitCost, build_table4_units
+from .components import ComponentCost, ComponentLibrary, default_library
+from .performance import (
+    PAPER_SEQUENCE_LENGTHS,
+    SequencePoint,
+    SystemComparison,
+    run_system_comparison,
+)
+from .workload import (
+    LayerWorkload,
+    MatmulOp,
+    NonlinearOp,
+    TransformerWorkload,
+    build_workload,
+)
+
+__all__ = [
+    "ComponentCost",
+    "ComponentLibrary",
+    "default_library",
+    "UnitCost",
+    "NnLutUnit",
+    "IBertUnit",
+    "build_table4_units",
+    "MatmulOp",
+    "NonlinearOp",
+    "LayerWorkload",
+    "TransformerWorkload",
+    "build_workload",
+    "AcceleratorConfig",
+    "AcceleratorSimulator",
+    "NonlinearCostModel",
+    "IBERT_COST_MODEL",
+    "NN_LUT_COST_MODEL",
+    "CycleBreakdown",
+    "SequencePoint",
+    "SystemComparison",
+    "run_system_comparison",
+    "PAPER_SEQUENCE_LENGTHS",
+]

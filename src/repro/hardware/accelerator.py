@@ -1,0 +1,170 @@
+"""Cycle model of the NPU-style accelerator of Figure 3(c).
+
+The accelerator has two compute engines (each a 32x32 MAC array performing
+1024 MACs per cycle), a vector of special-function units (SFU) that evaluates
+the non-linear operators at a fixed number of lanes per cycle, and a shared
+scratchpad.  The cycle model executes a :class:`TransformerWorkload` layer by
+layer: MatMuls run on the MAC engines, non-linear operators on the SFU lanes,
+and element-wise residual additions / data movement are charged to the vector
+unit as well ("etc." in Table 5).
+
+Two SFU cost models are provided, matching the two arithmetic units of
+Table 4:
+
+* the **I-BERT** unit iterates a multi-step integer datapath, so each GELU /
+  Softmax / LayerNorm element costs several cycles (3 / ~5 / ~9) plus a
+  per-row overhead for reductions, the exp-sum division and the Newton
+  square-root;
+* the **NN-LUT** unit resolves every operator in the same two-cycle
+  look-up + multiply-add pipeline, with a smaller per-row overhead (the row
+  reduction plus a single reciprocal / rsqrt look-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .workload import TransformerWorkload
+
+__all__ = [
+    "AcceleratorConfig",
+    "NonlinearCostModel",
+    "IBERT_COST_MODEL",
+    "NN_LUT_COST_MODEL",
+    "CycleBreakdown",
+    "AcceleratorSimulator",
+]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Compute resources of the accelerator core (Fig. 3c)."""
+
+    num_engines: int = 2
+    macs_per_engine: int = 1024  # 32x32 MAC array
+    sfu_lanes: int = 32
+    vector_lanes: int = 32
+    matmul_efficiency: float = 1.0
+    fixed_overhead_cycles: int = 4000  # control / fetch / write-back per inference
+
+    def __post_init__(self) -> None:
+        if self.num_engines < 1 or self.macs_per_engine < 1:
+            raise ValueError("engine configuration must be positive")
+        if self.sfu_lanes < 1 or self.vector_lanes < 1:
+            raise ValueError("lane counts must be positive")
+        if not 0.0 < self.matmul_efficiency <= 1.0:
+            raise ValueError("matmul_efficiency must be in (0, 1]")
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.num_engines * self.macs_per_engine
+
+
+@dataclass(frozen=True)
+class NonlinearCostModel:
+    """Per-element and per-row SFU cycle costs of one approximation method."""
+
+    name: str
+    element_cycles: Dict[str, float]
+    row_cycles: Dict[str, float]
+
+    def element_cost(self, kind: str) -> float:
+        try:
+            return self.element_cycles[kind]
+        except KeyError as exc:
+            raise KeyError(f"cost model {self.name!r} has no element cost for {kind!r}") from exc
+
+    def row_cost(self, kind: str) -> float:
+        return self.row_cycles.get(kind, 0.0)
+
+
+#: I-BERT arithmetic unit: multi-cycle integer sequences per element (Table 4
+#: latency column) plus per-row reduction / division / square-root overhead.
+IBERT_COST_MODEL = NonlinearCostModel(
+    name="I-BERT",
+    element_cycles={"gelu": 3.0, "softmax": 5.0, "layernorm": 9.0},
+    row_cycles={"softmax": 77.0, "layernorm": 29.0},
+)
+
+#: NN-LUT arithmetic unit: every operator is a 2-cycle look-up + multiply-add;
+#: rows pay the reduction plus one reciprocal / rsqrt look-up.
+NN_LUT_COST_MODEL = NonlinearCostModel(
+    name="NN-LUT",
+    element_cycles={"gelu": 2.0, "softmax": 2.0, "layernorm": 5.0},
+    row_cycles={"softmax": 30.0, "layernorm": 16.0},
+)
+
+
+@dataclass
+class CycleBreakdown:
+    """Cycle counts per operation category for one inference."""
+
+    cycles: Dict[str, float] = field(default_factory=dict)
+
+    CATEGORIES = ("GELU", "LayerNorm", "Softmax", "MatMul", "etc.")
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.cycles.values()))
+
+    def relative(self) -> Dict[str, float]:
+        """Percentage share per category (the rows of Table 5)."""
+        total = self.total
+        if total <= 0:
+            raise ValueError("cannot compute a relative breakdown of an empty run")
+        return {key: 100.0 * value / total for key, value in self.cycles.items()}
+
+    def as_row(self) -> Dict[str, float]:
+        row = {key: round(value, 2) for key, value in self.relative().items()}
+        row["total_cycles"] = round(self.total, 0)
+        return row
+
+
+_KIND_LABELS = {"gelu": "GELU", "softmax": "Softmax", "layernorm": "LayerNorm"}
+
+
+@dataclass
+class AcceleratorSimulator:
+    """Executes a workload against the accelerator cycle model."""
+
+    config: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+
+    def matmul_cycles(self, workload: TransformerWorkload) -> float:
+        """Cycles the MAC engines spend on all matrix multiplications."""
+        effective_rate = self.config.macs_per_cycle * self.config.matmul_efficiency
+        return float(workload.total_macs) / effective_rate
+
+    def nonlinear_cycles(
+        self, workload: TransformerWorkload, cost_model: NonlinearCostModel
+    ) -> Dict[str, float]:
+        """SFU cycles per non-linear operator kind."""
+        lanes = self.config.sfu_lanes
+        cycles: Dict[str, float] = {}
+        for kind, counts in workload.nonlinear_totals().items():
+            per_kind = (
+                counts["elements"] * cost_model.element_cost(kind)
+                + counts["rows"] * cost_model.row_cost(kind)
+            ) / lanes
+            cycles[_KIND_LABELS[kind]] = per_kind
+        return cycles
+
+    def overhead_cycles(self, workload: TransformerWorkload) -> float:
+        """Residual additions, embedding handling and fixed control overhead."""
+        residual_elements = sum(layer.residual_elements for layer in workload.layers) / 2
+        vector_cycles = (residual_elements + workload.embedding_elements) / self.config.vector_lanes
+        return vector_cycles + self.config.fixed_overhead_cycles
+
+    def run(
+        self, workload: TransformerWorkload, cost_model: NonlinearCostModel
+    ) -> CycleBreakdown:
+        """Full breakdown for one inference with the given non-linear unit."""
+        cycles: Dict[str, float] = {
+            "GELU": 0.0,
+            "LayerNorm": 0.0,
+            "Softmax": 0.0,
+        }
+        cycles.update(self.nonlinear_cycles(workload, cost_model))
+        cycles["MatMul"] = self.matmul_cycles(workload)
+        cycles["etc."] = self.overhead_cycles(workload)
+        return CycleBreakdown(cycles=cycles)

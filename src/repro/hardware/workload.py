@@ -1,0 +1,137 @@
+"""Transformer inference workload model.
+
+Counts, per encoder layer and for a whole forward pass, the work the
+accelerator has to execute: MAC operations for every matrix multiplication
+and element/row counts for every non-linear operator.  The counts are derived
+from the model configuration (RoBERTa-base by default, matching Table 5) and
+the sequence length, and are consumed by the accelerator cycle model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..transformer.config import TransformerConfig, roberta_base_config
+
+__all__ = ["MatmulOp", "NonlinearOp", "LayerWorkload", "TransformerWorkload", "build_workload"]
+
+
+@dataclass(frozen=True)
+class MatmulOp:
+    """One matrix multiplication: ``(rows x inner) @ (inner x cols)``."""
+
+    name: str
+    rows: int
+    inner: int
+    cols: int
+
+    @property
+    def macs(self) -> int:
+        return int(self.rows) * int(self.inner) * int(self.cols)
+
+
+@dataclass(frozen=True)
+class NonlinearOp:
+    """One non-linear operator invocation.
+
+    ``elements`` is the number of scalar evaluations; ``rows`` the number of
+    reduction groups (softmax rows, layernorm rows) — per-row work such as the
+    max/sum reductions and the final division/rsqrt is charged per row.
+    """
+
+    kind: str  # "gelu" | "softmax" | "layernorm"
+    elements: int
+    rows: int
+
+
+@dataclass
+class LayerWorkload:
+    """All operations of one encoder layer."""
+
+    matmuls: List[MatmulOp]
+    nonlinears: List[NonlinearOp]
+    residual_elements: int
+
+    @property
+    def total_macs(self) -> int:
+        return sum(op.macs for op in self.matmuls)
+
+
+@dataclass
+class TransformerWorkload:
+    """Workload of a full forward pass."""
+
+    config: TransformerConfig
+    sequence_length: int
+    layers: List[LayerWorkload]
+    embedding_elements: int
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.total_macs for layer in self.layers)
+
+    def nonlinear_totals(self) -> Dict[str, Dict[str, int]]:
+        """Aggregate element/row counts per non-linear operator kind."""
+        totals: Dict[str, Dict[str, int]] = {}
+        for layer in self.layers:
+            for op in layer.nonlinears:
+                entry = totals.setdefault(op.kind, {"elements": 0, "rows": 0})
+                entry["elements"] += op.elements
+                entry["rows"] += op.rows
+        return totals
+
+
+def _layer_workload(config: TransformerConfig, seq_len: int) -> LayerWorkload:
+    hidden = config.hidden_size
+    heads = config.num_heads
+    head_dim = config.head_dim
+    inter = config.intermediate_size
+
+    matmuls = [
+        MatmulOp("query_proj", seq_len, hidden, hidden),
+        MatmulOp("key_proj", seq_len, hidden, hidden),
+        MatmulOp("value_proj", seq_len, hidden, hidden),
+        MatmulOp("attention_scores", heads * seq_len, head_dim, seq_len),
+        MatmulOp("attention_context", heads * seq_len, seq_len, head_dim),
+        MatmulOp("attention_output", seq_len, hidden, hidden),
+        MatmulOp("ffn_in", seq_len, hidden, inter),
+        MatmulOp("ffn_out", seq_len, inter, hidden),
+    ]
+
+    nonlinears: List[NonlinearOp] = [
+        NonlinearOp("softmax", elements=heads * seq_len * seq_len, rows=heads * seq_len),
+    ]
+    if config.activation == "gelu":
+        nonlinears.append(NonlinearOp("gelu", elements=seq_len * inter, rows=seq_len))
+    if config.normalization == "layernorm":
+        nonlinears.append(NonlinearOp("layernorm", elements=2 * seq_len * hidden, rows=2 * seq_len))
+
+    residual_elements = 2 * seq_len * hidden
+    return LayerWorkload(
+        matmuls=matmuls, nonlinears=nonlinears, residual_elements=residual_elements
+    )
+
+
+def build_workload(
+    sequence_length: int, config: TransformerConfig | None = None
+) -> TransformerWorkload:
+    """Build the per-layer workload for ``sequence_length`` tokens.
+
+    Defaults to RoBERTa-base, the model used in the paper's Table 5.
+    """
+    if sequence_length < 1:
+        raise ValueError("sequence_length must be >= 1")
+    config = config or roberta_base_config()
+    if sequence_length > config.max_sequence_length:
+        raise ValueError(
+            f"sequence_length {sequence_length} exceeds the configuration maximum "
+            f"{config.max_sequence_length}"
+        )
+    layers = [_layer_workload(config, sequence_length) for _ in range(config.num_layers)]
+    return TransformerWorkload(
+        config=config,
+        sequence_length=sequence_length,
+        layers=layers,
+        embedding_elements=sequence_length * config.hidden_size,
+    )

@@ -1,0 +1,23 @@
+"""Reduced-precision numeric helpers (symmetric fixed point, FP16)."""
+
+from .fixed_point import (
+    QuantizedTensor,
+    compute_scale,
+    dequantize,
+    fake_quantize,
+    quantize,
+    quantized_matmul,
+)
+from .fp16 import fp16_matmul, fp16_roundtrip, to_fp16
+
+__all__ = [
+    "QuantizedTensor",
+    "compute_scale",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "quantized_matmul",
+    "to_fp16",
+    "fp16_roundtrip",
+    "fp16_matmul",
+]

@@ -1,0 +1,91 @@
+"""Symmetric fixed-point quantisation helpers.
+
+Used by two parts of the reproduction:
+
+* the INT8 matrix-multiplication model of Table 2(b) (I-BERT's baseline
+  setting: INT8 MatMul, non-linear operations kept in FP32 or approximated),
+* the INT32 NN-LUT variant, whose table parameters are quantised with the
+  same scaling-factor style (`repro.core.quantization`).
+
+All quantisation here is symmetric per-tensor, matching I-BERT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "QuantizedTensor",
+    "compute_scale",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "quantized_matmul",
+]
+
+
+def compute_scale(values: np.ndarray, num_bits: int = 8) -> float:
+    """Symmetric per-tensor scale: ``max|v| / (2^(b-1) - 1)``; 1.0 for zeros."""
+    if num_bits < 2:
+        raise ValueError("num_bits must be >= 2")
+    values = np.asarray(values)
+    max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+    if max_abs == 0.0:
+        return 1.0
+    return max_abs / float(2 ** (num_bits - 1) - 1)
+
+
+@dataclass
+class QuantizedTensor:
+    """An integer tensor together with its dequantisation scale."""
+
+    data: np.ndarray
+    scale: float
+    num_bits: int = 8
+
+    def dequantize(self) -> np.ndarray:
+        return self.data.astype(np.float64) * self.scale
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.data.shape)
+
+
+def quantize(values: np.ndarray, num_bits: int = 8, scale: float | None = None) -> QuantizedTensor:
+    """Quantise a float tensor to signed integers with a symmetric scale."""
+    values = np.asarray(values, dtype=np.float64)
+    scale = compute_scale(values, num_bits) if scale is None else float(scale)
+    limit = 2 ** (num_bits - 1) - 1
+    data = np.clip(np.round(values / scale), -limit, limit).astype(np.int64)
+    return QuantizedTensor(data=data, scale=scale, num_bits=num_bits)
+
+
+def dequantize(tensor: QuantizedTensor) -> np.ndarray:
+    """Map a quantised tensor back to floats."""
+    return tensor.dequantize()
+
+
+def fake_quantize(values: np.ndarray, num_bits: int = 8, scale: float | None = None) -> np.ndarray:
+    """Quantise-then-dequantise (simulated quantisation in a float graph)."""
+    return quantize(values, num_bits=num_bits, scale=scale).dequantize()
+
+
+def quantized_matmul(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    activation_bits: int = 8,
+    weight_bits: int = 8,
+) -> np.ndarray:
+    """INT8xINT8 -> INT32 matmul with float dequantisation of the result.
+
+    Mirrors the I-BERT inference path: both operands are symmetrically
+    quantised per tensor, the product is accumulated in integers and the
+    output carries the product of the two scales.
+    """
+    act_q = quantize(activations, num_bits=activation_bits)
+    w_q = quantize(weights, num_bits=weight_bits)
+    accumulator = act_q.data @ w_q.data
+    return accumulator.astype(np.float64) * (act_q.scale * w_q.scale)

@@ -1,0 +1,36 @@
+"""IEEE half-precision helpers for the FP16 evaluation settings.
+
+Table 3 of the paper evaluates MobileBERT/SQuAD with the MatMuls computed in
+FP16 and the Softmax approximation's parameters/datapath in FP16.  These
+helpers centralise the casting so the Transformer substrate and the LUT
+quantisation use the same conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_fp16", "fp16_roundtrip", "fp16_matmul"]
+
+
+def to_fp16(values: np.ndarray) -> np.ndarray:
+    """Cast to IEEE binary16."""
+    return np.asarray(values, dtype=np.float16)
+
+
+def fp16_roundtrip(values: np.ndarray) -> np.ndarray:
+    """Cast to FP16 and back to FP64 (simulated half-precision storage)."""
+    return np.asarray(values, dtype=np.float16).astype(np.float64)
+
+
+def fp16_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix multiply with FP16 operands and FP32-style accumulation.
+
+    numpy accumulates float16 matmuls in float32 internally when asked to
+    output float32; we cast operands to float16 first (storage precision) and
+    request a float32 result (accumulator precision), then return float64 for
+    downstream consistency.
+    """
+    a16 = np.asarray(a, dtype=np.float16)
+    b16 = np.asarray(b, dtype=np.float16)
+    return np.matmul(a16.astype(np.float32), b16.astype(np.float32)).astype(np.float64)

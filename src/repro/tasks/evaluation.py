@@ -1,0 +1,151 @@
+"""End-to-end task evaluation with swappable non-linear backends.
+
+These helpers implement the measurement loop behind Tables 2 and 3: fit the
+task heads once on exact-backend features, then score the *same* model + head
+under each approximate backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from ..transformer.models import EncoderModel
+from ..transformer.nonlinear_backend import NonlinearBackend, exact_backend
+from .finetune import (
+    FinetunedClassifier,
+    FinetunedRegressor,
+    FinetunedSpanModel,
+    finetune_classification_task,
+    finetune_regression_task,
+    finetune_span_task,
+)
+from .glue import TaskData, generate_task, list_glue_tasks
+from .metrics import compute_metric, span_exact_match, span_f1
+from .squad import SquadData, generate_squad_task
+
+__all__ = [
+    "GlueBenchmark",
+    "evaluate_glue_task",
+    "evaluate_backends_on_glue",
+    "evaluate_squad",
+    "SquadResult",
+]
+
+
+@dataclass
+class GlueBenchmark:
+    """A frozen encoder with heads fitted for a set of synthetic GLUE tasks."""
+
+    model: EncoderModel
+    tasks: Dict[str, TaskData] = field(default_factory=dict)
+    fitted: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        model: EncoderModel,
+        task_names: Sequence[str] | None = None,
+        seed: int = 0,
+        spec_overrides: Mapping[str, object] | None = None,
+    ) -> "GlueBenchmark":
+        """Generate tasks matched to ``model``'s vocabulary and fit all heads."""
+        task_names = list(task_names) if task_names is not None else list_glue_tasks()
+        benchmark = cls(model=model)
+        for name in task_names:
+            task = generate_task(
+                name,
+                vocab_size=model.config.vocab_size,
+                seed=seed,
+                spec_overrides=dict(spec_overrides) if spec_overrides else None,
+            )
+            benchmark.tasks[name] = task
+            if task.spec.task_type == "classification":
+                benchmark.fitted[name] = finetune_classification_task(model, task, seed=seed)
+            else:
+                benchmark.fitted[name] = finetune_regression_task(model, task)
+        return benchmark
+
+    def score(self, task_name: str, backend: NonlinearBackend | None = None) -> float:
+        """Score one task under ``backend`` using the task's own metric."""
+        if task_name not in self.fitted:
+            raise KeyError(f"task {task_name!r} has not been fitted")
+        task = self.tasks[task_name]
+        fitted = self.fitted[task_name]
+        predictions = fitted.predict(backend)
+        return compute_metric(task.spec.metric, predictions, task.test_labels)
+
+    def score_all(self, backend: NonlinearBackend | None = None) -> Dict[str, float]:
+        """Scores for every fitted task under ``backend``."""
+        return {name: self.score(name, backend) for name in self.tasks}
+
+
+def evaluate_glue_task(
+    model: EncoderModel,
+    task_name: str,
+    backends: Mapping[str, NonlinearBackend],
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Convenience: one task, several backends → {backend name: score}."""
+    benchmark = GlueBenchmark.build(model, task_names=[task_name], seed=seed)
+    return {name: benchmark.score(task_name, backend) for name, backend in backends.items()}
+
+
+def evaluate_backends_on_glue(
+    model: EncoderModel,
+    backends: Mapping[str, NonlinearBackend],
+    task_names: Sequence[str] | None = None,
+    seed: int = 0,
+    spec_overrides: Mapping[str, object] | None = None,
+) -> Dict[str, Dict[str, float]]:
+    """Full Table-2 style sweep: {backend name: {task name: score}}.
+
+    The baseline (exact) backend is always included under the key
+    ``"Baseline"`` so downstream reports can compute deltas.
+    """
+    benchmark = GlueBenchmark.build(
+        model, task_names=task_names, seed=seed, spec_overrides=spec_overrides
+    )
+    results: Dict[str, Dict[str, float]] = {"Baseline": benchmark.score_all(exact_backend())}
+    for name, backend in backends.items():
+        results[name] = benchmark.score_all(backend)
+    return results
+
+
+@dataclass
+class SquadResult:
+    """F1 / exact-match scores of a span model under one backend."""
+
+    f1: float
+    exact_match: float
+
+
+def evaluate_squad(
+    model: EncoderModel,
+    backends: Mapping[str, NonlinearBackend],
+    seed: int = 0,
+    data: SquadData | None = None,
+) -> Dict[str, SquadResult]:
+    """Table-3 style sweep on the synthetic SQuAD task.
+
+    Returns scores for the exact baseline (key ``"Baseline"``) and every
+    provided backend.
+    """
+    data = data or generate_squad_task(vocab_size=model.config.vocab_size, seed=seed)
+    fitted = finetune_span_task(model, data)
+    results: Dict[str, SquadResult] = {}
+    reference = data.test_spans
+    baseline_prediction = fitted.predict(exact_backend())
+    results["Baseline"] = SquadResult(
+        f1=span_f1(baseline_prediction, reference),
+        exact_match=span_exact_match(baseline_prediction, reference),
+    )
+    for name, backend in backends.items():
+        prediction = fitted.predict(backend)
+        results[name] = SquadResult(
+            f1=span_f1(prediction, reference),
+            exact_match=span_exact_match(prediction, reference),
+        )
+    return results

@@ -1,0 +1,135 @@
+"""Evaluation metrics matching those reported in the paper's tables.
+
+GLUE conventions: accuracy for RTE/SST-2/QNLI/MNLI/QQP, F1 for MRPC (and QQP
+in some reports), Matthews correlation for CoLA, Pearson/Spearman correlation
+for STS-B; SQuAD v1.1 reports exact match and token-overlap F1.  All metrics
+are returned on a 0-100 scale, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import stats as _stats
+
+__all__ = [
+    "accuracy",
+    "f1_binary",
+    "matthews_correlation",
+    "pearson_correlation",
+    "spearman_correlation",
+    "span_exact_match",
+    "span_f1",
+    "METRIC_FUNCTIONS",
+    "compute_metric",
+]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Percentage of exact label matches."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {labels.shape}")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of empty arrays")
+    return float(np.mean(predictions == labels) * 100.0)
+
+
+def f1_binary(predictions: np.ndarray, labels: np.ndarray, positive_class: int = 1) -> float:
+    """Binary F1 score (percentage) treating ``positive_class`` as positive."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    true_positive = float(np.sum((predictions == positive_class) & (labels == positive_class)))
+    false_positive = float(np.sum((predictions == positive_class) & (labels != positive_class)))
+    false_negative = float(np.sum((predictions != positive_class) & (labels == positive_class)))
+    denominator = 2 * true_positive + false_positive + false_negative
+    if denominator == 0:
+        return 0.0
+    return float(100.0 * 2 * true_positive / denominator)
+
+
+def matthews_correlation(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Matthews correlation coefficient x100 (CoLA's metric)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    tp = float(np.sum((predictions == 1) & (labels == 1)))
+    tn = float(np.sum((predictions == 0) & (labels == 0)))
+    fp = float(np.sum((predictions == 1) & (labels == 0)))
+    fn = float(np.sum((predictions == 0) & (labels == 1)))
+    denominator = np.sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+    if denominator == 0:
+        return 0.0
+    return float(100.0 * (tp * tn - fp * fn) / denominator)
+
+
+def pearson_correlation(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Pearson correlation x100 (STS-B's primary metric)."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if np.std(predictions) == 0 or np.std(targets) == 0:
+        return 0.0
+    return float(100.0 * np.corrcoef(predictions, targets)[0, 1])
+
+
+def spearman_correlation(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Spearman rank correlation x100."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if np.std(predictions) == 0 or np.std(targets) == 0:
+        return 0.0
+    rho, _ = _stats.spearmanr(predictions, targets)
+    if np.isnan(rho):
+        return 0.0
+    return float(100.0 * rho)
+
+
+def span_exact_match(
+    predicted: Tuple[np.ndarray, np.ndarray], reference: Tuple[np.ndarray, np.ndarray]
+) -> float:
+    """Percentage of spans where both start and end match exactly."""
+    pred_start, pred_end = (np.asarray(a) for a in predicted)
+    ref_start, ref_end = (np.asarray(a) for a in reference)
+    return float(np.mean((pred_start == ref_start) & (pred_end == ref_end)) * 100.0)
+
+
+def span_f1(
+    predicted: Tuple[np.ndarray, np.ndarray], reference: Tuple[np.ndarray, np.ndarray]
+) -> float:
+    """Mean token-overlap F1 between predicted and reference spans (SQuAD F1)."""
+    pred_start, pred_end = (np.asarray(a) for a in predicted)
+    ref_start, ref_end = (np.asarray(a) for a in reference)
+    scores = []
+    for ps, pe, rs, re in zip(pred_start, pred_end, ref_start, ref_end):
+        pred_tokens = set(range(int(ps), int(pe) + 1))
+        ref_tokens = set(range(int(rs), int(re) + 1))
+        overlap = len(pred_tokens & ref_tokens)
+        if overlap == 0:
+            scores.append(0.0)
+            continue
+        precision = overlap / len(pred_tokens)
+        recall = overlap / len(ref_tokens)
+        scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores) * 100.0)
+
+
+#: Scalar-prediction metrics addressable by name (span metrics have a
+#: different signature and are called explicitly by the SQuAD evaluation).
+METRIC_FUNCTIONS = {
+    "accuracy": accuracy,
+    "f1": f1_binary,
+    "matthews": matthews_correlation,
+    "pearson": pearson_correlation,
+    "spearman": spearman_correlation,
+}
+
+
+def compute_metric(name: str, predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Dispatch a named scalar metric."""
+    try:
+        metric = METRIC_FUNCTIONS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(METRIC_FUNCTIONS))
+        raise KeyError(f"Unknown metric {name!r}; known: {known}") from exc
+    return metric(predictions, labels)

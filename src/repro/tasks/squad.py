@@ -1,0 +1,129 @@
+"""Synthetic SQuAD-style span-extraction task.
+
+Table 3 of the paper evaluates MobileBERT on SQuAD v1.1 (question answering
+by span extraction) with Softmax approximated.  The synthetic stand-in keeps
+the structural property that matters: the model must locate a contiguous
+answer span inside a context, and the location is encoded in token content
+that attention has to pick up, so distorting the attention Softmax degrades
+the span predictions.
+
+Each example is a "question" prefix (tokens naming a random topic) followed by
+a context of background tokens into which a contiguous run of *answer-pool*
+tokens — the answer span — is planted at a random position.  The answer pool
+is a small, fixed vocabulary shared by all examples, so a per-token linear
+scorer on the encoder features can learn to recognise span membership (the
+stand-in for a fine-tuned QA head), while the attention layers still have to
+propagate context for the features to be clean — which is how Softmax
+approximation error shows up in the span scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["SquadTaskSpec", "SquadData", "generate_squad_task"]
+
+
+@dataclass(frozen=True)
+class SquadTaskSpec:
+    """Static description of the synthetic span-extraction task."""
+
+    sequence_length: int = 64
+    question_length: int = 8
+    min_span_length: int = 3
+    max_span_length: int = 8
+    num_topics: int = 8
+    topic_strength: float = 0.85
+    num_train: int = 384
+    num_test: int = 192
+
+    def __post_init__(self) -> None:
+        if self.question_length + self.max_span_length >= self.sequence_length:
+            raise ValueError("sequence_length too short for question + span")
+        if not 1 <= self.min_span_length <= self.max_span_length:
+            raise ValueError("span length bounds are inconsistent")
+
+
+@dataclass
+class SquadData:
+    """Materialised train/test split of the synthetic span task."""
+
+    spec: SquadTaskSpec
+    train_tokens: np.ndarray
+    train_spans: Tuple[np.ndarray, np.ndarray]
+    test_tokens: np.ndarray
+    test_spans: Tuple[np.ndarray, np.ndarray]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+def _generate_split(
+    spec: SquadTaskSpec, vocab_size: int, num_examples: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
+    # A small fixed answer vocabulary (16 tokens) shared by every example,
+    # plus small topic pools used only for the question prefix.
+    tokens_per_pool = 16
+    reserved = 4
+    answer_pool = np.arange(reserved, reserved + tokens_per_pool)
+    topic_pools = [
+        np.arange(
+            reserved + (i + 1) * tokens_per_pool, reserved + (i + 2) * tokens_per_pool
+        )
+        for i in range(spec.num_topics)
+    ]
+    background_low = reserved + (spec.num_topics + 1) * tokens_per_pool
+    if background_low >= vocab_size:
+        raise ValueError(
+            f"vocab_size={vocab_size} too small for {spec.num_topics} topics "
+            f"of {tokens_per_pool} tokens plus the answer pool"
+        )
+    tokens = np.empty((num_examples, spec.sequence_length), dtype=np.int64)
+    starts = np.empty(num_examples, dtype=np.int64)
+    ends = np.empty(num_examples, dtype=np.int64)
+    context_start = spec.question_length
+    for index in range(num_examples):
+        topic = int(rng.integers(0, spec.num_topics))
+        sequence = rng.integers(background_low, vocab_size, size=spec.sequence_length)
+        # Question segment: [CLS], then tokens naming the topic, then [SEP].
+        sequence[0] = 1
+        question_tokens = rng.choice(topic_pools[topic], size=spec.question_length - 2)
+        sequence[1 : spec.question_length - 1] = question_tokens
+        sequence[spec.question_length - 1] = 2
+        # Context: plant a contiguous answer span of answer-pool tokens.
+        span_length = int(rng.integers(spec.min_span_length, spec.max_span_length + 1))
+        latest_start = spec.sequence_length - span_length
+        start = int(rng.integers(context_start, latest_start))
+        end = start + span_length - 1
+        span_mask = rng.random(span_length) < spec.topic_strength
+        span_tokens = np.where(
+            span_mask,
+            rng.choice(answer_pool, size=span_length),
+            rng.integers(background_low, vocab_size, size=span_length),
+        )
+        sequence[start : end + 1] = span_tokens
+        tokens[index] = sequence
+        starts[index] = start
+        ends[index] = end
+    return tokens, (starts, ends)
+
+
+def generate_squad_task(
+    vocab_size: int = 2000,
+    seed: int = 0,
+    spec: SquadTaskSpec | None = None,
+) -> SquadData:
+    """Materialise the synthetic SQuAD-style dataset."""
+    spec = spec or SquadTaskSpec()
+    rng = np.random.default_rng(seed + 7919)
+    train_tokens, train_spans = _generate_split(spec, vocab_size, spec.num_train, rng)
+    test_tokens, test_spans = _generate_split(spec, vocab_size, spec.num_test, rng)
+    return SquadData(
+        spec=spec,
+        train_tokens=train_tokens,
+        train_spans=train_spans,
+        test_tokens=test_tokens,
+        test_spans=test_spans,
+        metadata={"vocab_size": vocab_size, "seed": seed},
+    )

@@ -1,0 +1,94 @@
+"""Multi-head self-attention with a pluggable Softmax implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import TransformerConfig
+from .layers import Linear
+from .nonlinear_backend import NonlinearBackend
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+@dataclass
+class MultiHeadSelfAttention:
+    """Standard scaled dot-product multi-head self-attention.
+
+    The Softmax over attention scores is routed through the encoder's
+    :class:`NonlinearBackend`, which is where NN-LUT / Linear-LUT / I-BERT
+    approximations plug in.
+    """
+
+    query: Linear
+    key: Linear
+    value: Linear
+    output: Linear
+    num_heads: int
+
+    @classmethod
+    def initialize(
+        cls, config: TransformerConfig, rng: np.random.Generator
+    ) -> "MultiHeadSelfAttention":
+        hidden = config.hidden_size
+        precision = config.matmul_precision
+        return cls(
+            query=Linear.initialize(hidden, hidden, rng, precision=precision),
+            key=Linear.initialize(hidden, hidden, rng, precision=precision),
+            value=Linear.initialize(hidden, hidden, rng, precision=precision),
+            output=Linear.initialize(hidden, hidden, rng, precision=precision),
+            num_heads=config.num_heads,
+        )
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(batch, seq, hidden) -> (batch, heads, seq, head_dim)."""
+        batch, seq, hidden = x.shape
+        head_dim = hidden // self.num_heads
+        return x.reshape(batch, seq, self.num_heads, head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(batch, heads, seq, head_dim) -> (batch, seq, hidden)."""
+        batch, heads, seq, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
+
+    def __call__(
+        self,
+        hidden_states: np.ndarray,
+        backend: NonlinearBackend,
+        attention_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Apply self-attention.
+
+        Parameters
+        ----------
+        hidden_states:
+            Array of shape ``(batch, seq, hidden)``.
+        backend:
+            Non-linear backend providing the Softmax implementation.
+        attention_mask:
+            Optional ``(batch, seq)`` array with 1 for valid tokens and 0 for
+            padding; masked positions receive a large negative score.
+        """
+        if hidden_states.ndim != 3:
+            raise ValueError(
+                f"hidden_states must be (batch, seq, hidden), got {hidden_states.shape}"
+            )
+        q = self._split_heads(self.query(hidden_states))
+        k = self._split_heads(self.key(hidden_states))
+        v = self._split_heads(self.value(hidden_states))
+        head_dim = q.shape[-1]
+
+        scores = np.matmul(q, k.transpose(0, 1, 3, 2)) / np.sqrt(head_dim)
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask)[:, None, None, :]
+            scores = np.where(mask > 0, scores, -1e4)
+        probabilities = backend.apply_softmax(scores, axis=-1)
+        context = np.matmul(probabilities, v)
+        return self.output(self._merge_heads(context))
+
+    def num_parameters(self) -> int:
+        return sum(
+            layer.num_parameters() for layer in (self.query, self.key, self.value, self.output)
+        )

@@ -1,0 +1,118 @@
+"""Transformer encoder layers and stacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .attention import MultiHeadSelfAttention
+from .config import TransformerConfig
+from .layers import Linear, NormParameters
+from .nonlinear_backend import NonlinearBackend
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder"]
+
+
+@dataclass
+class TransformerEncoderLayer:
+    """Post-LN encoder layer: attention + FFN, each with residual + norm.
+
+    The feed-forward activation is GELU for BERT/RoBERTa-style configurations
+    and ReLU for MobileBERT-style ones; the normalisation is either LayerNorm
+    (statistics through the backend) or NoNorm (element-wise affine only).
+    """
+
+    attention: MultiHeadSelfAttention
+    ffn_in: Linear
+    ffn_out: Linear
+    attention_norm: NormParameters
+    output_norm: NormParameters
+    activation: str = "gelu"
+    normalization: str = "layernorm"
+
+    @classmethod
+    def initialize(
+        cls, config: TransformerConfig, rng: np.random.Generator
+    ) -> "TransformerEncoderLayer":
+        precision = config.matmul_precision
+        return cls(
+            attention=MultiHeadSelfAttention.initialize(config, rng),
+            ffn_in=Linear.initialize(
+                config.hidden_size, config.intermediate_size, rng, precision=precision
+            ),
+            ffn_out=Linear.initialize(
+                config.intermediate_size, config.hidden_size, rng, precision=precision
+            ),
+            attention_norm=NormParameters.initialize(config.hidden_size, rng),
+            output_norm=NormParameters.initialize(config.hidden_size, rng),
+            activation=config.activation,
+            normalization=config.normalization,
+        )
+
+    def _normalise(
+        self, x: np.ndarray, params: NormParameters, backend: NonlinearBackend
+    ) -> np.ndarray:
+        if self.normalization == "layernorm":
+            return backend.apply_layernorm(x, gamma=params.gamma, beta=params.beta)
+        return params.apply_affine(x)
+
+    def _activate(self, x: np.ndarray, backend: NonlinearBackend) -> np.ndarray:
+        if self.activation == "gelu":
+            return backend.apply_gelu(x)
+        return np.maximum(x, 0.0)
+
+    def __call__(
+        self,
+        hidden_states: np.ndarray,
+        backend: NonlinearBackend,
+        attention_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        attention_output = self.attention(hidden_states, backend, attention_mask)
+        hidden_states = self._normalise(
+            hidden_states + attention_output, self.attention_norm, backend
+        )
+        ffn_hidden = self._activate(self.ffn_in(hidden_states), backend)
+        ffn_output = self.ffn_out(ffn_hidden)
+        return self._normalise(hidden_states + ffn_output, self.output_norm, backend)
+
+    def num_parameters(self) -> int:
+        return (
+            self.attention.num_parameters()
+            + self.ffn_in.num_parameters()
+            + self.ffn_out.num_parameters()
+            + self.attention_norm.num_parameters()
+            + self.output_norm.num_parameters()
+        )
+
+
+@dataclass
+class TransformerEncoder:
+    """A stack of encoder layers."""
+
+    layers: List[TransformerEncoderLayer] = field(default_factory=list)
+
+    @classmethod
+    def initialize(cls, config: TransformerConfig, rng: np.random.Generator) -> "TransformerEncoder":
+        layers = [
+            TransformerEncoderLayer.initialize(config, rng) for _ in range(config.num_layers)
+        ]
+        return cls(layers=layers)
+
+    def __call__(
+        self,
+        hidden_states: np.ndarray,
+        backend: NonlinearBackend,
+        attention_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        for layer in self.layers:
+            hidden_states = layer(hidden_states, backend, attention_mask)
+        return hidden_states
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def num_parameters(self) -> int:
+        return sum(layer.num_parameters() for layer in self.layers)

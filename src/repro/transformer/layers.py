@@ -1,0 +1,171 @@
+"""Basic numpy layers for the Transformer substrate.
+
+Everything is forward-only (the encoders are frozen feature extractors in the
+software experiments; only the task heads are trained, by closed-form or
+gradient fitting in ``repro.tasks.finetune``).  The linear layers support the
+three matmul precision settings used in the paper's experiments: FP32, FP16
+(Table 3) and INT8 (Table 2(b), I-BERT's quantised baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..quant.fixed_point import fake_quantize, quantized_matmul
+from ..quant.fp16 import fp16_matmul
+
+__all__ = ["Linear", "Embedding", "NormParameters", "matmul_with_precision"]
+
+
+def matmul_with_precision(
+    activations: np.ndarray, weights: np.ndarray, precision: str = "fp32"
+) -> np.ndarray:
+    """Matrix multiply in the requested precision.
+
+    ``"fp32"`` uses float64/float32 numpy matmul; ``"fp16"`` casts operands to
+    half precision; ``"int8"`` performs symmetric per-tensor INT8xINT8->INT32
+    accumulation with float dequantisation (the I-BERT inference setting).
+    """
+    if precision == "fp32":
+        return np.matmul(activations, weights)
+    if precision == "fp16":
+        return fp16_matmul(activations, weights)
+    if precision == "int8":
+        flat = activations.reshape(-1, activations.shape[-1])
+        result = quantized_matmul(flat, weights)
+        return result.reshape(*activations.shape[:-1], weights.shape[-1])
+    raise ValueError(f"precision must be 'fp32', 'fp16' or 'int8', got {precision!r}")
+
+
+@dataclass
+class Linear:
+    """Affine layer ``y = x W + b`` with selectable matmul precision."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+    precision: str = "fp32"
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        self.bias = np.asarray(self.bias, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError(f"weight must be 2-D, got shape {self.weight.shape}")
+        if self.bias.shape != (self.weight.shape[1],):
+            raise ValueError(
+                f"bias shape {self.bias.shape} does not match weight output dim "
+                f"{self.weight.shape[1]}"
+            )
+
+    @classmethod
+    def initialize(
+        cls,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        precision: str = "fp32",
+        scale: float | None = None,
+    ) -> "Linear":
+        """Gaussian initialisation with a 1/sqrt(fan_in) scale by default."""
+        scale = scale if scale is not None else 1.0 / np.sqrt(in_features)
+        weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        bias = np.zeros(out_features)
+        return cls(weight=weight, bias=bias, precision=precision)
+
+    @property
+    def in_features(self) -> int:
+        return int(self.weight.shape[0])
+
+    @property
+    def out_features(self) -> int:
+        return int(self.weight.shape[1])
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return matmul_with_precision(x, self.weight, self.precision) + self.bias
+
+    def num_parameters(self) -> int:
+        return int(self.weight.size + self.bias.size)
+
+
+@dataclass
+class Embedding:
+    """Token + position embedding table."""
+
+    token_table: np.ndarray
+    position_table: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.token_table = np.asarray(self.token_table, dtype=np.float64)
+        self.position_table = np.asarray(self.position_table, dtype=np.float64)
+        if self.token_table.shape[1] != self.position_table.shape[1]:
+            raise ValueError("token and position embeddings must share the hidden size")
+
+    @classmethod
+    def initialize(
+        cls,
+        vocab_size: int,
+        max_sequence_length: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+    ) -> "Embedding":
+        return cls(
+            token_table=rng.normal(0.0, 1.0, size=(vocab_size, hidden_size)),
+            position_table=rng.normal(0.0, 0.1, size=(max_sequence_length, hidden_size)),
+        )
+
+    def __call__(self, token_ids: np.ndarray) -> np.ndarray:
+        """Look up embeddings for integer token ids of shape (batch, seq)."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ValueError(f"token_ids must be 2-D (batch, seq), got {token_ids.shape}")
+        if np.any(token_ids < 0) or np.any(token_ids >= self.token_table.shape[0]):
+            raise ValueError("token id out of vocabulary range")
+        seq_len = token_ids.shape[1]
+        if seq_len > self.position_table.shape[0]:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds maximum "
+                f"{self.position_table.shape[0]}"
+            )
+        return self.token_table[token_ids] + self.position_table[:seq_len]
+
+    def num_parameters(self) -> int:
+        return int(self.token_table.size + self.position_table.size)
+
+
+@dataclass
+class NormParameters:
+    """Per-channel affine parameters (gamma, beta) of a normalisation layer.
+
+    Used both by LayerNorm (where the statistics normalisation runs through
+    the non-linear backend) and by MobileBERT-style NoNorm (where only this
+    affine transform is applied — no statistics, hence no transcendental op).
+    """
+
+    gamma: np.ndarray
+    beta: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.gamma = np.asarray(self.gamma, dtype=np.float64)
+        self.beta = np.asarray(self.beta, dtype=np.float64)
+        if self.gamma.shape != self.beta.shape:
+            raise ValueError("gamma and beta must have the same shape")
+
+    @classmethod
+    def initialize(cls, hidden_size: int, rng: np.random.Generator | None = None) -> "NormParameters":
+        gamma = np.ones(hidden_size)
+        beta = np.zeros(hidden_size)
+        if rng is not None:
+            # Mild random affine keeps frozen random encoders from being
+            # perfectly symmetric across channels.
+            gamma = gamma + rng.normal(0.0, 0.05, size=hidden_size)
+            beta = beta + rng.normal(0.0, 0.05, size=hidden_size)
+        return cls(gamma=gamma, beta=beta)
+
+    def apply_affine(self, x: np.ndarray) -> np.ndarray:
+        """The NoNorm path: element-wise ``gamma * x + beta``."""
+        return x * self.gamma + self.beta
+
+    def num_parameters(self) -> int:
+        return int(self.gamma.size + self.beta.size)

@@ -1,0 +1,140 @@
+"""Encoder models: RoBERTa-like and MobileBERT-like feature extractors.
+
+The software experiments evaluate how much *accuracy of a fixed, trained
+model* changes when its non-linear operators are swapped for approximations.
+Here a "model" is a frozen randomly-initialised encoder (the substitute for a
+pre-trained checkpoint, see DESIGN.md) plus task heads trained on top of the
+exact-backend features by ``repro.tasks.finetune``.  The same encoder instance
+is then re-run with each approximate backend and the fixed heads, mirroring
+the paper's direct-approximation protocol (no approximation-aware
+fine-tuning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from .config import (
+    TransformerConfig,
+    mobilebert_like_small_config,
+    roberta_like_small_config,
+)
+from .encoder import TransformerEncoder
+from .layers import Embedding, Linear, NormParameters
+from .nonlinear_backend import NonlinearBackend, exact_backend
+
+__all__ = ["EncoderModel", "RobertaLikeModel", "MobileBertLikeModel"]
+
+
+@dataclass
+class EncoderModel:
+    """Embeddings + encoder stack + pooler.
+
+    ``forward`` returns the full sequence of hidden states; ``pooled`` returns
+    the first-token representation passed through a tanh pooler (the BERT
+    convention used by the classification heads).
+    """
+
+    config: TransformerConfig
+    embedding: Embedding
+    encoder: TransformerEncoder
+    embedding_norm: NormParameters
+    pooler: Linear
+
+    @classmethod
+    def initialize(cls, config: TransformerConfig, seed: int = 0) -> "EncoderModel":
+        rng = np.random.default_rng(seed)
+        return cls(
+            config=config,
+            embedding=Embedding.initialize(
+                config.vocab_size, config.max_sequence_length, config.hidden_size, rng
+            ),
+            encoder=TransformerEncoder.initialize(config, rng),
+            embedding_norm=NormParameters.initialize(config.hidden_size, rng),
+            pooler=Linear.initialize(
+                config.hidden_size, config.hidden_size, rng, precision=config.matmul_precision
+            ),
+        )
+
+    def _normalise_embeddings(
+        self, embeddings: np.ndarray, backend: NonlinearBackend
+    ) -> np.ndarray:
+        if self.config.normalization == "layernorm":
+            return backend.apply_layernorm(
+                embeddings, gamma=self.embedding_norm.gamma, beta=self.embedding_norm.beta
+            )
+        return self.embedding_norm.apply_affine(embeddings)
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        backend: NonlinearBackend | None = None,
+        attention_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Return hidden states of shape ``(batch, seq, hidden)``."""
+        backend = backend or exact_backend()
+        embeddings = self.embedding(token_ids)
+        embeddings = self._normalise_embeddings(embeddings, backend)
+        return self.encoder(embeddings, backend, attention_mask)
+
+    __call__ = forward
+
+    def pooled(
+        self,
+        token_ids: np.ndarray,
+        backend: NonlinearBackend | None = None,
+        attention_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """First-token ("[CLS]") representation through a tanh pooler."""
+        hidden = self.forward(token_ids, backend=backend, attention_mask=attention_mask)
+        return np.tanh(self.pooler(hidden[:, 0, :]))
+
+    def num_parameters(self) -> int:
+        return (
+            self.embedding.num_parameters()
+            + self.encoder.num_parameters()
+            + self.embedding_norm.num_parameters()
+            + self.pooler.num_parameters()
+        )
+
+
+@dataclass
+class RobertaLikeModel(EncoderModel):
+    """GELU + LayerNorm encoder (all three non-linear operator types present)."""
+
+    @classmethod
+    def build(cls, seed: int = 0, **config_overrides: object) -> "RobertaLikeModel":
+        config = roberta_like_small_config(**config_overrides)
+        base = EncoderModel.initialize(config, seed=seed)
+        return cls(
+            config=base.config,
+            embedding=base.embedding,
+            encoder=base.encoder,
+            embedding_norm=base.embedding_norm,
+            pooler=base.pooler,
+        )
+
+
+@dataclass
+class MobileBertLikeModel(EncoderModel):
+    """ReLU + NoNorm encoder: Softmax is its only transcendental operator.
+
+    This mirrors the property the paper exploits in Table 3 (MobileBERT /
+    SQuAD): approximating Softmax is the only change an approximate backend
+    can make to this model's computation.
+    """
+
+    @classmethod
+    def build(cls, seed: int = 0, **config_overrides: object) -> "MobileBertLikeModel":
+        config = mobilebert_like_small_config(**config_overrides)
+        base = EncoderModel.initialize(config, seed=seed)
+        return cls(
+            config=base.config,
+            embedding=base.embedding,
+            encoder=base.encoder,
+            embedding_norm=base.embedding_norm,
+            pooler=base.pooler,
+        )

@@ -1,0 +1,246 @@
+"""Pluggable non-linear operator backends for the Transformer substrate.
+
+A :class:`NonlinearBackend` bundles the three operator implementations the
+encoder needs — GELU, Softmax, LayerNorm — so a single encoder instance can be
+evaluated with:
+
+* the exact FP32 reference ("Baseline" rows of Tables 2/3),
+* NN-LUT approximations in FP32 / FP16 / INT32, per-operator or altogether,
+* the Linear-LUT baseline,
+* the I-BERT integer approximations,
+* calibrated NN-LUT variants (Table 2(b) "+C" rows).
+
+A backend can also *record* the tensors flowing into each operator site,
+which is what the dataset-free calibration pass consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.ibert import IBertGelu, IBertLayerNorm, IBertSoftmax
+from ..baselines.linear_lut import linear_lut_for
+from ..core import functions
+from ..core.approximators import (
+    ExactGelu,
+    ExactLayerNorm,
+    ExactSoftmax,
+    LutGelu,
+    LutLayerNorm,
+    LutSoftmax,
+)
+from ..core.functions import get_training_range
+from ..core.lut import LookupTable
+from ..core.quantization import quantize_lut_fp16, quantize_lut_int32
+from ..core.registry import LutRegistry, default_registry
+from ..core.scaling import InputScaler
+
+__all__ = [
+    "ALL_OPS",
+    "OperatorRecorder",
+    "NonlinearBackend",
+    "exact_backend",
+    "nn_lut_backend",
+    "linear_lut_backend",
+    "ibert_backend",
+    "backend_from_luts",
+]
+
+#: Operator names accepted by the ``replace=`` argument of the factories.
+ALL_OPS: Tuple[str, ...] = ("gelu", "softmax", "layernorm")
+
+
+@dataclass
+class OperatorRecorder:
+    """Accumulates the tensors that reached each non-linear operator site."""
+
+    enabled: bool = False
+    max_arrays_per_op: int = 256
+    gelu_inputs: List[np.ndarray] = field(default_factory=list)
+    softmax_inputs: List[np.ndarray] = field(default_factory=list)
+    layernorm_inputs: List[np.ndarray] = field(default_factory=list)
+
+    def record(self, op: str, value: np.ndarray) -> None:
+        if not self.enabled:
+            return
+        store = getattr(self, f"{op}_inputs")
+        if len(store) < self.max_arrays_per_op:
+            store.append(np.asarray(value, dtype=np.float64).copy())
+
+    def clear(self) -> None:
+        self.gelu_inputs.clear()
+        self.softmax_inputs.clear()
+        self.layernorm_inputs.clear()
+
+
+@dataclass
+class NonlinearBackend:
+    """The three operator implementations used by an encoder."""
+
+    name: str
+    gelu: Callable[[np.ndarray], np.ndarray]
+    softmax: Callable[..., np.ndarray]
+    layernorm: Callable[..., np.ndarray]
+    recorder: OperatorRecorder = field(default_factory=OperatorRecorder)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def apply_gelu(self, x: np.ndarray) -> np.ndarray:
+        self.recorder.record("gelu", x)
+        return self.gelu(x)
+
+    def apply_softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        self.recorder.record("softmax", x)
+        return self.softmax(x, axis=axis)
+
+    def apply_layernorm(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray | None = None,
+        beta: np.ndarray | None = None,
+        axis: int = -1,
+    ) -> np.ndarray:
+        self.recorder.record("layernorm", x)
+        return self.layernorm(x, gamma=gamma, beta=beta, axis=axis)
+
+
+def _validate_replace(replace: Iterable[str]) -> Tuple[str, ...]:
+    ops = tuple(replace)
+    unknown = [op for op in ops if op not in ALL_OPS]
+    if unknown:
+        raise ValueError(f"Unknown operator(s) {unknown}; valid operators: {ALL_OPS}")
+    return ops
+
+
+def exact_backend() -> NonlinearBackend:
+    """Exact FP32/FP64 reference backend (the paper's "Baseline")."""
+    return NonlinearBackend(
+        name="exact",
+        gelu=ExactGelu(),
+        softmax=ExactSoftmax(),
+        layernorm=ExactLayerNorm(),
+        metadata={"method": "exact"},
+    )
+
+
+def _apply_precision(
+    lut: LookupTable, precision: str, function_name: str
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Wrap a float LUT in the requested precision variant."""
+    if precision == "fp32":
+        return lut
+    if precision == "fp16":
+        return quantize_lut_fp16(lut)
+    if precision == "int32":
+        return quantize_lut_int32(lut, input_range=get_training_range(function_name))
+    raise ValueError(f"precision must be 'fp32', 'fp16' or 'int32', got {precision!r}")
+
+
+def backend_from_luts(
+    luts: Dict[str, Callable[[np.ndarray], np.ndarray]],
+    replace: Sequence[str] = ALL_OPS,
+    input_scaling: bool = True,
+    name: str = "nn-lut",
+) -> NonlinearBackend:
+    """Assemble a backend from per-primitive approximators.
+
+    ``luts`` maps primitive names (``"gelu"``, ``"exp"``, ``"reciprocal"``,
+    ``"rsqrt"``) to callables.  Operators not listed in ``replace`` fall back
+    to the exact implementation — this is how the per-operator rows of
+    Table 2(a) ("GELU only", "Softmax only", "LayerNorm only") are produced.
+    """
+    ops = _validate_replace(replace)
+    gelu_op: Callable[[np.ndarray], np.ndarray] = ExactGelu()
+    softmax_op: Callable[..., np.ndarray] = ExactSoftmax()
+    layernorm_op: Callable[..., np.ndarray] = ExactLayerNorm()
+
+    if "gelu" in ops:
+        gelu_op = LutGelu(luts["gelu"])
+    if "softmax" in ops:
+        softmax_op = LutSoftmax(luts["exp"], luts["reciprocal"])
+    if "layernorm" in ops:
+        layernorm_op = LutLayerNorm(
+            luts["rsqrt"], scaler=InputScaler() if input_scaling else None
+        )
+    return NonlinearBackend(
+        name=name,
+        gelu=gelu_op,
+        softmax=softmax_op,
+        layernorm=layernorm_op,
+        metadata={"method": name, "replaced": ops, "input_scaling": input_scaling},
+    )
+
+
+def nn_lut_backend(
+    registry: LutRegistry | None = None,
+    num_entries: int = 16,
+    precision: str = "fp32",
+    replace: Sequence[str] = ALL_OPS,
+    input_scaling: bool = True,
+    lut_overrides: Dict[str, LookupTable] | None = None,
+) -> NonlinearBackend:
+    """NN-LUT backend built from the (shared) fitted-primitive registry.
+
+    Parameters
+    ----------
+    registry:
+        Source of fitted tables; defaults to the process-wide registry.
+    num_entries:
+        LUT size (16 in the paper).
+    precision:
+        ``"fp32"``, ``"fp16"`` or ``"int32"`` table/datapath precision.
+    replace:
+        Which Transformer operators to approximate; the rest stay exact.
+    input_scaling:
+        Enable the Sec.-3.3.2 input scaling for LayerNorm's 1/sqrt.
+    lut_overrides:
+        Optional replacement tables per primitive (e.g. calibrated LUTs).
+    """
+    registry = registry or default_registry()
+    lut_overrides = lut_overrides or {}
+    primitives: Dict[str, Callable[[np.ndarray], np.ndarray]] = {}
+    for primitive in ("gelu", "exp", "reciprocal", "rsqrt"):
+        lut = lut_overrides.get(primitive, None)
+        if lut is None:
+            lut = registry.lut(primitive, num_entries=num_entries)
+        primitives[primitive] = _apply_precision(lut, precision, primitive)
+    suffix = "+cal" if lut_overrides else ""
+    return backend_from_luts(
+        primitives,
+        replace=replace,
+        input_scaling=input_scaling,
+        name=f"nn-lut-{precision}{suffix}",
+    )
+
+
+def linear_lut_backend(
+    num_entries: int = 16,
+    precision: str = "fp32",
+    replace: Sequence[str] = ALL_OPS,
+    input_scaling: bool = True,
+) -> NonlinearBackend:
+    """Linear-mode LUT baseline backend (fixed equally-spaced breakpoints)."""
+    primitives: Dict[str, Callable[[np.ndarray], np.ndarray]] = {}
+    for primitive in ("gelu", "exp", "reciprocal", "rsqrt"):
+        lut = linear_lut_for(primitive, num_entries=num_entries)
+        primitives[primitive] = _apply_precision(lut, precision, primitive)
+    return backend_from_luts(
+        primitives,
+        replace=replace,
+        input_scaling=input_scaling,
+        name=f"linear-lut-{precision}",
+    )
+
+
+def ibert_backend(replace: Sequence[str] = ALL_OPS) -> NonlinearBackend:
+    """I-BERT integer-approximation backend."""
+    ops = _validate_replace(replace)
+    return NonlinearBackend(
+        name="i-bert",
+        gelu=IBertGelu() if "gelu" in ops else ExactGelu(),
+        softmax=IBertSoftmax() if "softmax" in ops else ExactSoftmax(),
+        layernorm=IBertLayerNorm() if "layernorm" in ops else ExactLayerNorm(),
+        metadata={"method": "i-bert", "replaced": ops},
+    )

@@ -1,0 +1,136 @@
+"""Tests for the Linear-LUT / Exponential-LUT baselines and the I-BERT kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    build_lut_from_breakpoints,
+    exponential_breakpoints,
+    exponential_lut_for,
+    fit_linear_lut,
+    i_exp,
+    i_gelu,
+    i_layernorm,
+    i_softmax,
+    i_sqrt,
+    int_exp,
+    integer_sqrt,
+    linear_breakpoints,
+    linear_lut_for,
+)
+from repro.core import functions
+
+
+class TestBreakpointGrids:
+    def test_linear_breakpoints_equally_spaced(self):
+        bps = linear_breakpoints((-5, 5), 16)
+        assert bps.size == 15
+        np.testing.assert_allclose(np.diff(bps), np.diff(bps)[0])
+
+    def test_exponential_breakpoints_grow(self):
+        bps = exponential_breakpoints((0, 1024), 16)
+        widths = np.diff(np.concatenate(([0.0], bps, [1024.0])))
+        assert np.all(np.diff(widths) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_breakpoints((5, -5), 16)
+        with pytest.raises(ValueError):
+            exponential_breakpoints((0, 1), 1)
+
+
+class TestLinearLut:
+    def test_gelu_is_well_approximated(self):
+        lut = linear_lut_for("gelu", num_entries=16)
+        x = np.linspace(-5, 5, 500)
+        assert np.mean(np.abs(lut(x) - functions.gelu(x))) < 0.01
+
+    def test_rsqrt_is_poorly_approximated(self, fitted_rsqrt):
+        # The paper's key observation: fixed equally-spaced breakpoints cannot
+        # track 1/sqrt over three decades, while NN-LUT's learned ones can.
+        # Relative error is the operative quantity (the rsqrt output scales a
+        # whole LayerNorm row).
+        linear = linear_lut_for("rsqrt", num_entries=16)
+        grid = np.exp(np.linspace(np.log(0.1), np.log(1024), 500))
+        reference = functions.rsqrt(grid)
+        linear_error = np.mean(np.abs(linear(grid) - reference) / reference)
+        nn_error = np.mean(np.abs(fitted_rsqrt.lut(grid) - reference) / reference)
+        assert linear_error > 1.5 * nn_error
+
+    def test_entry_count_and_metadata(self):
+        lut = linear_lut_for("exp", num_entries=8)
+        assert lut.num_entries == 8
+        assert lut.metadata["mode"] == "linear"
+
+    def test_interpolation_method_is_continuous(self):
+        lut = fit_linear_lut(functions.gelu, (-5, 5), num_entries=16, method="interpolation")
+        bps = lut.breakpoints
+        left = lut(bps - 1e-9)
+        right = lut(bps + 1e-9)
+        np.testing.assert_allclose(left, right, atol=1e-6)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            build_lut_from_breakpoints(functions.gelu, np.array([0.0]), (-1, 1), method="spline")
+
+
+class TestExponentialLut:
+    def test_better_than_linear_on_rsqrt(self):
+        linear = linear_lut_for("rsqrt", num_entries=16)
+        exponential = exponential_lut_for("rsqrt", num_entries=16)
+        grid = np.exp(np.linspace(np.log(0.1), np.log(1024), 500))
+        lin_err = np.mean(np.abs(linear(grid) - functions.rsqrt(grid)))
+        exp_err = np.mean(np.abs(exponential(grid) - functions.rsqrt(grid)))
+        assert exp_err < lin_err
+
+    def test_metadata(self):
+        lut = exponential_lut_for("reciprocal", num_entries=16)
+        assert lut.metadata["mode"] == "exponential"
+
+
+class TestIBertKernels:
+    def test_i_gelu_close_to_gelu(self):
+        x = np.linspace(-5, 5, 500)
+        assert np.max(np.abs(i_gelu(x) - functions.gelu(x))) < 0.03
+
+    def test_i_exp_close_to_exp(self):
+        x = np.linspace(-20, 0, 500)
+        assert np.max(np.abs(i_exp(x) - np.exp(x))) < 0.01
+
+    def test_i_softmax_normalised(self, rng):
+        x = rng.normal(0, 3, size=(6, 40))
+        out = i_softmax(x)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-6)
+        assert np.mean(np.abs(out - functions.softmax(x))) < 5e-3
+
+    def test_i_sqrt_accuracy(self):
+        x = np.array([1e-2, 0.5, 2.0, 100.0, 5e4])
+        np.testing.assert_allclose(i_sqrt(x, iterations=8), np.sqrt(x), rtol=1e-3)
+
+    def test_i_layernorm_close_to_exact(self, rng):
+        x = rng.normal(0.5, 2.0, size=(8, 64))
+        assert np.mean(np.abs(i_layernorm(x) - functions.layer_norm(x))) < 5e-3
+
+    def test_integer_sqrt_exact_floor(self):
+        values = np.array([0, 1, 2, 3, 4, 15, 16, 17, 1_000_000, 999_999])
+        np.testing.assert_array_equal(integer_sqrt(values), np.floor(np.sqrt(values)).astype(int))
+
+    def test_integer_sqrt_rejects_negative(self):
+        with pytest.raises(ValueError):
+            integer_sqrt(np.array([-1]))
+
+    def test_int_exp_matches_float_simulation(self):
+        scale = 0.01
+        x = np.linspace(-15, 0, 200)
+        q = np.round(x / scale).astype(np.int64)
+        q_out, out_scale = int_exp(q, scale)
+        approx = q_out.astype(float) * out_scale
+        assert np.max(np.abs(approx - np.exp(x))) < 0.02
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    @settings(max_examples=60, deadline=None)
+    def test_integer_sqrt_property(self, n):
+        root = int(integer_sqrt(np.array([n]))[0])
+        assert root * root <= n < (root + 1) * (root + 1)

@@ -1,0 +1,54 @@
+"""Shared fixtures: fast-but-real fitted primitives reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import DEFAULT_TRAINING_CONFIG, LutRegistry
+from repro.core.training import TrainingConfig
+
+
+@pytest.fixture(scope="session")
+def fast_registry() -> LutRegistry:
+    """A shared registry with reduced-cost fits (still 16-entry, still accurate).
+
+    Fitting all four primitives takes a couple of seconds; doing it once per
+    session keeps the suite fast while letting integration tests exercise the
+    real pipeline end to end.
+    """
+    config = TrainingConfig(
+        hidden_size=15,
+        num_samples=12_000,
+        batch_size=2048,
+        epochs=40,
+        learning_rate=1e-3,
+        seed=0,
+        num_restarts=1,
+    )
+    return LutRegistry(training_config=config)
+
+
+@pytest.fixture(scope="session")
+def fitted_gelu(fast_registry):
+    return fast_registry.get("gelu", num_entries=16)
+
+
+@pytest.fixture(scope="session")
+def fitted_exp(fast_registry):
+    return fast_registry.get("exp", num_entries=16)
+
+
+@pytest.fixture(scope="session")
+def fitted_reciprocal(fast_registry):
+    return fast_registry.get("reciprocal", num_entries=16)
+
+
+@pytest.fixture(scope="session")
+def fitted_rsqrt(fast_registry):
+    return fast_registry.get("rsqrt", num_entries=16)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,109 @@
+"""Tests for the reference non-linear functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import functions
+
+
+class TestGelu:
+    def test_zero(self):
+        assert functions.gelu(0.0) == pytest.approx(0.0)
+
+    def test_large_positive_is_identity(self):
+        x = np.array([6.0, 10.0, 50.0])
+        np.testing.assert_allclose(functions.gelu(x), x, rtol=1e-6)
+
+    def test_large_negative_is_zero(self):
+        x = np.array([-6.0, -10.0, -50.0])
+        np.testing.assert_allclose(functions.gelu(x), 0.0, atol=1e-6)
+
+    def test_known_value(self):
+        # GELU(1) = 0.5 * (1 + erf(1/sqrt(2))) = 0.8413447...
+        assert functions.gelu(1.0) == pytest.approx(0.841344746, abs=1e-6)
+
+    def test_monotone_on_positive_axis(self):
+        x = np.linspace(0, 5, 100)
+        assert np.all(np.diff(functions.gelu(x)) >= 0)
+
+    @given(st.floats(min_value=-30, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_below(self, x):
+        assert functions.gelu(x) >= -0.17
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        x = rng.normal(size=(4, 7))
+        out = functions.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-12)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(
+            functions.softmax(x), functions.softmax(x + 100.0), rtol=1e-10
+        )
+
+    def test_handles_large_inputs(self):
+        x = np.array([1000.0, 999.0, 998.0])
+        out = functions.softmax(x)
+        assert np.all(np.isfinite(out))
+        assert out[0] > out[1] > out[2]
+
+    def test_uniform_for_equal_inputs(self):
+        out = functions.softmax(np.zeros(8))
+        np.testing.assert_allclose(out, 1.0 / 8.0)
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(functions.softmax(x, axis=0).sum(axis=0), 1.0)
+
+
+class TestLayerNorm:
+    def test_output_statistics(self, rng):
+        x = rng.normal(3.0, 5.0, size=(6, 64))
+        out = functions.layer_norm(x)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, rtol=1e-3)
+
+    def test_affine_parameters(self, rng):
+        x = rng.normal(size=(2, 16))
+        gamma = np.full(16, 2.0)
+        beta = np.full(16, -1.0)
+        plain = functions.layer_norm(x)
+        affine = functions.layer_norm(x, gamma=gamma, beta=beta)
+        np.testing.assert_allclose(affine, plain * 2.0 - 1.0, rtol=1e-10)
+
+    def test_constant_row_is_finite(self):
+        out = functions.layer_norm(np.full((1, 8), 3.0))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, 0.0, atol=1e-3)
+
+
+class TestScalarPrimitives:
+    def test_erf_matches_scipy_symmetry(self):
+        x = np.linspace(-3, 3, 50)
+        np.testing.assert_allclose(functions.erf(x), -functions.erf(-x), atol=1e-12)
+
+    def test_reciprocal(self):
+        np.testing.assert_allclose(functions.reciprocal(np.array([1.0, 2.0, 4.0])), [1.0, 0.5, 0.25])
+
+    def test_rsqrt(self):
+        np.testing.assert_allclose(functions.rsqrt(np.array([1.0, 4.0, 100.0])), [1.0, 0.5, 0.1])
+
+    def test_registry_lookup(self):
+        assert functions.get_target_function("gelu") is functions.gelu
+        assert functions.get_training_range("exp") == (-256.0, 0.0)
+
+    def test_registry_unknown_raises(self):
+        with pytest.raises(KeyError, match="Unknown target function"):
+            functions.get_target_function("tanhh")
+        with pytest.raises(KeyError, match="Unknown target function"):
+            functions.get_training_range("nope")
+
+    def test_table1_ranges_present(self):
+        for name in ("gelu", "exp", "reciprocal", "rsqrt"):
+            low, high = functions.get_training_range(name)
+            assert high > low

@@ -1,0 +1,92 @@
+"""Integration tests: the experiment drivers run end to end at smoke scale
+and reproduce the qualitative shape of the paper's tables."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    run_figure2,
+    run_table2a,
+    run_table2b,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+TINY = ExperimentScale(
+    num_train=80,
+    num_test=64,
+    sequence_length=32,
+    glue_tasks=("SST-2", "MRPC"),
+)
+
+
+class TestFigure2:
+    def test_nn_lut_beats_linear_lut_on_wide_range_ops(self, fast_registry):
+        result = run_figure2(registry=fast_registry, num_points=256)
+        errors = result.errors
+        assert errors["NN-LUT"]["softmax"] < errors["Linear-LUT"]["softmax"]
+        assert errors["NN-LUT"]["layernorm"] < errors["Linear-LUT"]["layernorm"]
+        # Both methods approximate GELU well (paper's observation).
+        assert errors["Linear-LUT"]["gelu"] < 0.02
+        assert errors["NN-LUT"]["gelu"] < 0.02
+        assert "Figure 2" in result.report()
+
+
+@pytest.mark.slow
+class TestTable2:
+    def test_table2a_shape(self, fast_registry):
+        result = run_table2a(scale=TINY, registry=fast_registry)
+        scores = result.scores
+        assert set(scores["Baseline"]) == set(TINY.glue_tasks)
+        baseline_avg = np.mean(list(scores["Baseline"].values()))
+        nn_avg = np.mean(list(scores["NN-LUT Altogether"].values()))
+        linear_ln_avg = np.mean(list(scores["Linear-LUT LayerNorm only"].values()))
+        # NN-LUT stays close to the baseline; Linear-LUT's LayerNorm does not.
+        assert abs(baseline_avg - nn_avg) < 12.0
+        assert baseline_avg - linear_ln_avg > -5.0  # never dramatically better
+        assert "Table 2(a)" in result.report()
+
+    def test_table2b_contains_all_rows(self, fast_registry):
+        result = run_table2b(scale=TINY, registry=fast_registry)
+        expected = {
+            "Baseline", "I-BERT", "NN-LUT FP32", "NN-LUT FP32+C",
+            "NN-LUT INT32", "NN-LUT INT32+C",
+        }
+        assert expected == set(result.scores)
+        averages = result.averages()
+        assert all(np.isfinite(v) for v in averages.values())
+        # I-BERT tracks the baseline closely on the INT8 model.
+        assert abs(averages["Baseline"] - averages["I-BERT"]) < 10.0
+        assert "Averages" in result.report()
+
+
+@pytest.mark.slow
+class TestTable3:
+    def test_nn_lut_close_to_baseline(self, fast_registry):
+        result = run_table3(scale=TINY, registry=fast_registry)
+        baseline = result.results["Baseline"].f1
+        nn = result.results["NN-LUT FP32"].f1
+        assert baseline > 60.0
+        assert abs(baseline - nn) < 15.0
+        assert "Table 3" in result.report()
+
+
+class TestTable4:
+    def test_ratios_and_report(self):
+        result = run_table4()
+        ratios = result.ratios()
+        assert ratios["area_ratio"] > 2.0
+        assert ratios["power_ratio"] > 20.0
+        assert ratios["delay_ratio"] > 3.0
+        assert "Table 4" in result.report()
+
+
+class TestTable5:
+    def test_speedups_and_report(self):
+        result = run_table5(sequence_lengths=(16, 256, 1024))
+        speedups = result.speedups()
+        assert speedups[1024] > speedups[16] > 1.0
+        assert speedups[1024] == pytest.approx(1.26, abs=0.05)
+        assert "Table 5" in result.report()
