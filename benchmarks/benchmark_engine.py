@@ -1,0 +1,104 @@
+"""End-to-end inference-engine benchmark and regression gate.
+
+Unlike the table/figure benchmarks in this directory, this module is wired
+into the tier-1 test run (see ``conftest.py``): every plain ``pytest``
+invocation executes it in *smoke* mode — tiny shapes, single repeats, no
+report file — so the benchmark harness itself can never silently rot.
+
+Set ``BENCH_ENGINE_FULL=1`` (or run ``scripts/bench.sh``) to run the full
+BERT-base-shaped benchmark and regenerate ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import regression  # noqa: E402  (benchmarks/ is not a package)
+
+FULL_MODE = os.environ.get("BENCH_ENGINE_FULL", "") == "1"
+MODE = "full" if FULL_MODE else "smoke"
+
+
+@pytest.fixture(scope="module")
+def engine_registry():
+    """Fitted primitives shared by every engine benchmark in this module."""
+    return regression.LutRegistry(training_config=regression.BENCH_TRAINING_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def engine_report(engine_registry):
+    report = regression.run_engine_benchmark(mode=MODE, registry=engine_registry)
+    if FULL_MODE:
+        path = regression.write_report(report)
+        print(f"\nwrote {path}")
+    return report
+
+
+def test_report_schema(engine_report):
+    """The BENCH_engine.json payload carries every documented section."""
+    assert engine_report["schema_version"] == regression.SCHEMA_VERSION
+    assert engine_report["mode"] == MODE
+    assert set(engine_report["ops"]) == {
+        "lut_gelu_eval",
+        "lut_softmax",
+        "lut_layernorm",
+        "linear_fp32",
+        "linear_int8",
+    }
+    for row in engine_report["ops"].values():
+        assert row["seed_s"] > 0 and row["fast_s"] > 0 and row["speedup"] > 0
+    for row in engine_report["end_to_end"].values():
+        assert row["tokens_per_s_fast"] > 0 and row["tokens_per_s_seed"] > 0
+
+
+def test_cached_engine_is_bit_compatible(engine_report):
+    """The cached float64 engine reproduces the seed path bit for bit."""
+    for name, row in engine_report["end_to_end"].items():
+        assert row["cached_float64_bitwise_equal"], name
+
+
+def test_fused_lut_fp32_within_tolerance(engine_report):
+    """Acceptance gate: fused fp32 kernels match the seed LUT path to 1e-6."""
+    for name, diff in engine_report["equivalence"]["fused_lut_fp32_max_abs_diff"].items():
+        assert diff < 1e-6, f"{name}: fused fp32 deviates by {diff}"
+
+
+@pytest.mark.skipif(not FULL_MODE, reason="speed gates only meaningful at full shapes")
+def test_full_mode_speedups(engine_report):
+    """Full-shape run: the engine must beat the seed path end to end."""
+    end_to_end = engine_report["end_to_end"]
+    assert end_to_end["encoder_forward_int8"]["speedup"] >= 3.0
+    assert end_to_end["encoder_forward_fp32"]["speedup"] >= 1.25
+    for name, row in engine_report["ops"].items():
+        assert row["speedup"] >= 1.0, f"op {name} regressed: {row}"
+
+
+@pytest.mark.benchmark(group="engine")
+def test_fused_lut_kernel_throughput(benchmark, engine_registry):
+    """Fused float32 GELU-table kernel over a large tensor."""
+    lut = engine_registry.lut("gelu", num_entries=16)
+    size = 1_000_000 if FULL_MODE else 10_000
+    x = np.random.default_rng(0).uniform(-5, 5, size=size).astype(np.float32)
+    out = np.empty_like(x)
+    result = benchmark(lut.evaluate, x, out=out)
+    assert result.shape == x.shape
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_forward_throughput(benchmark, engine_registry):
+    """Fast-path encoder forward at the mode's benchmark shape."""
+    shapes = regression.FULL_SHAPES if FULL_MODE else regression.SMOKE_SHAPES
+    model = regression.build_engine(shapes, "fp32", compute_dtype="float32")
+    backend = regression.nn_lut_backend(registry=engine_registry)
+    tokens = np.random.default_rng(1).integers(
+        0, shapes.vocab_size, size=(shapes.batch_size, shapes.sequence_length)
+    )
+    hidden = benchmark(model.forward, tokens, backend=backend)
+    assert hidden.shape == (shapes.batch_size, shapes.sequence_length, shapes.hidden_size)

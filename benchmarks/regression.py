@@ -1,0 +1,463 @@
+"""Benchmark-regression harness for the vectorized inference engine.
+
+Measures the engine's hot paths against a faithful replica of the *seed*
+implementation — float64 compute, per-call weight (re)quantisation and the
+un-fused double-cast LUT evaluation — and writes ``BENCH_engine.json`` so
+subsequent PRs have a perf trajectory to regress against.
+
+What "seed path" means precisely:
+
+* every ``Linear`` re-derives its weight operand on each call
+  (``cache_weights=False``), exactly as the seed's ``matmul_with_precision``
+  did, with the INT8 accumulation in int64;
+* the whole engine runs in float64 (``compute_dtype="float64"``);
+* LUT primitives are evaluated through :class:`SeedLutEvaluator`, which
+  reproduces the seed's ``LookupTable.__call__``: two float64 casts of the
+  input, a ``searchsorted``, two fancy-index gathers and two temporaries.
+
+The fast path is the current engine: float32 compute, weight operands
+prepared once (I-BERT's static-weight discipline), fused
+``LookupTable.evaluate`` kernels with buffer reuse.
+
+Run directly to regenerate the report (or use ``scripts/bench.sh``)::
+
+    PYTHONPATH=src python benchmarks/regression.py --mode full
+
+Smoke mode (tiny shapes, used by the tier-1 test run via
+``benchmarks/benchmark_engine.py``) exercises every code path in well under a
+second without touching ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterable
+
+import numpy as np
+
+from repro.core.lut import LookupTable
+from repro.core.registry import LutRegistry
+from repro.core.training import TrainingConfig
+from repro.transformer import (
+    EncoderModel,
+    Linear,
+    TransformerConfig,
+    backend_from_luts,
+    nn_lut_backend,
+)
+
+SCHEMA_VERSION = 1
+
+#: Default report location: the repository root (next to ROADMAP.md).
+DEFAULT_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Cheap-but-real fitting configuration (table *quality* is irrelevant for
+#: timing; 16-entry structure is what matters).
+BENCH_TRAINING_CONFIG = TrainingConfig(
+    hidden_size=15,
+    num_samples=12_000,
+    batch_size=2048,
+    epochs=40,
+    learning_rate=1e-3,
+    seed=0,
+    num_restarts=1,
+)
+
+
+@dataclass(frozen=True)
+class EngineShapes:
+    """Shapes of the end-to-end encoder-forward benchmark."""
+
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    intermediate_size: int
+    sequence_length: int
+    batch_size: int
+    vocab_size: int
+    #: element count for the per-op LUT kernel timings
+    lut_elements: int
+    #: timing repeats (min is reported)
+    repeats: int
+
+    @property
+    def tokens(self) -> int:
+        return self.batch_size * self.sequence_length
+
+
+#: BERT-base layer geometry, batched sequences.
+FULL_SHAPES = EngineShapes(
+    hidden_size=768,
+    num_layers=12,
+    num_heads=12,
+    intermediate_size=3072,
+    sequence_length=128,
+    batch_size=4,
+    vocab_size=4000,
+    lut_elements=2_000_000,
+    repeats=3,
+)
+
+#: INT8 runs the seed accumulation in int64 (no BLAS), so its end-to-end row
+#: uses a reduced depth to keep the regeneration under a minute.
+FULL_INT8_SHAPES = replace(FULL_SHAPES, num_layers=2, sequence_length=64, batch_size=2)
+
+SMOKE_SHAPES = EngineShapes(
+    hidden_size=64,
+    num_layers=2,
+    num_heads=2,
+    intermediate_size=128,
+    sequence_length=16,
+    batch_size=2,
+    vocab_size=200,
+    lut_elements=10_000,
+    repeats=1,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Seed-path replicas (verbatim ports of the seed implementations)
+# --------------------------------------------------------------------------- #
+class SeedLutEvaluator:
+    """The seed's ``LookupTable.__call__``: double cast, un-fused gathers.
+
+    Deliberately does *not* expose ``evaluate``, so nothing downstream can
+    accidentally route it through the fused kernel.
+    """
+
+    def __init__(self, lut: LookupTable) -> None:
+        self._lut = lut
+        self.name = lut.name
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        lut = self._lut
+        x = np.asarray(x, dtype=np.float64)
+        idx = np.searchsorted(lut.breakpoints, np.asarray(x, dtype=np.float64), side="right")
+        return lut.slopes[idx] * x + lut.intercepts[idx]
+
+
+class SeedLutGelu:
+    """The seed's ``LutGelu``: float64 casts and fresh ``np.where`` arrays."""
+
+    def __init__(self, gelu_approx, clip_range=(-5.0, 5.0)) -> None:
+        self.gelu_approx = gelu_approx
+        self.clip_range = clip_range
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        low, high = self.clip_range
+        inside = np.clip(x, low, high)
+        approx = np.asarray(self.gelu_approx(inside))
+        result = np.where(x > high, x, approx)
+        result = np.where(x < low, 0.0, result)
+        return result
+
+
+class SeedLutSoftmax:
+    """The seed's ``LutSoftmax``: float64 compute, a temporary per step."""
+
+    def __init__(self, exp_approx, reciprocal_approx, exp_clip=-256.0, axis=-1) -> None:
+        self.exp_approx = exp_approx
+        self.reciprocal_approx = reciprocal_approx
+        self.exp_clip = exp_clip
+        self.axis = axis
+
+    def __call__(self, x: np.ndarray, axis: int | None = None) -> np.ndarray:
+        axis = self.axis if axis is None else axis
+        x = np.asarray(x, dtype=np.float64)
+        shifted = x - np.max(x, axis=axis, keepdims=True)
+        shifted = np.clip(shifted, self.exp_clip, 0.0)
+        exps = np.asarray(self.exp_approx(shifted), dtype=np.float64)
+        exps = np.maximum(exps, 0.0)
+        denom = np.sum(exps, axis=axis, keepdims=True)
+        denom = np.maximum(denom, 1e-12)
+        inv = np.asarray(self.reciprocal_approx(denom), dtype=np.float64)
+        inv = np.maximum(inv, 0.0)
+        return exps * inv
+
+
+class SeedLutLayerNorm:
+    """The seed's ``LutLayerNorm`` incl. its ``InputScaler.apply`` replica."""
+
+    def __init__(self, rsqrt_approx, scale_bits=10, threshold=1.0, eps=1e-5,
+                 axis=-1, clip_max=1024.0) -> None:
+        self.rsqrt_approx = rsqrt_approx
+        self.scale = float(2**scale_bits)
+        self.output_scale = float(np.sqrt(self.scale))
+        self.threshold = threshold
+        self.eps = eps
+        self.axis = axis
+        self.clip_max = clip_max
+
+    def _rsqrt(self, variance: np.ndarray) -> np.ndarray:
+        variance = np.asarray(variance, dtype=np.float64)
+        if self.clip_max is not None:
+            variance = np.minimum(variance, self.clip_max)
+        small = variance < self.threshold
+        scaled_input = np.where(small, variance * self.scale, variance)
+        raw = np.asarray(self.rsqrt_approx(scaled_input), dtype=np.float64)
+        return np.where(small, raw * self.output_scale, raw)
+
+    def __call__(self, x, gamma=None, beta=None, axis=None) -> np.ndarray:
+        axis = self.axis if axis is None else axis
+        x = np.asarray(x, dtype=np.float64)
+        mean = np.mean(x, axis=axis, keepdims=True)
+        var = np.mean((x - mean) ** 2, axis=axis, keepdims=True)
+        inv_std = self._rsqrt(var + self.eps)
+        normalised = (x - mean) * inv_std
+        if gamma is not None:
+            normalised = normalised * gamma
+        if beta is not None:
+            normalised = normalised + beta
+        return normalised
+
+
+def seed_nn_lut_backend(registry: LutRegistry, num_entries: int = 16):
+    """NN-LUT backend evaluating entirely through the seed-path replicas."""
+    luts = {
+        name: SeedLutEvaluator(registry.lut(name, num_entries=num_entries))
+        for name in ("gelu", "exp", "reciprocal", "rsqrt")
+    }
+    backend = backend_from_luts(luts, name="nn-lut-fp32-seed")
+    backend.gelu = SeedLutGelu(luts["gelu"])
+    backend.softmax = SeedLutSoftmax(luts["exp"], luts["reciprocal"])
+    backend.layernorm = SeedLutLayerNorm(luts["rsqrt"])
+    return backend
+
+
+def _iter_linears(model: EncoderModel) -> Iterable[Linear]:
+    for layer in model.encoder.layers:
+        attention = layer.attention
+        yield from (attention.query, attention.key, attention.value, attention.output)
+        yield from (layer.ffn_in, layer.ffn_out)
+    yield model.pooler
+
+
+def build_engine(
+    shapes: EngineShapes,
+    matmul_precision: str = "fp32",
+    compute_dtype: str = "float32",
+    cache_weights: bool = True,
+    seed: int = 0,
+) -> EncoderModel:
+    """Encoder model in the requested engine configuration.
+
+    Models built with the same ``seed`` share identical weights regardless of
+    engine configuration, so seed/fast timings compare the same network.
+    """
+    config = TransformerConfig(
+        hidden_size=shapes.hidden_size,
+        num_layers=shapes.num_layers,
+        num_heads=shapes.num_heads,
+        intermediate_size=shapes.intermediate_size,
+        max_sequence_length=shapes.sequence_length,
+        vocab_size=shapes.vocab_size,
+        matmul_precision=matmul_precision,
+        compute_dtype=compute_dtype,
+        name=f"bench-{matmul_precision}-{compute_dtype}",
+    )
+    model = EncoderModel.initialize(config, seed=seed)
+    if not cache_weights:
+        for linear in _iter_linears(model):
+            linear.cache_weights = False
+    return model
+
+
+# --------------------------------------------------------------------------- #
+# Timing
+# --------------------------------------------------------------------------- #
+def time_call(fn: Callable[[], object], repeats: int, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` after ``warmup`` calls."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _op_row(seed_s: float, fast_s: float) -> Dict[str, float]:
+    return {
+        "seed_s": seed_s,
+        "fast_s": fast_s,
+        "speedup": seed_s / fast_s if fast_s > 0 else float("inf"),
+    }
+
+
+def benchmark_ops(registry: LutRegistry, shapes: EngineShapes) -> Dict[str, Dict[str, float]]:
+    """Per-op timings: LUT kernels, softmax/layernorm composites, linears."""
+    rng = np.random.default_rng(0)
+    repeats = shapes.repeats
+    ops: Dict[str, Dict[str, float]] = {}
+
+    gelu_lut = registry.lut("gelu", num_entries=16)
+    seed_gelu = SeedLutEvaluator(gelu_lut)
+    x64 = rng.uniform(-5.0, 5.0, size=shapes.lut_elements)
+    x32 = x64.astype(np.float32)
+    out32 = np.empty_like(x32)
+    ops["lut_gelu_eval"] = _op_row(
+        time_call(lambda: seed_gelu(x64), repeats),
+        time_call(lambda: gelu_lut.evaluate(x32, out=out32), repeats),
+    )
+
+    seed_backend = seed_nn_lut_backend(registry)
+    fast_backend = nn_lut_backend(registry=registry)
+    scores = rng.normal(
+        size=(shapes.batch_size, shapes.num_heads, shapes.sequence_length, shapes.sequence_length)
+    )
+    scores32 = scores.astype(np.float32)
+    ops["lut_softmax"] = _op_row(
+        time_call(lambda: seed_backend.apply_softmax(scores), repeats),
+        time_call(lambda: fast_backend.apply_softmax(scores32), repeats),
+    )
+
+    hidden = rng.normal(size=(shapes.batch_size, shapes.sequence_length, shapes.hidden_size))
+    hidden32 = hidden.astype(np.float32)
+    gamma = rng.normal(1.0, 0.05, size=shapes.hidden_size)
+    beta = rng.normal(0.0, 0.05, size=shapes.hidden_size)
+    gamma32, beta32 = gamma.astype(np.float32), beta.astype(np.float32)
+    ops["lut_layernorm"] = _op_row(
+        time_call(lambda: seed_backend.apply_layernorm(hidden, gamma=gamma, beta=beta), repeats),
+        time_call(
+            lambda: fast_backend.apply_layernorm(hidden32, gamma=gamma32, beta=beta32), repeats
+        ),
+    )
+
+    tokens2d = rng.normal(size=(shapes.tokens, shapes.hidden_size))
+    tokens2d32 = tokens2d.astype(np.float32)
+    for precision in ("fp32", "int8"):
+        seed_linear = Linear.initialize(
+            shapes.hidden_size,
+            shapes.intermediate_size,
+            np.random.default_rng(1),
+            precision=precision,
+            compute_dtype="float64",
+            cache_weights=False,
+        )
+        fast_linear = Linear.initialize(
+            shapes.hidden_size,
+            shapes.intermediate_size,
+            np.random.default_rng(1),
+            precision=precision,
+            compute_dtype="float32",
+        )
+        ops[f"linear_{precision}"] = _op_row(
+            time_call(lambda: seed_linear(tokens2d), repeats),
+            time_call(lambda: fast_linear(tokens2d32), repeats),
+        )
+    return ops
+
+
+def benchmark_end_to_end(
+    registry: LutRegistry,
+    shapes: EngineShapes,
+    matmul_precision: str = "fp32",
+    check_equivalence: bool = True,
+) -> Dict[str, object]:
+    """End-to-end encoder forward: seed path vs fast path, same weights."""
+    rng = np.random.default_rng(7)
+    tokens = rng.integers(0, shapes.vocab_size, size=(shapes.batch_size, shapes.sequence_length))
+
+    seed_model = build_engine(
+        shapes, matmul_precision, compute_dtype="float64", cache_weights=False
+    )
+    fast_model = build_engine(shapes, matmul_precision, compute_dtype="float32")
+    seed_backend = seed_nn_lut_backend(registry)
+    fast_backend = nn_lut_backend(registry=registry)
+
+    seed_s = time_call(lambda: seed_model.forward(tokens, backend=seed_backend), shapes.repeats)
+    fast_s = time_call(lambda: fast_model.forward(tokens, backend=fast_backend), shapes.repeats)
+
+    row: Dict[str, object] = {
+        "shape": asdict(shapes),
+        **_op_row(seed_s, fast_s),
+        "tokens_per_s_seed": shapes.tokens / seed_s,
+        "tokens_per_s_fast": shapes.tokens / fast_s,
+    }
+    if check_equivalence:
+        # The cached float64 engine with the fused kernels must reproduce the
+        # full seed path (uncached weights AND seed-replica LUT composites)
+        # bit for bit; the float32 engine is reported as a max-abs deviation.
+        compat_model = build_engine(shapes, matmul_precision, compute_dtype="float64")
+        reference = seed_model.forward(tokens, backend=seed_backend)
+        compat = compat_model.forward(tokens, backend=fast_backend)
+        fast = fast_model.forward(tokens, backend=fast_backend)
+        row["cached_float64_bitwise_equal"] = bool(np.array_equal(reference, compat))
+        row["float32_max_abs_diff"] = float(np.max(np.abs(fast - reference)))
+    return row
+
+
+def fused_lut_equivalence(registry: LutRegistry, num_points: int = 200_001) -> Dict[str, float]:
+    """Max |fused fp32 evaluate - seed fp64 call| per primitive, on-range."""
+    out: Dict[str, float] = {}
+    for name in ("gelu", "exp", "reciprocal", "rsqrt"):
+        lut = registry.lut(name, num_entries=16)
+        low, high = lut.metadata.get("input_range", (-5.0, 5.0))
+        grid = np.linspace(float(low), float(high), num_points)
+        seed_values = SeedLutEvaluator(lut)(grid)
+        fused32 = lut.evaluate(grid.astype(np.float32))
+        out[name] = float(np.max(np.abs(fused32 - seed_values)))
+    return out
+
+
+def run_engine_benchmark(mode: str = "smoke", registry: LutRegistry | None = None) -> Dict[str, object]:
+    """Produce the full BENCH_engine.json payload (without writing it)."""
+    if mode not in ("smoke", "full"):
+        raise ValueError(f"mode must be 'smoke' or 'full', got {mode!r}")
+    registry = registry or LutRegistry(training_config=BENCH_TRAINING_CONFIG)
+    shapes = FULL_SHAPES if mode == "full" else SMOKE_SHAPES
+    int8_shapes = FULL_INT8_SHAPES if mode == "full" else SMOKE_SHAPES
+    report: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "mode": mode,
+        "ops": benchmark_ops(registry, shapes),
+        "end_to_end": {
+            "encoder_forward_fp32": benchmark_end_to_end(registry, shapes, "fp32"),
+            "encoder_forward_int8": benchmark_end_to_end(registry, int8_shapes, "int8"),
+        },
+        "equivalence": {"fused_lut_fp32_max_abs_diff": fused_lut_equivalence(registry)},
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    return report
+
+
+def write_report(report: Dict[str, object], path: Path = DEFAULT_REPORT_PATH) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=("smoke", "full"), default="full")
+    parser.add_argument("--output", type=Path, default=DEFAULT_REPORT_PATH)
+    args = parser.parse_args(argv)
+    report = run_engine_benchmark(mode=args.mode)
+    path = write_report(report, args.output)
+    fp32 = report["end_to_end"]["encoder_forward_fp32"]
+    int8 = report["end_to_end"]["encoder_forward_int8"]
+    print(f"wrote {path}")
+    print(
+        f"encoder forward fp32: {fp32['speedup']:.2f}x "
+        f"({fp32['tokens_per_s_seed']:.0f} -> {fp32['tokens_per_s_fast']:.0f} tokens/s)"
+    )
+    print(
+        f"encoder forward int8: {int8['speedup']:.2f}x "
+        f"({int8['tokens_per_s_seed']:.0f} -> {int8['tokens_per_s_fast']:.0f} tokens/s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

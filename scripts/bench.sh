@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_engine.json: the full BERT-base-shaped inference-engine
+# benchmark (seed path vs vectorized fast path), plus the speed gates.
+#
+#   ./scripts/bench.sh            # regenerate BENCH_engine.json + run gates
+#   ./scripts/bench.sh --cli      # CLI-only regeneration (no pytest)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [[ "${1:-}" == "--cli" ]]; then
+    exec python benchmarks/regression.py --mode full
+fi
+
+BENCH_ENGINE_FULL=1 exec python -m pytest benchmarks/ -q -s --benchmark-disable

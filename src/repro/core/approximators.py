@@ -14,6 +14,12 @@ Each composite takes *any* scalar approximator with a ``__call__`` interface —
 a float LookupTable, an FP16/INT32 quantised table, a Linear-LUT baseline, an
 I-BERT integer kernel, or the exact reference — so the same classes drive the
 software-accuracy experiments for every method in the paper.
+
+Approximators additionally exposing the fused ``evaluate(x, out=...)`` kernel
+(see :mod:`repro.core.lut`) are driven through it: the composites preserve the
+input's floating dtype (float32 stays float32 end to end) and chain their
+intermediate buffers through :func:`repro.core.lut.evaluate_many` instead of
+allocating fresh temporaries at every step.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from typing import Callable
 import numpy as np
 
 from . import functions
+from .lut import _NATIVE_DTYPES, evaluate_many
 from .scaling import InputScaler
 
 __all__ = [
@@ -39,6 +46,14 @@ __all__ = [
 
 #: Anything mapping an ndarray of scalars to an ndarray of the same shape.
 ScalarApproximator = Callable[[np.ndarray], np.ndarray]
+
+
+def _as_float(x: np.ndarray) -> np.ndarray:
+    """Single dtype check shared by the composites: floats pass through."""
+    x = np.asarray(x)
+    if x.dtype not in _NATIVE_DTYPES:
+        x = x.astype(np.float64)
+    return x
 
 
 @dataclass
@@ -69,16 +84,17 @@ class LutGelu:
     clip_range: tuple[float, float] | None = (-5.0, 5.0)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = _as_float(x)
         if self.clip_range is None:
-            return np.asarray(self.gelu_approx(x))
+            (result,) = evaluate_many([(self.gelu_approx, x, None)])
+            return result
         low, high = self.clip_range
         inside = np.clip(x, low, high)
-        approx = np.asarray(self.gelu_approx(inside))
+        (approx,) = evaluate_many([(self.gelu_approx, inside, inside)])
         # Saturated tails: GELU(x) ~ x for large x and ~0 for very negative x.
-        result = np.where(x > high, x, approx)
-        result = np.where(x < low, 0.0, result)
-        return result
+        np.copyto(approx, x, where=x > high, casting="same_kind")
+        approx[x < low] = 0.0
+        return approx
 
 
 @dataclass
@@ -116,20 +132,30 @@ class LutSoftmax:
     exp_clip: float = -256.0
     axis: int = -1
 
-    def __call__(self, x: np.ndarray, axis: int | None = None) -> np.ndarray:
-        axis = self.axis if axis is None else axis
-        x = np.asarray(x, dtype=np.float64)
-        shifted = x - np.max(x, axis=axis, keepdims=True)
-        shifted = np.clip(shifted, self.exp_clip, 0.0)
-        exps = np.asarray(self.exp_approx(shifted), dtype=np.float64)
+    def _denominator(self, exps: np.ndarray, axis: int) -> np.ndarray:
         # The exp table can produce tiny negative values near its right edge;
         # a probability mass must stay non-negative.
-        exps = np.maximum(exps, 0.0)
+        np.maximum(exps, 0.0, out=exps)
         denom = np.sum(exps, axis=axis, keepdims=True)
-        denom = np.maximum(denom, 1e-12)
-        inv = np.asarray(self.reciprocal_approx(denom), dtype=np.float64)
-        inv = np.maximum(inv, 0.0)
-        return exps * inv
+        np.maximum(denom, 1e-12, out=denom)
+        return denom
+
+    def __call__(self, x: np.ndarray, axis: int | None = None) -> np.ndarray:
+        axis = self.axis if axis is None else axis
+        x = _as_float(x)
+        shifted = x - np.max(x, axis=axis, keepdims=True)
+        np.clip(shifted, self.exp_clip, 0.0, out=shifted)
+        # exp -> row sum -> reciprocal as one fused chain: the exp look-up
+        # lands back in the ``shifted`` buffer and the reciprocal look-up in
+        # the row-sum buffer.
+        exps, inv = evaluate_many(
+            [
+                (self.exp_approx, shifted, shifted),
+                (self.reciprocal_approx, lambda done: self._denominator(done[0], axis), None),
+            ]
+        )
+        np.maximum(inv, 0.0, out=inv)
+        return np.multiply(exps, inv, out=exps)
 
 
 @dataclass
@@ -161,11 +187,13 @@ class LutLayerNorm:
     clip_max: float | None = 1024.0
 
     def _rsqrt(self, variance: np.ndarray) -> np.ndarray:
-        variance = np.asarray(variance, dtype=np.float64)
+        """Inverse square root of a variance buffer the caller owns."""
+        variance = _as_float(variance)
         if self.clip_max is not None:
-            variance = np.minimum(variance, self.clip_max)
+            np.minimum(variance, self.clip_max, out=variance)
         if self.scaler is None:
-            return np.asarray(self.rsqrt_approx(variance), dtype=np.float64)
+            (inv,) = evaluate_many([(self.rsqrt_approx, variance, variance)])
+            return inv
         return self.scaler.apply(variance, self.rsqrt_approx)
 
     def __call__(
@@ -176,15 +204,17 @@ class LutLayerNorm:
         axis: int | None = None,
     ) -> np.ndarray:
         axis = self.axis if axis is None else axis
-        x = np.asarray(x, dtype=np.float64)
+        x = _as_float(x)
         mean = np.mean(x, axis=axis, keepdims=True)
-        var = np.mean((x - mean) ** 2, axis=axis, keepdims=True)
-        inv_std = self._rsqrt(var + self.eps)
-        normalised = (x - mean) * inv_std
+        centered = x - mean
+        var = np.mean(np.square(centered), axis=axis, keepdims=True)
+        var += self.eps
+        inv_std = self._rsqrt(var)
+        normalised = np.multiply(centered, inv_std, out=centered)
         if gamma is not None:
-            normalised = normalised * gamma
+            normalised *= gamma
         if beta is not None:
-            normalised = normalised + beta
+            normalised += beta
         return normalised
 
 

@@ -9,16 +9,47 @@ breakpoints ``d_i``.  Evaluation is a piecewise-linear function:
 
 which in hardware costs one comparator-driven table read, one multiply and
 one add per element (two pipeline cycles in the paper's unit, Table 4).
+
+Two evaluation entry points are exposed:
+
+* ``__call__`` — the reference semantics: the input is converted to float64
+  once and a float64 result is returned (what the accuracy experiments use).
+* ``evaluate(x, out=None)`` — the fused inference kernel: a single dtype
+  check, one ``searchsorted``, and the multiply-add written into a
+  preallocated output buffer.  float32 inputs stay float32 end to end (the
+  table parameters are cast per dtype once and cached), which is what the
+  vectorized inference engine runs on.
+
+:class:`UniformLookupTable` specialises the segment search for equally-spaced
+breakpoints (the Linear-mode baseline): the index is computed in O(1) as
+``floor((x - lo) / step) + 1`` instead of a binary search, with an exact
+fix-up so it matches ``searchsorted(..., side="right")`` bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["LookupTable"]
+__all__ = ["LookupTable", "UniformLookupTable", "evaluate_many"]
+
+#: dtypes the fused kernel evaluates natively (anything else is promoted to
+#: float64, matching the reference semantics).
+_NATIVE_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def _validate_out(x: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+    """Shared ``out=`` contract of the fused kernels: match ``x`` or be None."""
+    if out is None:
+        return np.empty_like(x)
+    if out.shape != x.shape or out.dtype != x.dtype:
+        raise ValueError(
+            f"out must match the input's shape and dtype "
+            f"({x.shape}, {x.dtype}); got ({out.shape}, {out.dtype})"
+        )
+    return out
 
 
 @dataclass
@@ -64,6 +95,24 @@ class LookupTable:
             )
         if self.breakpoints.size > 1 and np.any(np.diff(self.breakpoints) < 0):
             raise ValueError("breakpoints must be sorted in ascending order")
+        # Per-dtype parameter casts for the fused kernel, built lazily.  Keyed
+        # by dtype; each entry remembers the source arrays it was cast from so
+        # rebinding ``slopes``/``intercepts`` (as calibration flows do)
+        # invalidates it automatically.  In-place mutation of the parameter
+        # arrays is NOT detected — call :meth:`invalidate` afterwards.
+        self._param_cache: Dict[np.dtype, Tuple] = {}
+        # Lazily-built bucket table for the O(1) segment search (see _index);
+        # False means "not buildable for this table, use searchsorted".
+        self._buckets: Tuple | bool | None = None
+
+    def invalidate(self) -> None:
+        """Drop the derived evaluation caches (per-dtype params, buckets).
+
+        Needed only after mutating ``breakpoints``/``slopes``/``intercepts``
+        *in place*; rebinding the attributes invalidates automatically.
+        """
+        self._param_cache = {}
+        self._buckets = None
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -73,16 +122,129 @@ class LookupTable:
         """Number of table entries ``N`` (segments)."""
         return int(self.slopes.size)
 
+    def _params(self, dtype: np.dtype) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Table parameters cast to ``dtype``, cached across calls."""
+        if dtype == np.float64:
+            return self.breakpoints, self.slopes, self.intercepts
+        entry = self._param_cache.get(dtype)
+        if entry is not None:
+            src_b, src_s, src_t, bp, sl, ic = entry
+            if src_b is self.breakpoints and src_s is self.slopes and src_t is self.intercepts:
+                return bp, sl, ic
+        bp = self.breakpoints.astype(dtype)
+        sl = self.slopes.astype(dtype)
+        ic = self.intercepts.astype(dtype)
+        self._param_cache[dtype] = (self.breakpoints, self.slopes, self.intercepts, bp, sl, ic)
+        return bp, sl, ic
+
+    def _build_buckets(self) -> Tuple | bool:
+        """Precompute the bucket tables for the O(1) segment search.
+
+        The breakpoint span is divided into ``K`` equal buckets with
+        ``bucket_width <= min_gap / 4``.  For each bucket the window spanning
+        it plus one bucket of slack on either side then contains at most one
+        breakpoint, so every element landing in bucket ``b`` (clipping and
+        floating-point rounding included) resolves with a single compare:
+
+            index = base[b] + (x >= threshold[b])
+
+        where ``base[b]`` counts the breakpoints below the window and
+        ``threshold[b]`` is the window's lone breakpoint (``+inf`` if none).
+        The construction is verified bucket by bucket at build time; tables
+        whose geometry doesn't admit it (fewer than 4 segments, degenerate
+        span, near-duplicate breakpoints) return ``False`` and keep using
+        ``searchsorted``.
+        """
+        bp = self.breakpoints
+        if bp.size < 4:
+            return False
+        lo, hi = float(bp[0]), float(bp[-1])
+        span = hi - lo
+        min_gap = float(np.min(np.diff(bp)))
+        if not (span > 0 and min_gap > 0):
+            return False
+        buckets = 1 << int(np.ceil(np.log2(4.0 * span / min_gap)))
+        if buckets > 8192:
+            return False
+        width = span / buckets
+        window_starts = lo + (np.arange(buckets) - 1.0) * width
+        window_ends = lo + (np.arange(buckets) + 2.0) * width
+        base = np.searchsorted(bp, window_starts, side="left").astype(np.int32)
+        upper = np.searchsorted(bp, window_ends, side="right")
+        if np.any(upper - base > 1):
+            return False
+        thresholds = np.where(upper > base, bp[np.minimum(base, bp.size - 1)], np.inf)
+        return (self.breakpoints, lo, 1.0 / width, buckets, base, thresholds, {})
+
+    def _index(self, x: np.ndarray, breakpoints: np.ndarray) -> np.ndarray:
+        """Segment index for ``x`` given dtype-matched ``breakpoints``.
+
+        Equivalent to ``np.searchsorted(breakpoints, x, side="right")`` but
+        O(1) per element for tables that admit a bucket decomposition: one
+        multiply, one clip, two small-table gathers and one compare replace
+        the per-element binary search, which otherwise dominates the fused
+        kernel's runtime on large tensors.  Thresholds are compared in the
+        input's dtype, so float32 inputs see exactly the float32 cut-offs
+        ``searchsorted`` would use.
+        """
+        if self._buckets is None or (
+            self._buckets is not False and self._buckets[0] is not self.breakpoints
+        ):
+            self._buckets = self._build_buckets()
+        if self._buckets is False:
+            return np.searchsorted(breakpoints, x, side="right")
+        _, lo, inv_width, buckets, base, thresholds, threshold_cache = self._buckets
+        if x.dtype == np.float64:
+            thr = thresholds
+        else:
+            thr = threshold_cache.get(x.dtype)
+            if thr is None:
+                thr = thresholds.astype(x.dtype)
+                threshold_cache[x.dtype] = thr
+        scaled = np.asarray((x - lo) * inv_width)
+        np.clip(scaled, 0, buckets - 1, out=scaled)
+        with np.errstate(invalid="ignore"):
+            bucket = scaled.astype(np.int32)
+        # a NaN input casts to INT_MIN; pin it to bucket 0 so the gathers stay
+        # in bounds (searchsorted sorts NaN last — garbage either way).
+        np.clip(bucket, 0, buckets - 1, out=bucket)
+        idx = np.asarray(np.take(base, bucket))
+        np.add(idx, np.greater_equal(x, np.take(thr, bucket)), out=idx)
+        return idx
+
     def segment_index(self, x: np.ndarray) -> np.ndarray:
         """Return the table index selected for each element of ``x``."""
-        x = np.asarray(x, dtype=np.float64)
-        return np.searchsorted(self.breakpoints, x, side="right")
+        x = np.asarray(x)
+        if x.dtype not in _NATIVE_DTYPES:
+            x = x.astype(np.float64)
+        return self._index(x, self._params(x.dtype)[0])
+
+    def evaluate(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Fused kernel: one dtype check, one segment search, one multiply-add.
+
+        The result has the (floating) dtype of ``x``; non-float inputs are
+        promoted to float64 once.  ``out`` may alias ``x`` — the kernel is
+        element-wise — which is how the Softmax/LayerNorm chains reuse their
+        input buffers.
+        """
+        x = np.asarray(x)
+        if x.dtype not in _NATIVE_DTYPES:
+            x = x.astype(np.float64)
+        breakpoints, slopes, intercepts = self._params(x.dtype)
+        idx = self._index(x, breakpoints)
+        out = _validate_out(x, out)
+        # out = s[idx] * x + t[idx] with a single gather scratch, reused for
+        # both table reads; safe when ``out`` aliases ``x``.
+        gathered = np.asarray(np.take(slopes, idx))
+        np.multiply(gathered, x, out=out)
+        np.take(intercepts, idx, out=gathered)
+        out += gathered
+        return out
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        """Evaluate Eq. (4); output has the shape and dtype float64 of ``x``."""
+        """Evaluate Eq. (4); output has the shape of ``x`` and dtype float64."""
         x = np.asarray(x, dtype=np.float64)
-        idx = self.segment_index(x)
-        return self.slopes[idx] * x + self.intercepts[idx]
+        return self.evaluate(x)
 
     # ------------------------------------------------------------------ #
     # Introspection / serialisation
@@ -113,7 +275,7 @@ class LookupTable:
         )
 
     def copy(self) -> "LookupTable":
-        return LookupTable(
+        return type(self)(
             breakpoints=self.breakpoints.copy(),
             slopes=self.slopes.copy(),
             intercepts=self.intercepts.copy(),
@@ -127,12 +289,89 @@ class LookupTable:
         out.metadata.update(updates)
         return out
 
+    def _errors_on_grid(self, function, input_range, num_points: int) -> np.ndarray:
+        """|LUT - function| on a dense grid (shared by the error helpers)."""
+        grid = np.linspace(float(input_range[0]), float(input_range[1]), num_points)
+        return np.abs(self.evaluate(grid) - np.asarray(function(grid)))
+
     def max_error(self, function, input_range, num_points: int = 10_000) -> float:
         """Max absolute error against ``function`` on a dense grid."""
-        grid = np.linspace(float(input_range[0]), float(input_range[1]), num_points)
-        return float(np.max(np.abs(self(grid) - np.asarray(function(grid)))))
+        return float(np.max(self._errors_on_grid(function, input_range, num_points)))
 
     def mean_l1_error(self, function, input_range, num_points: int = 10_000) -> float:
         """Mean absolute error against ``function`` on a dense grid."""
-        grid = np.linspace(float(input_range[0]), float(input_range[1]), num_points)
-        return float(np.mean(np.abs(self(grid) - np.asarray(function(grid)))))
+        return float(np.mean(self._errors_on_grid(function, input_range, num_points)))
+
+
+@dataclass
+class UniformLookupTable(LookupTable):
+    """LookupTable with equally-spaced breakpoints and O(1) segment indexing.
+
+    The Linear-mode baseline fixes its breakpoints on an equally-spaced grid,
+    which is exactly the hardware constraint that makes its index computation
+    a shift-and-compare instead of a comparator tree.  An equally-spaced grid
+    always admits the bucketed O(1) segment search of the base class
+    (``floor((x - lo) / bucket_width)`` plus one compare — never a binary
+    search), so this subclass only has to *validate* the grid; evaluation is
+    inherited.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.breakpoints.size < 1:
+            raise ValueError("UniformLookupTable needs at least one breakpoint")
+        steps = np.diff(self.breakpoints)
+        if self.breakpoints.size > 1:
+            step = float(steps[0])
+            if step <= 0 or not np.allclose(steps, step, rtol=1e-9, atol=0.0):
+                raise ValueError(
+                    "UniformLookupTable requires equally-spaced breakpoints; "
+                    "use LookupTable for arbitrary grids"
+                )
+
+    @classmethod
+    def from_table(cls, lut: LookupTable) -> "UniformLookupTable":
+        """Re-type an existing equally-spaced table for O(1) indexing."""
+        return cls(
+            breakpoints=lut.breakpoints,
+            slopes=lut.slopes,
+            intercepts=lut.intercepts,
+            name=lut.name,
+            metadata=dict(lut.metadata),
+        )
+
+
+def evaluate_many(
+    steps: Sequence[
+        Tuple[
+            Callable[[np.ndarray], np.ndarray],
+            np.ndarray | Callable[[List[np.ndarray]], np.ndarray],
+            np.ndarray | None,
+        ]
+    ],
+) -> List[np.ndarray]:
+    """Evaluate a chain of scalar primitives with explicit buffer reuse.
+
+    Each step is ``(approximator, input, out)``.  ``input`` may be an array or
+    a callable receiving the list of previous results (how the Softmax chain
+    feeds the row-sum of the ``exp`` step into the ``reciprocal`` step).
+    ``out`` may alias the step's input buffer; approximators exposing the
+    fused ``evaluate(x, out=...)`` kernel write into it directly, while plain
+    callables (exact references, I-BERT kernels) fall back to ``copyto``.
+
+    Returns the list of step outputs in order.
+    """
+    results: List[np.ndarray] = []
+    for approx, x, out in steps:
+        if callable(x) and not isinstance(x, np.ndarray):
+            x = x(results)
+        evaluate = getattr(approx, "evaluate", None)
+        if evaluate is not None:
+            results.append(evaluate(x, out=out))
+            continue
+        value = np.asarray(approx(x))
+        if out is not None and out.shape == value.shape and out.dtype == value.dtype:
+            np.copyto(out, value)
+            value = out
+        results.append(value)
+    return results

@@ -24,6 +24,7 @@ from typing import Tuple
 import numpy as np
 
 from .lut import LookupTable
+from .lut import _NATIVE_DTYPES, _validate_out
 
 __all__ = [
     "quantize_lut_fp16",
@@ -43,6 +44,11 @@ def symmetric_scale(values: np.ndarray, num_bits: int = 32) -> float:
     if num_bits < 2:
         raise ValueError("num_bits must be >= 2")
     max_abs = float(np.max(np.abs(values))) if np.asarray(values).size else 0.0
+    if not np.isfinite(max_abs):
+        raise ValueError(
+            "cannot derive a quantisation scale from non-finite values "
+            "(input contains NaN or infinity)"
+        )
     if max_abs == 0.0:
         return 1.0
     return max_abs / float(2 ** (num_bits - 1) - 1)
@@ -70,11 +76,26 @@ class Fp16LookupTable:
     def num_entries(self) -> int:
         return int(self.slopes.size)
 
+    def evaluate(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Fused FP16 kernel; the result carries the (floating) dtype of ``x``.
+
+        The comparison and multiply-add run in half precision exactly as in
+        ``__call__`` — only the surrounding casts and temporaries are fused.
+        """
+        x = np.asarray(x)
+        if x.dtype not in _NATIVE_DTYPES:
+            x = x.astype(np.float64)
+        x16 = x.astype(np.float16)
+        idx = np.searchsorted(self.breakpoints, x16, side="right")
+        result16 = np.take(self.slopes, idx)
+        result16 *= x16
+        result16 += np.take(self.intercepts, idx)
+        out = _validate_out(x, out)
+        np.copyto(out, result16)
+        return out
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        x16 = np.asarray(x, dtype=np.float16)
-        idx = np.searchsorted(self.breakpoints.astype(np.float64), x16.astype(np.float64), side="right")
-        result = self.slopes[idx] * x16 + self.intercepts[idx]
-        return result.astype(np.float64)
+        return self.evaluate(np.asarray(x, dtype=np.float64))
 
 
 @dataclass
@@ -130,11 +151,27 @@ class Int32LookupTable:
     def quantize_input(self, x: np.ndarray) -> np.ndarray:
         return np.round(np.asarray(x, dtype=np.float64) / self._input_scale).astype(np.int64)
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        xq = self.quantize_input(x)
+    def evaluate(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Fused INT32 kernel; the result carries the (floating) dtype of ``x``.
+
+        Input quantisation, comparison and multiply-add are the same integer
+        operations as ``__call__``; only the float casts and temporaries
+        around them are fused.
+        """
+        x = np.asarray(x)
+        if x.dtype not in _NATIVE_DTYPES:
+            x = x.astype(np.float64)
+        xq = np.round(x / self._input_scale).astype(np.int64)
         idx = np.searchsorted(self.q_breakpoints, xq, side="right")
-        acc = self.q_slopes[idx] * xq + self.q_intercepts[idx]
-        return acc.astype(np.float64) * self._output_scale
+        acc = np.take(self.q_slopes, idx)
+        acc *= xq
+        acc += np.take(self.q_intercepts, idx)
+        out = _validate_out(x, out)
+        np.multiply(acc, self._output_scale, out=out)
+        return out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.evaluate(np.asarray(x, dtype=np.float64))
 
 
 def quantize_lut_int32(

@@ -62,11 +62,25 @@ class InputScaler:
 
         Elements ``x < threshold`` are evaluated as
         ``sqrt(S) * rsqrt_approx(S * x)``; the rest go straight through.
+
+        The input's floating dtype is preserved, and approximators exposing
+        the fused ``evaluate(x, out=...)`` kernel reuse the scaled-input
+        buffer for their output.
         """
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
+        if x.dtype not in (np.float32, np.float64):
+            x = x.astype(np.float64)
         small = x < self.threshold
         scaled_input = np.where(small, x * self.scale, x)
-        raw = np.asarray(rsqrt_approx(scaled_input), dtype=np.float64)
+        evaluate = getattr(rsqrt_approx, "evaluate", None)
+        if evaluate is not None:
+            # the scaled-input buffer is ours: fuse the output correction into
+            # it in place.
+            raw = evaluate(scaled_input, out=scaled_input)
+            np.multiply(raw, self.output_scale, out=raw, where=small)
+            return raw
+        # plain callables may return a buffer they own — don't mutate it.
+        raw = np.asarray(rsqrt_approx(scaled_input))
         return np.where(small, raw * self.output_scale, raw)
 
 

@@ -8,6 +8,12 @@ Used by two parts of the reproduction:
   same scaling-factor style (`repro.core.quantization`).
 
 All quantisation here is symmetric per-tensor, matching I-BERT.
+
+Note on integer matmuls: an INT8xINT8 product accumulated over any realistic
+contraction length stays far below 2**53, so carrying the quantised operands
+as float64 and using the BLAS matmul computes the *exact* same integers as
+int64 arithmetic while running orders of magnitude faster.  The cached
+inference path in ``repro.transformer.layers`` relies on this.
 """
 
 from __future__ import annotations
@@ -28,11 +34,20 @@ __all__ = [
 
 
 def compute_scale(values: np.ndarray, num_bits: int = 8) -> float:
-    """Symmetric per-tensor scale: ``max|v| / (2^(b-1) - 1)``; 1.0 for zeros."""
+    """Symmetric per-tensor scale: ``max|v| / (2^(b-1) - 1)``; 1.0 for zeros.
+
+    Raises ``ValueError`` for non-finite inputs: a NaN or infinity would
+    otherwise silently poison the scale and produce garbage integer tensors.
+    The check rides on the ``max|v|`` reduction, so it costs no extra pass.
+    """
     if num_bits < 2:
         raise ValueError("num_bits must be >= 2")
     values = np.asarray(values)
     max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+    if not np.isfinite(max_abs):
+        raise ValueError(
+            "cannot quantize non-finite values (input contains NaN or infinity)"
+        )
     if max_abs == 0.0:
         return 1.0
     return max_abs / float(2 ** (num_bits - 1) - 1)
@@ -55,12 +70,36 @@ class QuantizedTensor:
 
 
 def quantize(values: np.ndarray, num_bits: int = 8, scale: float | None = None) -> QuantizedTensor:
-    """Quantise a float tensor to signed integers with a symmetric scale."""
-    values = np.asarray(values, dtype=np.float64)
-    scale = compute_scale(values, num_bits) if scale is None else float(scale)
+    """Quantise a float tensor to signed integers with a symmetric scale.
+
+    When ``scale`` is omitted it is derived with :func:`compute_scale`, whose
+    ``max|v|`` reduction doubles as the non-finite check.  When the caller
+    already knows the scale, no reduction over ``values`` is performed at
+    all — the rounded intermediate (which NaN/inf propagate into) is checked
+    instead, so garbage can still never reach the integer tensor.
+    """
+    values = np.asarray(values)
+    if values.dtype not in (np.float32, np.float64):
+        values = values.astype(np.float64)
     limit = 2 ** (num_bits - 1) - 1
-    data = np.clip(np.round(values / scale), -limit, limit).astype(np.int64)
-    return QuantizedTensor(data=data, scale=scale, num_bits=num_bits)
+    if scale is None:
+        scale = compute_scale(values, num_bits)
+        rounded = np.round(values / scale)
+    else:
+        scale = float(scale)
+        if not (np.isfinite(scale) and scale > 0.0):
+            raise ValueError(f"scale must be finite and positive, got {scale}")
+        rounded = np.round(values / scale)
+        # NaN propagates into both reductions, -inf into min, +inf into max;
+        # allocation-free compared to an isfinite mask over the whole tensor.
+        if rounded.size and not (
+            np.isfinite(np.min(rounded)) and np.isfinite(np.max(rounded))
+        ):
+            raise ValueError(
+                "cannot quantize non-finite values (input contains NaN or infinity)"
+            )
+    np.clip(rounded, -limit, limit, out=rounded)
+    return QuantizedTensor(data=rounded.astype(np.int64), scale=scale, num_bits=num_bits)
 
 
 def dequantize(tensor: QuantizedTensor) -> np.ndarray:
@@ -75,17 +114,25 @@ def fake_quantize(values: np.ndarray, num_bits: int = 8, scale: float | None = N
 
 def quantized_matmul(
     activations: np.ndarray,
-    weights: np.ndarray,
+    weights: np.ndarray | None = None,
     activation_bits: int = 8,
     weight_bits: int = 8,
+    weights_q: QuantizedTensor | None = None,
 ) -> np.ndarray:
     """INT8xINT8 -> INT32 matmul with float dequantisation of the result.
 
     Mirrors the I-BERT inference path: both operands are symmetrically
     quantised per tensor, the product is accumulated in integers and the
     output carries the product of the two scales.
+
+    ``weights_q`` supplies an already-quantised weight tensor (the static
+    weight discipline: weights are quantised once, offline) and skips the
+    per-call weight quantisation entirely.
     """
     act_q = quantize(activations, num_bits=activation_bits)
-    w_q = quantize(weights, num_bits=weight_bits)
-    accumulator = act_q.data @ w_q.data
-    return accumulator.astype(np.float64) * (act_q.scale * w_q.scale)
+    if weights_q is None:
+        if weights is None:
+            raise ValueError("either weights or weights_q must be provided")
+        weights_q = quantize(weights, num_bits=weight_bits)
+    accumulator = act_q.data @ weights_q.data
+    return accumulator.astype(np.float64) * (act_q.scale * weights_q.scale)

@@ -11,7 +11,13 @@ from .config import (
 )
 from .encoder import TransformerEncoder, TransformerEncoderLayer
 from .heads import ClassificationHead, RegressionHead, SpanHead
-from .layers import Embedding, Linear, NormParameters, matmul_with_precision
+from .layers import (
+    CachedQuantizedLinear,
+    Embedding,
+    Linear,
+    NormParameters,
+    matmul_with_precision,
+)
 from .models import EncoderModel, MobileBertLikeModel, RobertaLikeModel
 from .nonlinear_backend import (
     ALL_OPS,
@@ -32,6 +38,7 @@ __all__ = [
     "mobilebert_like_small_config",
     "tiny_test_config",
     "Linear",
+    "CachedQuantizedLinear",
     "Embedding",
     "NormParameters",
     "matmul_with_precision",

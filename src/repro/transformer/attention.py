@@ -34,11 +34,20 @@ class MultiHeadSelfAttention:
     ) -> "MultiHeadSelfAttention":
         hidden = config.hidden_size
         precision = config.matmul_precision
+        compute_dtype = config.compute_dtype
         return cls(
-            query=Linear.initialize(hidden, hidden, rng, precision=precision),
-            key=Linear.initialize(hidden, hidden, rng, precision=precision),
-            value=Linear.initialize(hidden, hidden, rng, precision=precision),
-            output=Linear.initialize(hidden, hidden, rng, precision=precision),
+            query=Linear.initialize(
+                hidden, hidden, rng, precision=precision, compute_dtype=compute_dtype
+            ),
+            key=Linear.initialize(
+                hidden, hidden, rng, precision=precision, compute_dtype=compute_dtype
+            ),
+            value=Linear.initialize(
+                hidden, hidden, rng, precision=precision, compute_dtype=compute_dtype
+            ),
+            output=Linear.initialize(
+                hidden, hidden, rng, precision=precision, compute_dtype=compute_dtype
+            ),
             num_heads=config.num_heads,
         )
 
@@ -80,10 +89,11 @@ class MultiHeadSelfAttention:
         v = self._split_heads(self.value(hidden_states))
         head_dim = q.shape[-1]
 
-        scores = np.matmul(q, k.transpose(0, 1, 3, 2)) / np.sqrt(head_dim)
+        scores = np.matmul(q, k.transpose(0, 1, 3, 2))
+        scores /= np.sqrt(head_dim)
         if attention_mask is not None:
             mask = np.asarray(attention_mask)[:, None, None, :]
-            scores = np.where(mask > 0, scores, -1e4)
+            np.copyto(scores, -1e4, where=mask <= 0)
         probabilities = backend.apply_softmax(scores, axis=-1)
         context = np.matmul(probabilities, v)
         return self.output(self._merge_heads(context))

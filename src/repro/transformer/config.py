@@ -50,6 +50,10 @@ class TransformerConfig:
     matmul_precision:
         ``"fp32"``, ``"fp16"`` or ``"int8"`` — precision of the linear layers,
         selecting the Table 2(b) / Table 3 settings.
+    compute_dtype:
+        Float width of the inference engine's tensors: ``"float32"`` (the
+        vectorized fast path, default) or ``"float64"`` (reproduces the seed
+        numerics bit for bit; opt in for reference comparisons).
     name:
         Human-readable tag used in experiment reports.
     """
@@ -63,6 +67,7 @@ class TransformerConfig:
     activation: str = "gelu"
     normalization: str = "layernorm"
     matmul_precision: str = "fp32"
+    compute_dtype: str = "float32"
     layer_norm_eps: float = 1e-5
     name: str = "transformer"
 
@@ -82,6 +87,11 @@ class TransformerConfig:
             raise ValueError(
                 "matmul_precision must be 'fp32', 'fp16' or 'int8', "
                 f"got {self.matmul_precision!r}"
+            )
+        if self.compute_dtype not in ("float32", "float64"):
+            raise ValueError(
+                "compute_dtype must be 'float32' or 'float64', "
+                f"got {self.compute_dtype!r}"
             )
 
     @property

@@ -37,13 +37,22 @@ class TransformerEncoderLayer:
         cls, config: TransformerConfig, rng: np.random.Generator
     ) -> "TransformerEncoderLayer":
         precision = config.matmul_precision
+        compute_dtype = config.compute_dtype
         return cls(
             attention=MultiHeadSelfAttention.initialize(config, rng),
             ffn_in=Linear.initialize(
-                config.hidden_size, config.intermediate_size, rng, precision=precision
+                config.hidden_size,
+                config.intermediate_size,
+                rng,
+                precision=precision,
+                compute_dtype=compute_dtype,
             ),
             ffn_out=Linear.initialize(
-                config.intermediate_size, config.hidden_size, rng, precision=precision
+                config.intermediate_size,
+                config.hidden_size,
+                rng,
+                precision=precision,
+                compute_dtype=compute_dtype,
             ),
             attention_norm=NormParameters.initialize(config.hidden_size, rng),
             output_norm=NormParameters.initialize(config.hidden_size, rng),
@@ -55,13 +64,19 @@ class TransformerEncoderLayer:
         self, x: np.ndarray, params: NormParameters, backend: NonlinearBackend
     ) -> np.ndarray:
         if self.normalization == "layernorm":
-            return backend.apply_layernorm(x, gamma=params.gamma, beta=params.beta)
+            x = np.asarray(x)
+            if x.dtype in (np.float32, np.float64):
+                gamma, beta = params.cast(x.dtype)
+            else:
+                gamma, beta = params.gamma, params.beta
+            return backend.apply_layernorm(x, gamma=gamma, beta=beta)
         return params.apply_affine(x)
 
     def _activate(self, x: np.ndarray, backend: NonlinearBackend) -> np.ndarray:
         if self.activation == "gelu":
             return backend.apply_gelu(x)
-        return np.maximum(x, 0.0)
+        # x is the fresh FFN projection output, safe to clamp in place.
+        return np.maximum(x, 0.0, out=x)
 
     def __call__(
         self,
@@ -70,12 +85,14 @@ class TransformerEncoderLayer:
         attention_mask: np.ndarray | None = None,
     ) -> np.ndarray:
         attention_output = self.attention(hidden_states, backend, attention_mask)
-        hidden_states = self._normalise(
-            hidden_states + attention_output, self.attention_norm, backend
-        )
+        # The sub-layer outputs are freshly allocated, so both residual adds
+        # land in them instead of a new temporary per site.
+        residual = np.add(hidden_states, attention_output, out=attention_output)
+        hidden_states = self._normalise(residual, self.attention_norm, backend)
         ffn_hidden = self._activate(self.ffn_in(hidden_states), backend)
         ffn_output = self.ffn_out(ffn_hidden)
-        return self._normalise(hidden_states + ffn_output, self.output_norm, backend)
+        residual = np.add(hidden_states, ffn_output, out=ffn_output)
+        return self._normalise(residual, self.output_norm, backend)
 
     def num_parameters(self) -> int:
         return (

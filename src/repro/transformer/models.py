@@ -55,7 +55,11 @@ class EncoderModel:
             encoder=TransformerEncoder.initialize(config, rng),
             embedding_norm=NormParameters.initialize(config.hidden_size, rng),
             pooler=Linear.initialize(
-                config.hidden_size, config.hidden_size, rng, precision=config.matmul_precision
+                config.hidden_size,
+                config.hidden_size,
+                rng,
+                precision=config.matmul_precision,
+                compute_dtype=config.compute_dtype,
             ),
         )
 
@@ -63,9 +67,8 @@ class EncoderModel:
         self, embeddings: np.ndarray, backend: NonlinearBackend
     ) -> np.ndarray:
         if self.config.normalization == "layernorm":
-            return backend.apply_layernorm(
-                embeddings, gamma=self.embedding_norm.gamma, beta=self.embedding_norm.beta
-            )
+            gamma, beta = self.embedding_norm.cast(embeddings.dtype)
+            return backend.apply_layernorm(embeddings, gamma=gamma, beta=beta)
         return self.embedding_norm.apply_affine(embeddings)
 
     def forward(
@@ -77,6 +80,9 @@ class EncoderModel:
         """Return hidden states of shape ``(batch, seq, hidden)``."""
         backend = backend or exact_backend()
         embeddings = self.embedding(token_ids)
+        # The embedding tables are float64 masters; the engine runs in the
+        # configured compute dtype from here on.
+        embeddings = embeddings.astype(np.dtype(self.config.compute_dtype), copy=False)
         embeddings = self._normalise_embeddings(embeddings, backend)
         return self.encoder(embeddings, backend, attention_mask)
 

@@ -87,12 +87,17 @@ class NonlinearBackend:
     recorder: OperatorRecorder = field(default_factory=OperatorRecorder)
     metadata: Dict[str, object] = field(default_factory=dict)
 
+    # Recording is guarded at the call sites so the disabled (inference) case
+    # costs a single attribute check — no call, no np.asarray(...).copy().
+
     def apply_gelu(self, x: np.ndarray) -> np.ndarray:
-        self.recorder.record("gelu", x)
+        if self.recorder.enabled:
+            self.recorder.record("gelu", x)
         return self.gelu(x)
 
     def apply_softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
-        self.recorder.record("softmax", x)
+        if self.recorder.enabled:
+            self.recorder.record("softmax", x)
         return self.softmax(x, axis=axis)
 
     def apply_layernorm(
@@ -102,7 +107,8 @@ class NonlinearBackend:
         beta: np.ndarray | None = None,
         axis: int = -1,
     ) -> np.ndarray:
-        self.recorder.record("layernorm", x)
+        if self.recorder.enabled:
+            self.recorder.record("layernorm", x)
         return self.layernorm(x, gamma=gamma, beta=beta, axis=axis)
 
 

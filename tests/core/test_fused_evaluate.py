@@ -1,0 +1,297 @@
+"""Equivalence tests: fused LUT kernels vs the seed evaluation semantics.
+
+The seed implementations (double float64 cast, ``searchsorted``, un-fused
+gathers) are replicated inline here as the reference; the fused
+``evaluate(x, out=None)`` kernels must reproduce them bit for bit on float64
+inputs and to within 1e-6 on float32 inputs over the training ranges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exponential_lut import exponential_lut_for
+from repro.baselines.linear_lut import linear_lut_for
+from repro.core import functions
+from repro.core.lut import LookupTable, UniformLookupTable, evaluate_many
+from repro.core.quantization import (
+    quantize_lut_fp16,
+    quantize_lut_int32,
+    symmetric_scale,
+)
+
+
+def seed_lut_call(lut, x):
+    """The seed's ``LookupTable.__call__`` (including its double cast)."""
+    x = np.asarray(x, dtype=np.float64)
+    idx = np.searchsorted(lut.breakpoints, np.asarray(x, dtype=np.float64), side="right")
+    return lut.slopes[idx] * x + lut.intercepts[idx]
+
+
+def seed_fp16_call(lut16, x):
+    x16 = np.asarray(x, dtype=np.float16)
+    idx = np.searchsorted(
+        lut16.breakpoints.astype(np.float64), x16.astype(np.float64), side="right"
+    )
+    return (lut16.slopes[idx] * x16 + lut16.intercepts[idx]).astype(np.float64)
+
+
+def seed_int32_call(lut_q, x):
+    xq = np.round(np.asarray(x, dtype=np.float64) / lut_q.scales[0]).astype(np.int64)
+    idx = np.searchsorted(lut_q.q_breakpoints, xq, side="right")
+    acc = lut_q.q_slopes[idx] * xq + lut_q.q_intercepts[idx]
+    return acc.astype(np.float64) * lut_q.scales[2]
+
+
+def random_table(rng, num_entries=16, scale=1.0):
+    return LookupTable(
+        breakpoints=np.sort(rng.normal(size=num_entries - 1)) * scale,
+        slopes=rng.normal(size=num_entries),
+        intercepts=rng.normal(size=num_entries),
+    )
+
+
+EDGE_INPUTS = [
+    np.array([]),  # empty
+    np.array(0.25),  # scalar (0-d)
+    np.array([0.0]),
+    np.linspace(-50.0, 50.0, 100_003),  # large, beyond the table range
+]
+
+
+class TestFusedFloat64BitCompatibility:
+    """On float64 inputs the fused kernel must equal the seed path exactly."""
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_random_tables(self, rng, case):
+        lut = random_table(rng, scale=10.0**case)
+        span = np.abs(lut.breakpoints).max() + 1
+        x = np.concatenate(
+            [
+                rng.uniform(-2 * span, 2 * span, 20_000),
+                lut.breakpoints,
+                np.nextafter(lut.breakpoints, -np.inf),
+                np.nextafter(lut.breakpoints, np.inf),
+            ]
+        )
+        assert np.array_equal(lut(x), seed_lut_call(lut, x))
+        assert np.array_equal(lut.evaluate(x), seed_lut_call(lut, x))
+
+    @pytest.mark.parametrize("x", EDGE_INPUTS, ids=["empty", "scalar", "one", "large"])
+    def test_edge_inputs(self, rng, x):
+        lut = random_table(rng)
+        result = lut(x)
+        assert result.shape == np.shape(x)
+        assert result.dtype == np.float64
+        assert np.array_equal(result, seed_lut_call(lut, x))
+
+    def test_fitted_primitives(self, fast_registry):
+        for name in ("gelu", "exp", "reciprocal", "rsqrt"):
+            lut = fast_registry.lut(name, num_entries=16)
+            low, high = lut.metadata["input_range"]
+            grid = np.linspace(low, high, 50_001)
+            assert np.array_equal(lut(grid), seed_lut_call(lut, grid))
+
+    def test_segment_index_matches_searchsorted(self, rng):
+        lut = random_table(rng)
+        x = rng.uniform(-3, 3, 10_000)
+        assert np.array_equal(
+            lut.segment_index(x), np.searchsorted(lut.breakpoints, x, side="right")
+        )
+
+
+class TestFusedFloat32:
+    """Float32 inputs stay float32 and match the seed path to 1e-6 on-range."""
+
+    def test_fitted_primitives_within_tolerance(self, fast_registry):
+        for name in ("gelu", "exp", "reciprocal", "rsqrt"):
+            lut = fast_registry.lut(name, num_entries=16)
+            low, high = lut.metadata["input_range"]
+            grid = np.linspace(low, high, 50_001)
+            fused32 = lut.evaluate(grid.astype(np.float32))
+            assert fused32.dtype == np.float32
+            assert np.max(np.abs(fused32 - seed_lut_call(lut, grid))) < 1e-6
+
+    def test_float32_index_matches_float32_searchsorted(self, rng):
+        lut = random_table(rng)
+        x32 = np.concatenate(
+            [rng.uniform(-3, 3, 20_000), lut.breakpoints, [np.pi, -np.pi]]
+        ).astype(np.float32)
+        bp32 = lut.breakpoints.astype(np.float32)
+        assert np.array_equal(
+            lut.segment_index(x32), np.searchsorted(bp32, x32, side="right")
+        )
+
+    def test_out_buffer_and_aliasing(self, rng):
+        lut = random_table(rng)
+        x = rng.normal(size=1000).astype(np.float32)
+        expected = lut.evaluate(x)
+        out = np.empty_like(x)
+        assert lut.evaluate(x, out=out) is out
+        assert np.array_equal(out, expected)
+        buf = x.copy()
+        assert lut.evaluate(buf, out=buf) is buf  # in-place chains are allowed
+        assert np.array_equal(buf, expected)
+
+    def test_out_shape_dtype_validated(self, rng):
+        lut = random_table(rng)
+        x = rng.normal(size=8).astype(np.float32)
+        with pytest.raises(ValueError, match="out must match"):
+            lut.evaluate(x, out=np.empty(7, dtype=np.float32))
+        with pytest.raises(ValueError, match="out must match"):
+            lut.evaluate(x, out=np.empty(8, dtype=np.float64))
+
+
+class TestPrecisionVariants:
+    """FP16/INT32 fused kernels against their seed implementations."""
+
+    @pytest.mark.parametrize("x", EDGE_INPUTS, ids=["empty", "scalar", "one", "large"])
+    def test_fp16_bit_compatible(self, rng, x):
+        lut16 = quantize_lut_fp16(random_table(rng))
+        assert np.array_equal(lut16(x), seed_fp16_call(lut16, x))
+
+    @pytest.mark.parametrize("x", EDGE_INPUTS, ids=["empty", "scalar", "one", "large"])
+    def test_int32_bit_compatible(self, rng, x):
+        lut_q = quantize_lut_int32(random_table(rng), input_range=(-5, 5))
+        assert np.array_equal(lut_q(x), seed_int32_call(lut_q, x))
+
+    def test_fp16_int32_float32_inputs(self, rng, fitted_gelu):
+        x = rng.uniform(-5, 5, 5000)
+        lut16 = quantize_lut_fp16(fitted_gelu.lut)
+        lut_q = quantize_lut_int32(fitted_gelu.lut, input_range=(-5, 5))
+        for variant, seed_fn, tol in (
+            (lut16, seed_fp16_call, 1e-2),  # fp16 resolution
+            (lut_q, seed_int32_call, 1e-5),  # float32 activation rounding
+        ):
+            fused32 = variant.evaluate(x.astype(np.float32))
+            assert fused32.dtype == np.float32
+            assert np.max(np.abs(fused32 - seed_fn(variant, x))) < tol
+
+
+class TestUniformLookupTable:
+    def test_linear_baseline_is_uniform(self):
+        lut = linear_lut_for("gelu", num_entries=16)
+        assert isinstance(lut, UniformLookupTable)
+        assert lut.metadata["mode"] == "linear"
+
+    def test_exponential_baseline_is_not(self):
+        lut = exponential_lut_for("gelu", num_entries=16)
+        assert not isinstance(lut, UniformLookupTable)
+
+    def test_o1_index_matches_searchsorted_including_breakpoints(self, rng):
+        lut = linear_lut_for("reciprocal", num_entries=16)
+        x = np.concatenate(
+            [
+                rng.uniform(0.5, 1100, 50_000),
+                lut.breakpoints,
+                np.nextafter(lut.breakpoints, -np.inf),
+                np.nextafter(lut.breakpoints, np.inf),
+            ]
+        )
+        assert np.array_equal(
+            lut.segment_index(x), np.searchsorted(lut.breakpoints, x, side="right")
+        )
+        assert np.array_equal(lut(x), seed_lut_call(lut, x))
+
+    def test_rejects_non_uniform_grid(self):
+        with pytest.raises(ValueError, match="equally-spaced"):
+            UniformLookupTable(
+                breakpoints=[0.0, 1.0, 3.0],
+                slopes=[1.0] * 4,
+                intercepts=[0.0] * 4,
+            )
+
+    def test_copy_preserves_type(self):
+        lut = linear_lut_for("gelu", num_entries=8)
+        assert isinstance(lut.copy(), UniformLookupTable)
+        assert isinstance(lut.with_metadata(tag=1), UniformLookupTable)
+
+
+class TestBucketedSearchRobustness:
+    def test_duplicate_breakpoints_fall_back_to_searchsorted(self, rng):
+        bp = np.array([-1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0])
+        lut = LookupTable(
+            breakpoints=bp, slopes=rng.normal(size=8), intercepts=rng.normal(size=8)
+        )
+        x = rng.uniform(-2, 4, 10_000)
+        assert np.array_equal(
+            lut.segment_index(x), np.searchsorted(bp, x, side="right")
+        )
+        assert lut._buckets is False
+
+    def test_invalidate_after_in_place_mutation(self, rng):
+        lut = random_table(rng)
+        x32 = rng.normal(size=100).astype(np.float32)
+        stale = lut.evaluate(x32).copy()
+        lut.slopes[...] = lut.slopes + 1.0
+        lut.invalidate()
+        refreshed = lut.evaluate(x32)
+        assert not np.array_equal(stale, refreshed)
+        assert np.allclose(refreshed - stale, x32, atol=1e-4)
+
+    def test_input_scaler_promotes_float16_and_keeps_callables_pure(self, fitted_rsqrt):
+        from repro.core.scaling import InputScaler
+
+        scaler = InputScaler()
+        x16 = np.array([0.5, 2.0, 100.0], dtype=np.float16)
+        result = scaler.apply(x16, fitted_rsqrt.lut)  # must not raise
+        assert result.dtype == np.float64
+        # plain-callable results must not be mutated in place
+        cached = functions.rsqrt(np.array([0.25, 4.0]) * 1.0)
+
+        def reusing_approx(v):
+            return cached
+
+        scaler.apply(np.array([0.25, 4.0]), reusing_approx)
+        assert np.array_equal(cached, functions.rsqrt(np.array([0.25, 4.0])))
+
+    def test_rebinding_parameters_invalidates_caches(self, rng):
+        lut = random_table(rng)
+        x32 = rng.normal(size=100).astype(np.float32)
+        lut.evaluate(x32)  # warm the per-dtype parameter cache
+        lut.slopes = lut.slopes + 1.0
+        lut.intercepts = lut.intercepts.copy()
+        fresh = LookupTable(
+            breakpoints=lut.breakpoints.copy(),
+            slopes=lut.slopes.copy(),
+            intercepts=lut.intercepts.copy(),
+        )
+        assert np.array_equal(lut.evaluate(x32), fresh.evaluate(x32))
+
+
+class TestEvaluateMany:
+    def test_chain_with_buffer_reuse(self, rng, fitted_exp, fitted_reciprocal):
+        x = rng.uniform(-10, 0, size=(4, 64)).astype(np.float32)
+        buf = x.copy()
+        exps, inv = evaluate_many(
+            [
+                (fitted_exp.lut, buf, buf),
+                (fitted_reciprocal.lut, lambda done: np.sum(done[0], axis=-1), None),
+            ]
+        )
+        assert exps is buf
+        assert np.allclose(exps, fitted_exp.lut(x), atol=1e-5)
+        assert inv.shape == (4,)
+
+    def test_plain_callable_fallback(self, rng):
+        x = rng.normal(size=16)
+        out = np.empty_like(x)
+        (result,) = evaluate_many([(functions.gelu, x, out)])
+        assert result is out
+        assert np.array_equal(out, functions.gelu(x))
+
+
+class TestErrorHelpersAndScales:
+    def test_error_helpers_share_grid(self, rng):
+        lut = LookupTable(breakpoints=[], slopes=[1.0], intercepts=[0.0])
+        assert lut.max_error(lambda v: v, (-1, 1)) == pytest.approx(0.0)
+        assert lut.mean_l1_error(lambda v: v + 2.0, (-1, 1)) == pytest.approx(2.0)
+        # max >= mean for any function, by construction on the shared grid
+        lut2 = random_table(rng)
+        f = functions.gelu
+        assert lut2.max_error(f, (-5, 5)) >= lut2.mean_l1_error(f, (-5, 5))
+
+    def test_symmetric_scale_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            symmetric_scale(np.array([1.0, np.nan]))
+        with pytest.raises(ValueError, match="non-finite"):
+            symmetric_scale(np.array([np.inf]))
