@@ -96,9 +96,34 @@ def test_engine_forward_throughput(benchmark, engine_registry):
     """Fast-path encoder forward at the mode's benchmark shape."""
     shapes = regression.FULL_SHAPES if FULL_MODE else regression.SMOKE_SHAPES
     model = regression.build_engine(shapes, "fp32", compute_dtype="float32")
-    backend = regression.nn_lut_backend(registry=engine_registry)
+    backend = regression.build_fast_backend(engine_registry)
     tokens = np.random.default_rng(1).integers(
         0, shapes.vocab_size, size=(shapes.batch_size, shapes.sequence_length)
     )
     hidden = benchmark(model.forward, tokens, backend=backend)
     assert hidden.shape == (shapes.batch_size, shapes.sequence_length, shapes.hidden_size)
+
+
+def test_session_ragged_row(engine_report):
+    """The serving row: micro-batched session reproduces per-call outputs."""
+    row = engine_report["end_to_end"]["session_ragged_fp32"]
+    assert row["num_requests"] >= 1 and row["total_tokens"] > 0
+    assert row["cached_float64_bitwise_equal"]
+
+
+@pytest.mark.benchmark(group="engine")
+def test_session_ragged_throughput(benchmark, engine_registry):
+    """InferenceSession serving a ragged request list at the mode's shape."""
+    shapes = regression.FULL_SHAPES if FULL_MODE else regression.SMOKE_SHAPES
+    model = regression.build_engine(shapes, "fp32", compute_dtype="float32")
+    session = regression.InferenceSession.from_model(
+        model,
+        spec=regression.BackendSpec.nn_lut(),
+        registry=engine_registry,
+        max_batch_size=shapes.batch_size * 4,
+    )
+    rng = np.random.default_rng(2)
+    lengths = regression.ragged_request_lengths(shapes, num_requests=8)
+    requests = [rng.integers(0, shapes.vocab_size, size=length) for length in lengths]
+    outputs = benchmark(session.forward, requests)
+    assert [o.shape[0] for o in outputs] == lengths

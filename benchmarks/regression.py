@@ -17,7 +17,10 @@ What "seed path" means precisely:
 
 The fast path is the current engine: float32 compute, weight operands
 prepared once (I-BERT's static-weight discipline), fused
-``LookupTable.evaluate`` kernels with buffer reuse.
+``LookupTable.evaluate`` kernels with buffer reuse.  The
+``session_ragged_fp32`` row additionally compares the legacy one-forward-
+per-request serving pattern against :class:`repro.api.InferenceSession`'s
+dynamic micro-batching on a ragged request mix (schema v2).
 
 Run directly to regenerate the report (or use ``scripts/bench.sh``)::
 
@@ -36,10 +39,11 @@ import platform
 import time
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import Callable, Dict, Iterable
+from typing import Callable, Dict, List
 
 import numpy as np
 
+from repro.api import BackendSpec, InferenceSession, build_backend
 from repro.core.lut import LookupTable
 from repro.core.registry import LutRegistry
 from repro.core.training import TrainingConfig
@@ -48,10 +52,9 @@ from repro.transformer import (
     Linear,
     TransformerConfig,
     backend_from_luts,
-    nn_lut_backend,
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Default report location: the repository root (next to ROADMAP.md).
 DEFAULT_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -230,12 +233,9 @@ def seed_nn_lut_backend(registry: LutRegistry, num_entries: int = 16):
     return backend
 
 
-def _iter_linears(model: EncoderModel) -> Iterable[Linear]:
-    for layer in model.encoder.layers:
-        attention = layer.attention
-        yield from (attention.query, attention.key, attention.value, attention.output)
-        yield from (layer.ffn_in, layer.ffn_out)
-    yield model.pooler
+def build_fast_backend(registry: LutRegistry) -> object:
+    """The engine's fast path, declared through the serving API."""
+    return build_backend(BackendSpec.nn_lut(), registry=registry)
 
 
 def build_engine(
@@ -263,7 +263,7 @@ def build_engine(
     )
     model = EncoderModel.initialize(config, seed=seed)
     if not cache_weights:
-        for linear in _iter_linears(model):
+        for linear in model.iter_linears():
             linear.cache_weights = False
     return model
 
@@ -308,7 +308,7 @@ def benchmark_ops(registry: LutRegistry, shapes: EngineShapes) -> Dict[str, Dict
     )
 
     seed_backend = seed_nn_lut_backend(registry)
-    fast_backend = nn_lut_backend(registry=registry)
+    fast_backend = build_fast_backend(registry)
     scores = rng.normal(
         size=(shapes.batch_size, shapes.num_heads, shapes.sequence_length, shapes.sequence_length)
     )
@@ -370,7 +370,7 @@ def benchmark_end_to_end(
     )
     fast_model = build_engine(shapes, matmul_precision, compute_dtype="float32")
     seed_backend = seed_nn_lut_backend(registry)
-    fast_backend = nn_lut_backend(registry=registry)
+    fast_backend = build_fast_backend(registry)
 
     seed_s = time_call(lambda: seed_model.forward(tokens, backend=seed_backend), shapes.repeats)
     fast_s = time_call(lambda: fast_model.forward(tokens, backend=fast_backend), shapes.repeats)
@@ -391,6 +391,85 @@ def benchmark_end_to_end(
         fast = fast_model.forward(tokens, backend=fast_backend)
         row["cached_float64_bitwise_equal"] = bool(np.array_equal(reference, compat))
         row["float32_max_abs_diff"] = float(np.max(np.abs(fast - reference)))
+    return row
+
+
+def ragged_request_lengths(shapes: EngineShapes, num_requests: int) -> List[int]:
+    """A serving-like ragged workload: few distinct lengths, with repeats."""
+    rng = np.random.default_rng(11)
+    seq = shapes.sequence_length
+    candidates = sorted({max(8, seq // 4), max(8, seq // 2), seq})
+    return [int(length) for length in rng.choice(candidates, size=num_requests)]
+
+
+def benchmark_session_ragged(
+    registry: LutRegistry,
+    shapes: EngineShapes,
+    num_requests: int = 12,
+    check_equivalence: bool = True,
+) -> Dict[str, object]:
+    """Ragged-request serving: per-call loop vs InferenceSession micro-batching.
+
+    The "seed" path here is the legacy serving pattern — one ``model.forward``
+    per request — and the fast path is :class:`repro.api.InferenceSession`
+    with length-bucketed dynamic micro-batching over the same fast engine, so
+    the speedup isolates what batching itself buys.
+    """
+    rng = np.random.default_rng(12)
+    lengths = ragged_request_lengths(shapes, num_requests)
+    requests = [rng.integers(0, shapes.vocab_size, size=length) for length in lengths]
+    total_tokens = int(sum(lengths))
+
+    model = build_engine(shapes, "fp32", compute_dtype="float32")
+    spec = BackendSpec.nn_lut()
+    session = InferenceSession.from_model(
+        model, spec=spec, registry=registry, max_batch_size=shapes.batch_size * 4
+    )
+
+    def per_call() -> None:
+        for request in requests:
+            model.forward(request[None, :], backend=session.backend)
+
+    seed_s = time_call(per_call, shapes.repeats)
+    fast_s = time_call(lambda: session.forward(requests), shapes.repeats)
+
+    row: Dict[str, object] = {
+        "shape": asdict(shapes),
+        "num_requests": num_requests,
+        "total_tokens": total_tokens,
+        **_op_row(seed_s, fast_s),
+        "tokens_per_s_seed": total_tokens / seed_s,
+        "tokens_per_s_fast": total_tokens / fast_s,
+    }
+    if check_equivalence:
+        # Under the float64 engine the micro-batched session must reproduce
+        # the per-call outputs bit for bit (exact-length bucketing: no
+        # padding enters the computation); the float32 engine is reported as
+        # a max-abs deviation between the batched and per-call paths.
+        model64 = build_engine(shapes, "fp32", compute_dtype="float64")
+        session64 = InferenceSession.from_model(model64, spec=spec, registry=registry)
+        batched64 = session64.forward(requests)
+        bitwise = all(
+            np.array_equal(
+                model64.forward(request[None, :], backend=session64.backend)[0],
+                batched64[i],
+            )
+            for i, request in enumerate(requests)
+        )
+        batched32 = session.forward(requests)
+        diff32 = max(
+            float(
+                np.max(
+                    np.abs(
+                        model.forward(request[None, :], backend=session.backend)[0]
+                        - batched32[i]
+                    )
+                )
+            )
+            for i, request in enumerate(requests)
+        )
+        row["cached_float64_bitwise_equal"] = bool(bitwise)
+        row["float32_max_abs_diff"] = diff32
     return row
 
 
@@ -421,6 +500,9 @@ def run_engine_benchmark(mode: str = "smoke", registry: LutRegistry | None = Non
         "end_to_end": {
             "encoder_forward_fp32": benchmark_end_to_end(registry, shapes, "fp32"),
             "encoder_forward_int8": benchmark_end_to_end(registry, int8_shapes, "int8"),
+            "session_ragged_fp32": benchmark_session_ragged(
+                registry, shapes, num_requests=12 if mode == "full" else 6
+            ),
         },
         "equivalence": {"fused_lut_fp32_max_abs_diff": fused_lut_equivalence(registry)},
         "environment": {
@@ -447,6 +529,7 @@ def main(argv: list[str] | None = None) -> int:
     path = write_report(report, args.output)
     fp32 = report["end_to_end"]["encoder_forward_fp32"]
     int8 = report["end_to_end"]["encoder_forward_int8"]
+    session = report["end_to_end"]["session_ragged_fp32"]
     print(f"wrote {path}")
     print(
         f"encoder forward fp32: {fp32['speedup']:.2f}x "
@@ -455,6 +538,11 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"encoder forward int8: {int8['speedup']:.2f}x "
         f"({int8['tokens_per_s_seed']:.0f} -> {int8['tokens_per_s_fast']:.0f} tokens/s)"
+    )
+    print(
+        f"session ragged fp32:  {session['speedup']:.2f}x "
+        f"({session['tokens_per_s_seed']:.0f} -> {session['tokens_per_s_fast']:.0f} tokens/s, "
+        f"micro-batching over {session['num_requests']} requests)"
     )
     return 0
 

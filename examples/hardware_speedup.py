@@ -3,14 +3,14 @@
 Run with:  python examples/hardware_speedup.py
 """
 
-from repro.experiments.table4 import run_table4
-from repro.experiments.table5 import run_table5
+import example_utils
+from repro.experiments import SMOKE_SCALE, run_experiment
 
 
 def main() -> None:
-    print(run_table4().report())
+    print(run_experiment("table4").report())
     print()
-    result = run_table5()
+    result = run_experiment("table5", scale=SMOKE_SCALE if example_utils.SMOKE else None)
     print(result.report())
     speedups = result.speedups()
     print(

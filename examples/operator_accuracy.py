@@ -3,14 +3,14 @@
 Run with:  python examples/operator_accuracy.py
 """
 
+import example_utils
 from repro.analysis import operator_error_curve, operator_error_summary
 from repro.analysis.reporting import format_mapping_table
 from repro.baselines import linear_lut_for
-from repro.core import default_registry
 
 
 def main() -> None:
-    registry = default_registry()
+    registry = example_utils.example_registry()
     primitives = ("gelu", "exp", "reciprocal", "rsqrt")
     nn_lut = {name: registry.lut(name, num_entries=16) for name in primitives}
     linear = {name: linear_lut_for(name, num_entries=16) for name in primitives}

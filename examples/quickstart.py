@@ -1,17 +1,19 @@
-"""Quickstart: fit an NN-LUT, convert it, and use it as a drop-in GELU.
+"""Quickstart: fit an NN-LUT, use it as a drop-in GELU, then serve with it.
 
 Run with:  python examples/quickstart.py
 """
 
 import numpy as np
 
+import example_utils
+from repro.api import BackendSpec, InferenceSession, SessionConfig
 from repro.core import LutGelu, fit_lut, functions, lut_matches_network
 
 
 def main() -> None:
     # 1. Fit a one-hidden-layer ReLU network to GELU and convert it to a
     #    16-entry look-up table (paper Sec. 3.2, Table 1 recipe).
-    primitive = fit_lut("gelu", num_entries=16)
+    primitive = fit_lut("gelu", num_entries=16, config=example_utils.training_config())
     lut = primitive.lut
     print(f"Fitted GELU NN-LUT: {lut.num_entries} entries, "
           f"final L1 loss {primitive.training_result.final_loss:.4f}")
@@ -32,6 +34,21 @@ def main() -> None:
     # 4. Inspect the learned table (breakpoints concentrate where GELU bends).
     print("\nBreakpoints:", np.round(lut.breakpoints, 3))
     print("Slopes     :", np.round(lut.slopes, 3))
+
+    # 5. Serve with it: declare the scenario as a BackendSpec and prepare an
+    #    InferenceSession once — it batches ragged requests dynamically.
+    session = InferenceSession(
+        SessionConfig(model_family="tiny"),
+        spec=BackendSpec.nn_lut(),
+        registry=example_utils.example_registry(),
+    )
+    rng = np.random.default_rng(0)
+    requests = [rng.integers(0, 100, size=length) for length in (6, 14, 6, 10)]
+    hidden = session.forward(requests)
+    print(
+        f"\nInferenceSession ({session.backend.name}) served "
+        f"{len(requests)} ragged requests -> shapes {[h.shape for h in hidden]}"
+    )
 
 
 if __name__ == "__main__":

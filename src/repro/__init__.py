@@ -3,8 +3,31 @@
 Reproduction of Yu et al., "NN-LUT: Neural Approximation of Non-Linear
 Operations for Efficient Transformer Inference" (DAC 2022).
 
+Serving API (start here)
+------------------------
+``repro.api`` is the one entry point every model x backend x precision
+scenario goes through:
+
+* :class:`~repro.api.BackendSpec` — a serializable, declarative description
+  of how each Transformer operator (GELU / Softmax / LayerNorm) is
+  approximated: method (exact, NN-LUT, Linear-LUT, I-BERT) x precision
+  (fp32 / fp16 / int32) x table entries x calibration flag.
+  :func:`~repro.api.build_backend` realises a spec into a runnable backend.
+* :class:`~repro.api.SessionConfig` + :class:`~repro.api.InferenceSession`
+  — model family / size / seed / quantised-linear engine, prepared once
+  (weights cached, backend built) into a session that serves ragged request
+  lists with dynamic micro-batching (``forward`` / ``pooled`` /
+  ``classify``) and offers the paper's dataset-free calibration as a single
+  :meth:`~repro.api.InferenceSession.calibrate` call.
+
+The legacy ``*_backend()`` constructors in ``repro.transformer`` remain as
+deprecated shims over ``build_backend``.
+
 Sub-packages
 ------------
+``repro.api``
+    Declarative backend specs, the spec -> backend factory and the batched
+    inference sessions described above.
 ``repro.core``
     The NN-LUT framework itself: ReLU-network fitting, the exact NN->LUT
     transform, precision variants, input scaling and calibration.
@@ -23,10 +46,19 @@ Sub-packages
     7-nm-calibrated arithmetic-unit cost models and the accelerator cycle
     simulator used for the hardware experiments.
 ``repro.experiments``
-    One driver per table / figure of the paper.
+    One driver per table / figure of the paper, also runnable as
+    ``python -m repro.experiments <name>``.
 """
 
-from . import core
+from . import api, core
+from .api import (
+    BackendSpec,
+    InferenceSession,
+    OperatorSpec,
+    SessionConfig,
+    as_backend,
+    build_backend,
+)
 from .core import (
     LookupTable,
     LutGelu,
@@ -40,10 +72,17 @@ from .core import (
     network_to_lut,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "core",
+    "BackendSpec",
+    "OperatorSpec",
+    "build_backend",
+    "as_backend",
+    "SessionConfig",
+    "InferenceSession",
     "LookupTable",
     "OneHiddenReluNet",
     "TrainingConfig",

@@ -1,0 +1,51 @@
+"""Serving-grade entry point: declarative specs -> prepared sessions.
+
+The two halves of the API:
+
+* :class:`BackendSpec` + :func:`build_backend` — a serializable description
+  of how each Transformer non-linearity is approximated (method x precision
+  x entries x calibration), realised into a runnable backend.
+* :class:`SessionConfig` + :class:`InferenceSession` — model family, size,
+  seed and quantised-linear engine, prepared once into a session that serves
+  ragged request lists with dynamic micro-batching and offers the built-in
+  dataset-free :meth:`~InferenceSession.calibrate` workflow.
+
+Every experiment, example and benchmark in the repo goes through this
+surface; the legacy ``*_backend()`` constructors in
+``repro.transformer.nonlinear_backend`` are deprecated shims over it.
+"""
+
+from .batching import MicroBatch, RequestBatcher
+from .session import (
+    MODEL_FAMILIES,
+    InferenceSession,
+    SessionConfig,
+    calibrate_primitive_luts,
+)
+from .spec import (
+    METHODS,
+    OPERATOR_PRIMITIVES,
+    PRECISIONS,
+    SPEC_SCHEMA_VERSION,
+    BackendSpec,
+    OperatorSpec,
+    as_backend,
+    build_backend,
+)
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "METHODS",
+    "PRECISIONS",
+    "OPERATOR_PRIMITIVES",
+    "OperatorSpec",
+    "BackendSpec",
+    "build_backend",
+    "as_backend",
+    "MicroBatch",
+    "RequestBatcher",
+    "MODEL_FAMILIES",
+    "SessionConfig",
+    "InferenceSession",
+    "calibrate_primitive_luts",
+]

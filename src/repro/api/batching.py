@@ -1,0 +1,165 @@
+"""Dynamic micro-batching over ragged request lists.
+
+Serving traffic arrives as a list of variable-length token sequences.  The
+:class:`RequestBatcher` turns that ragged list into dense micro-batches:
+
+* lengths are rounded up to a multiple of ``bucket_size`` and requests are
+  grouped by bucketed length (a stable sort, so arrival order breaks ties);
+* each group is chunked into micro-batches of at most ``max_batch_size``
+  rows;
+* rows shorter than the bucket length are padded with token id 0 and an
+  attention mask marks the real tokens.
+
+With the default ``bucket_size=1`` only *identical* lengths share a batch, so
+no padding (and no mask) ever enters the computation — the batched forward
+is the same arithmetic as the per-request forward, which is what lets the
+float64 engine reproduce per-call outputs bit for bit.  (The ``int8`` matmul
+engine is the exception regardless of bucketing: its per-tensor activation
+scale spans the packed batch, so co-batched requests share a quantisation
+grid per-call inference would not.)  Larger buckets trade exactness of that
+equivalence for fewer, denser batches.
+
+The padded token and mask buffers are allocated once and reused across
+micro-batches (they grow geometrically to the largest shape seen), so steady
+state serving does no per-batch allocation for inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MicroBatch", "RequestBatcher"]
+
+
+@dataclass
+class MicroBatch:
+    """One dense batch: request indices plus packed inputs.
+
+    With ``iter_batches(..., copy=False)``, ``tokens`` (and ``mask``, when
+    padding occurred) are views into the batcher's reusable buffers —
+    consume them before pulling the next batch; by default each batch owns
+    its arrays.
+    """
+
+    indices: Tuple[int, ...]
+    lengths: Tuple[int, ...]
+    tokens: np.ndarray
+    mask: np.ndarray | None
+
+
+def _normalise_requests(
+    requests: Sequence[np.ndarray], max_length: int | None
+) -> List[np.ndarray]:
+    sequences: List[np.ndarray] = []
+    for i, request in enumerate(requests):
+        tokens = np.asarray(request)
+        if tokens.ndim != 1:
+            raise ValueError(
+                f"request {i} must be a 1-D token id sequence, got shape {tokens.shape}"
+            )
+        if tokens.size == 0:
+            raise ValueError(f"request {i} is empty")
+        if not np.issubdtype(tokens.dtype, np.integer):
+            raise ValueError(f"request {i} must contain integer token ids, got {tokens.dtype}")
+        if max_length is not None and tokens.size > max_length:
+            raise ValueError(
+                f"request {i} has length {tokens.size}, exceeding the model's "
+                f"maximum sequence length {max_length}"
+            )
+        sequences.append(tokens)
+    return sequences
+
+
+class RequestBatcher:
+    """Length-bucketing micro-batch planner with reusable input buffers."""
+
+    def __init__(self, max_batch_size: int = 32, bucket_size: int = 1) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if bucket_size < 1:
+            raise ValueError(f"bucket_size must be >= 1, got {bucket_size}")
+        self.max_batch_size = int(max_batch_size)
+        self.bucket_size = int(bucket_size)
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def _buffer(self, name: str, rows: int, cols: int, dtype: np.dtype) -> np.ndarray:
+        existing = self._buffers.get(name)
+        if existing is None or existing.shape[0] < rows or existing.shape[1] < cols:
+            # Rows are bounded by max_batch_size, so allocate them all at
+            # once; columns double so reallocations stay logarithmic in the
+            # longest padded length seen.
+            grown_rows = max(rows, self.max_batch_size)
+            grown_cols = cols if existing is None else max(cols, 2 * existing.shape[1])
+            existing = np.empty((grown_rows, grown_cols), dtype=dtype)
+            self._buffers[name] = existing
+        return existing[:rows, :cols]
+
+    def plan(
+        self, lengths: Sequence[int], max_length: int | None = None
+    ) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Micro-batch layout: ``[(padded_length, request_indices), ...]``.
+
+        Stable: requests with equal bucketed length stay in arrival order.
+        Bucketed lengths are capped at ``max_length`` so a bucket size that
+        does not divide the model's maximum never pads a valid request past
+        the limit.
+        """
+        bucketed = [
+            -(-int(length) // self.bucket_size) * self.bucket_size for length in lengths
+        ]
+        if max_length is not None:
+            bucketed = [min(length, max_length) for length in bucketed]
+        order = sorted(range(len(bucketed)), key=lambda i: (bucketed[i], i))
+        batches: List[Tuple[int, Tuple[int, ...]]] = []
+        start = 0
+        while start < len(order):
+            padded = bucketed[order[start]]
+            end = start
+            while (
+                end < len(order)
+                and bucketed[order[end]] == padded
+                and end - start < self.max_batch_size
+            ):
+                end += 1
+            batches.append((padded, tuple(order[start:end])))
+            start = end
+        return batches
+
+    def iter_batches(
+        self,
+        requests: Sequence[np.ndarray],
+        max_length: int | None = None,
+        copy: bool = True,
+    ) -> Iterator[MicroBatch]:
+        """Yield packed micro-batches for a ragged request list.
+
+        By default every batch owns its ``tokens``/``mask`` arrays, so the
+        whole iterator can be materialised safely.  ``copy=False`` yields
+        views into the reusable packing buffers instead — zero per-batch
+        allocation, but each batch is only valid until the next one is
+        pulled (the serving hot path consumes batches immediately and opts
+        in to this).
+        """
+        sequences = _normalise_requests(requests, max_length)
+        for padded_length, indices in self.plan([s.size for s in sequences], max_length):
+            rows = len(indices)
+            lengths = tuple(sequences[i].size for i in indices)
+            tokens = self._buffer("tokens", rows, padded_length, np.dtype(np.int64))
+            needs_padding = any(length != padded_length for length in lengths)
+            mask: np.ndarray | None = None
+            if needs_padding:
+                tokens[:] = 0
+                mask = self._buffer("mask", rows, padded_length, np.dtype(np.int64))
+                mask[:] = 0
+            for row, index in enumerate(indices):
+                sequence = sequences[index]
+                tokens[row, : sequence.size] = sequence
+                if mask is not None:
+                    mask[row, : sequence.size] = 1
+            if copy:
+                tokens = tokens.copy()
+                mask = None if mask is None else mask.copy()
+            yield MicroBatch(indices=indices, lengths=lengths, tokens=tokens, mask=mask)

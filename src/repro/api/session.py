@@ -1,0 +1,527 @@
+"""Prepared inference sessions: one serving-grade entry point per scenario.
+
+I-BERT's deployment discipline is *prepare once, run many*: quantise the
+weights, fix the tables, then serve.  :class:`InferenceSession` packages that
+for this repo — a :class:`SessionConfig` (model family x size x seed x
+engine precision) plus a :class:`~repro.api.spec.BackendSpec` fully determine
+a session, and constructing it does all the one-time work:
+
+* the encoder model is built (or adopted) and every linear layer's weight
+  operand is prepared up front, so the first request pays no quantisation
+  cost;
+* the non-linear backend is realised from the spec exactly once;
+* a :class:`~repro.api.batching.RequestBatcher` is armed for dynamic
+  micro-batching of ragged request lists.
+
+``forward`` / ``pooled`` / ``classify`` then serve arbitrary mixes of
+sequence lengths; ``calibrate`` runs the paper's dataset-free calibration
+(Sec. 3.3.3) end to end — record operator-site inputs on unlabelled traffic,
+re-fit the flagged NN-LUT primitives, swap the refreshed tables in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from ..core import functions
+from ..core.calibration import CalibrationConfig, calibrate_network
+from ..core.conversion import network_to_lut
+from ..core.functions import get_training_range
+from ..core.lut import LookupTable
+from ..core.registry import LutRegistry, default_registry
+from ..core.scaling import InputScaler
+from ..transformer.config import (
+    TransformerConfig,
+    mobilebert_config,
+    mobilebert_like_small_config,
+    roberta_base_config,
+    roberta_like_small_config,
+    tiny_test_config,
+)
+from ..transformer.heads import ClassificationHead
+from ..transformer.models import EncoderModel
+from ..transformer.nonlinear_backend import (
+    ALL_OPS,
+    NonlinearBackend,
+    OperatorRecorder,
+    _validate_replace,
+)
+from .batching import RequestBatcher
+from .spec import BackendSpec, build_backend
+
+__all__ = [
+    "MODEL_FAMILIES",
+    "SessionConfig",
+    "InferenceSession",
+    "calibrate_primitive_luts",
+]
+
+#: (family, size) -> TransformerConfig factory.
+MODEL_FAMILIES: Dict[str, Dict[str, object]] = {
+    "roberta": {"small": roberta_like_small_config, "full": roberta_base_config},
+    "mobilebert": {"small": mobilebert_like_small_config, "full": mobilebert_config},
+    "tiny": {"small": tiny_test_config, "full": tiny_test_config},
+}
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything needed to prepare an :class:`InferenceSession`.
+
+    ``model_family`` / ``model_size`` select the encoder architecture,
+    ``seed`` its frozen weights (the stand-in for a checkpoint identity),
+    ``matmul_precision`` the quantised-linear engine (``fp32``/``fp16``/
+    ``int8``) and ``compute_dtype`` the engine float width (``float64``
+    reproduces per-call outputs bit for bit on the float engines).  The
+    ``int8`` engine is the exception: it derives one activation scale per
+    packed tensor (the I-BERT per-tensor convention), so there batch
+    composition legitimately affects the quantisation — per-call parity
+    holds for ``fp32``/``fp16`` matmuls only.  ``max_batch_size`` and
+    ``bucket_size`` shape the dynamic micro-batching; ``model_overrides``
+    are forwarded to the architecture's config factory.
+    """
+
+    model_family: str = "roberta"
+    model_size: str = "small"
+    seed: int = 0
+    compute_dtype: str = "float32"
+    matmul_precision: str = "fp32"
+    max_batch_size: int = 32
+    bucket_size: int = 1
+    #: Accepts any mapping; stored canonically as sorted (key, value) pairs
+    #: so the frozen config stays hashable like its sibling BackendSpec.
+    model_overrides: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "model_overrides", tuple(sorted(dict(self.model_overrides).items()))
+        )
+        if self.model_family != "custom":
+            if self.model_family not in MODEL_FAMILIES:
+                raise ValueError(
+                    f"model_family must be one of {sorted(MODEL_FAMILIES) + ['custom']}, "
+                    f"got {self.model_family!r}"
+                )
+            if self.model_size not in MODEL_FAMILIES[self.model_family]:
+                raise ValueError(
+                    f"model_size must be one of "
+                    f"{sorted(MODEL_FAMILIES[self.model_family])}, got {self.model_size!r}"
+                )
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.bucket_size < 1:
+            raise ValueError(f"bucket_size must be >= 1, got {self.bucket_size}")
+
+    def transformer_config(self) -> TransformerConfig:
+        """The resolved encoder configuration (validates engine settings)."""
+        if self.model_family == "custom":
+            # `custom` marks a session built over an adopted model
+            # (InferenceSession.from_model); the architecture was never
+            # described by this config, so replaying it would silently
+            # rebuild the wrong model.
+            raise ValueError(
+                "a 'custom' SessionConfig adopts an existing model and cannot "
+                "rebuild one; construct the model yourself and use "
+                "InferenceSession.from_model"
+            )
+        factory = MODEL_FAMILIES[self.model_family][self.model_size]
+        return factory(
+            matmul_precision=self.matmul_precision,
+            compute_dtype=self.compute_dtype,
+            **dict(self.model_overrides),
+        )
+
+    def build_model(self) -> EncoderModel:
+        """A freshly initialised frozen encoder for this configuration."""
+        return EncoderModel.initialize(self.transformer_config(), seed=self.seed)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model_family": self.model_family,
+            "model_size": self.model_size,
+            "seed": self.seed,
+            "compute_dtype": self.compute_dtype,
+            "matmul_precision": self.matmul_precision,
+            "max_batch_size": self.max_batch_size,
+            "bucket_size": self.bucket_size,
+            "model_overrides": dict(self.model_overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SessionConfig":
+        known = {
+            "model_family", "model_size", "seed", "compute_dtype",
+            "matmul_precision", "max_batch_size", "bucket_size", "model_overrides",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown SessionConfig field(s): {sorted(unknown)}")
+        values = {key: payload[key] for key in known if key in payload}
+        if "model_overrides" in values:
+            values["model_overrides"] = dict(values["model_overrides"])
+        return cls(**values)
+
+
+class InferenceSession:
+    """A prepared (model, backend) pair serving ragged request lists.
+
+    Parameters
+    ----------
+    config:
+        Session configuration; defaults to the small RoBERTa-like scenario.
+    spec:
+        Backend specification; defaults to the exact reference backend.
+    registry:
+        Fitted-primitive source for the NN-LUT methods (process-wide
+        registry by default).
+    model:
+        Adopt an existing encoder instead of building one from ``config``
+        (``config`` then only supplies the batching knobs).
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig | None = None,
+        spec: BackendSpec | None = None,
+        registry: LutRegistry | None = None,
+        model: EncoderModel | None = None,
+    ) -> None:
+        if model is not None:
+            # An adopted model must be described honestly: a named-family
+            # config alongside it would log/replay a different model.
+            if config is None:
+                config = SessionConfig(
+                    model_family="custom",
+                    compute_dtype=model.config.compute_dtype,
+                    matmul_precision=model.config.matmul_precision,
+                )
+            elif config.model_family != "custom":
+                raise ValueError(
+                    "when adopting an existing model, pass a SessionConfig with "
+                    "model_family='custom' (or use InferenceSession.from_model); "
+                    f"a {config.model_family!r} config would misdescribe the session"
+                )
+            else:
+                mismatched = [
+                    f"{name}={getattr(config, name)!r} (model runs {actual!r})"
+                    for name, actual in (
+                        ("compute_dtype", model.config.compute_dtype),
+                        ("matmul_precision", model.config.matmul_precision),
+                    )
+                    if getattr(config, name) != actual
+                ]
+                if mismatched:
+                    raise ValueError(
+                        "custom SessionConfig engine settings must match the "
+                        f"adopted model: {'; '.join(mismatched)}"
+                    )
+        self.config = config or SessionConfig()
+        self.spec = spec or BackendSpec.exact()
+        self.registry = registry or default_registry()
+        self.model = model if model is not None else self.config.build_model()
+        self.lut_overrides: Dict[str, LookupTable] = {}
+        self.backend: NonlinearBackend = build_backend(self.spec, registry=self.registry)
+        self._batcher = RequestBatcher(
+            max_batch_size=self.config.max_batch_size,
+            bucket_size=self.config.bucket_size,
+        )
+        for linear in self.model.iter_linears():
+            linear.prepare()
+
+    @classmethod
+    def from_model(
+        cls,
+        model: EncoderModel,
+        spec: BackendSpec | None = None,
+        registry: LutRegistry | None = None,
+        max_batch_size: int = 32,
+        bucket_size: int = 1,
+    ) -> "InferenceSession":
+        """Session over an already-built encoder (its engine settings win).
+
+        The resulting ``config`` carries ``model_family="custom"``: it
+        records the engine/batching knobs but deliberately cannot rebuild
+        the adopted model (replaying it would reconstruct the wrong one).
+        """
+        config = SessionConfig(
+            model_family="custom",
+            compute_dtype=model.config.compute_dtype,
+            matmul_precision=model.config.matmul_precision,
+            max_batch_size=max_batch_size,
+            bucket_size=bucket_size,
+        )
+        return cls(config=config, spec=spec, registry=registry, model=model)
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    @property
+    def max_sequence_length(self) -> int:
+        return self.model.config.max_sequence_length
+
+    def _serve(self, requests: Sequence[np.ndarray], consume) -> List[np.ndarray]:
+        """One micro-batched serving loop shared by ``forward`` and ``pooled``.
+
+        ``consume(hidden, row, length)`` extracts one request's result from a
+        batch's hidden states; results come back in request order.
+        """
+        outputs: List[np.ndarray | None] = [None] * len(requests)
+        for batch in self._batcher.iter_batches(
+            requests, self.max_sequence_length, copy=False
+        ):
+            hidden = self.model.forward(
+                batch.tokens, backend=self.backend, attention_mask=batch.mask
+            )
+            for row, index in enumerate(batch.indices):
+                outputs[index] = consume(hidden, row, batch.lengths[row])
+        return outputs  # type: ignore[return-value]
+
+    def forward(self, requests: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Hidden states per request, shape ``(len_i, hidden)`` each.
+
+        Requests are served in dynamically formed micro-batches; results come
+        back in request order, trimmed to each request's true length.
+        """
+        return self._serve(
+            requests, lambda hidden, row, length: hidden[row, :length].copy()
+        )
+
+    def pooled(self, requests: Sequence[np.ndarray]) -> np.ndarray:
+        """First-token (``[CLS]``) representations, shape ``(n, hidden)``.
+
+        The encoder runs micro-batched; the (cheap) tanh pooler then runs per
+        sequence, because a batched ``(n, hidden)`` pooler matmul takes a
+        different BLAS path than the per-call ``(1, hidden)`` one and would
+        break bit-exact parity with per-request inference.
+        """
+        rows = self._serve(
+            requests,
+            lambda hidden, row, length: self.model.pool_hidden(hidden[row : row + 1])[0],
+        )
+        if not rows:
+            hidden_size = self.model.config.hidden_size
+            return np.empty(
+                (0, hidden_size), dtype=np.dtype(self.model.config.compute_dtype)
+            )
+        return np.stack(rows, axis=0)
+
+    def classify(self, requests: Sequence[np.ndarray], head) -> np.ndarray:
+        """Predicted labels for ``requests`` from a fitted classification head.
+
+        Accepts either a bare head (``predict(features)``, e.g.
+        :class:`~repro.transformer.heads.ClassificationHead`) or one of the
+        finetuning flow's ``Finetuned*`` wrappers — those hold the real head
+        in ``.head`` and their own ``predict()`` takes a *backend* and scores
+        the task's stored test set, which is not this method's contract.
+        """
+        inner = getattr(head, "head", None)
+        if inner is not None:
+            head = inner
+        if not isinstance(head, ClassificationHead):
+            raise TypeError(
+                "classify requires a ClassificationHead (or a Finetuned wrapper "
+                f"around one), got {type(head).__name__} — span/regression heads "
+                "score token features, not pooled requests"
+            )
+        return head.predict(self.pooled(requests))
+
+    def forward_batch(
+        self, token_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Rectangular passthrough for callers that batch on their own."""
+        return self.model.forward(
+            token_ids, backend=self.backend, attention_mask=attention_mask
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dataset-free calibration (paper Sec. 3.3.3)
+    # ------------------------------------------------------------------ #
+    def calibrate(
+        self,
+        samples: Sequence[np.ndarray],
+        config: CalibrationConfig | None = None,
+        operators: Sequence[str] | None = None,
+    ) -> Dict[str, LookupTable]:
+        """Re-fit NN-LUT tables on what this model actually computes.
+
+        Runs the *exact* reference backend over the unlabelled ``samples``
+        (ragged token sequences, micro-batched like normal traffic) while
+        recording the operator-site inputs, re-fits the scalar primitives of
+        the selected operators against their reference functions on that
+        distribution, and swaps the calibrated tables into this session's
+        backend.  Returns the calibrated tables by primitive name.
+
+        ``operators`` defaults to the spec's calibration-flagged operators,
+        or to every NN-LUT operator when none is flagged.
+        """
+        spec_ops = self.spec.operators()
+        if operators is None:
+            operators = self.spec.calibrated() or tuple(
+                op for op in ALL_OPS if spec_ops[op].method == "nn_lut"
+            )
+        operators = tuple(operators)
+        if not operators:
+            raise ValueError(
+                "this spec routes no operator through NN-LUT tables; "
+                "there is nothing to calibrate"
+            )
+        _validate_replace(operators)
+        for op in operators:
+            if spec_ops[op].method != "nn_lut":
+                raise ValueError(
+                    f"operator {op!r} uses method {spec_ops[op].method!r}; "
+                    "calibration re-fits NN-LUT tables only"
+                )
+
+        reference = build_backend(BackendSpec.exact(), registry=self.registry)
+        # Record through an exact-length batcher regardless of the session's
+        # bucket_size: padded rows would otherwise leak pad-token activations
+        # (and -1e4 masked scores) into the recorded distribution and skew
+        # the re-fitted tables.
+        recording_batcher = RequestBatcher(
+            max_batch_size=self.config.max_batch_size, bucket_size=1
+        )
+        with reference.recording() as recorder:
+            # Size the recorder to hold every operator site of every batch —
+            # the default 256-array cap would silently truncate the recorded
+            # distribution while the remaining samples still paid full
+            # forward cost.  (One batch per sample is the upper bound; each
+            # forward touches at most 2*layers+1 sites per operator.)
+            sites_per_forward = 2 * self.model.encoder.num_layers + 1
+            recorder.max_arrays_per_op = max(
+                recorder.max_arrays_per_op, len(samples) * sites_per_forward
+            )
+            for batch in recording_batcher.iter_batches(
+                samples, self.max_sequence_length, copy=False
+            ):
+                self.model.forward(batch.tokens, backend=reference)
+
+        num_entries = {op: spec_ops[op].num_entries for op in operators}
+        calibrated = calibrate_primitive_luts(
+            recorder,
+            self.registry,
+            operators,
+            num_entries,
+            config=config,
+            input_scaling=self.spec.input_scaling,
+        )
+        self.lut_overrides.update(calibrated)
+        self.backend = build_backend(
+            self.spec, registry=self.registry, lut_overrides=self.lut_overrides
+        )
+        return calibrated
+
+
+# --------------------------------------------------------------------------- #
+# Recorded activations -> calibrated primitive tables
+# --------------------------------------------------------------------------- #
+def _operator_queries(
+    recorder: OperatorRecorder, operator: str, input_scaling: bool = True
+) -> Dict[str, np.ndarray]:
+    """Scalar-primitive query points implied by one operator's recordings.
+
+    ``input_scaling`` must mirror the serving backend's setting: it decides
+    whether small LayerNorm variances are mapped to ``S * var`` (the
+    Sec.-3.3.2 query transformation) before fitting — a table calibrated on
+    scaled queries would otherwise never be hit at serving time.
+    """
+    if operator == "gelu":
+        if not recorder.gelu_inputs:
+            raise RuntimeError("no GELU activations were recorded for calibration")
+        return {"gelu": np.concatenate([a.ravel() for a in recorder.gelu_inputs])}
+    if operator == "softmax":
+        if not recorder.softmax_inputs:
+            raise RuntimeError("no Softmax activations were recorded for calibration")
+        exp_queries: List[np.ndarray] = []
+        reciprocal_queries: List[np.ndarray] = []
+        exp_low, exp_high = get_training_range("exp")
+        for recorded in recorder.softmax_inputs:
+            shifted = recorded - np.max(recorded, axis=-1, keepdims=True)
+            shifted = np.clip(shifted, exp_low, exp_high)
+            exp_queries.append(shifted.ravel())
+            reciprocal_queries.append(np.sum(np.exp(shifted), axis=-1).ravel())
+        return {
+            "exp": np.concatenate(exp_queries),
+            "reciprocal": np.concatenate(reciprocal_queries),
+        }
+    if operator == "layernorm":
+        if not recorder.layernorm_inputs:
+            raise RuntimeError("no LayerNorm activations were recorded for calibration")
+        variances: List[np.ndarray] = []
+        for recorded in recorder.layernorm_inputs:
+            mean = np.mean(recorded, axis=-1, keepdims=True)
+            variance = np.mean((recorded - mean) ** 2, axis=-1) + 1e-5
+            variances.append(variance.ravel())
+        variance = np.concatenate(variances)
+        if input_scaling:
+            # The serving table is queried at S*var for small variances.
+            scaler = InputScaler()
+            variance = np.where(
+                variance < scaler.threshold, variance * scaler.scale, variance
+            )
+        return {"rsqrt": variance}
+    raise ValueError(f"Unknown operator {operator!r}; valid operators: {ALL_OPS}")
+
+
+def _generic_samples(primitive: str, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Broad-distribution samples keeping a calibrated table's global shape."""
+    low, high = get_training_range(primitive)
+    if primitive == "gelu":
+        return rng.uniform(low, high, size=count)
+    if primitive == "exp":
+        # Log-spaced magnitudes so the curvature near 0 stays represented.
+        return -np.exp(rng.uniform(np.log(1e-4), np.log(-low), size=count))
+    # reciprocal / rsqrt: log-uniform over (1, high), as the Table-2(b)
+    # calibration recipe uses.
+    return np.exp(rng.uniform(np.log(1.0), np.log(high), size=count))
+
+
+def calibrate_primitive_luts(
+    recorder: OperatorRecorder,
+    registry: LutRegistry,
+    operators: Sequence[str],
+    num_entries: Mapping[str, int] | int = 16,
+    config: CalibrationConfig | None = None,
+    generic_share: float = 0.2,
+    seed: int = 0,
+    input_scaling: bool = True,
+) -> Dict[str, LookupTable]:
+    """Re-fit the scalar primitives behind ``operators`` on recorded traffic.
+
+    For each operator the recorded site inputs are converted into the query
+    points its scalar primitives actually see, mixed with a ``generic_share``
+    of broad log/uniform samples over the training range (guarding against
+    extrapolation damage outside the recorded distribution), and the
+    registry's fitted network is re-trained against the exact reference
+    (:class:`~repro.core.calibration.CalibrationConfig` defaults to the
+    paper's five-epoch setting).  Returns calibrated tables keyed by
+    primitive name — ready for ``build_backend(..., lut_overrides=...)``.
+    """
+    config = config or CalibrationConfig(epochs=5, learning_rate=5e-4)
+    rng = np.random.default_rng(seed)
+    calibrated: Dict[str, LookupTable] = {}
+    for operator in operators:
+        primitive_queries = _operator_queries(recorder, operator, input_scaling)
+        for primitive, queries in primitive_queries.items():
+            entries = (
+                num_entries if isinstance(num_entries, int) else num_entries[operator]
+            )
+            num_generic = max(1, int(queries.size * generic_share))
+            queries = np.concatenate(
+                [queries, _generic_samples(primitive, num_generic, rng)]
+            )
+            fitted = registry.get(primitive, num_entries=entries)
+            network = calibrate_network(
+                fitted.network,
+                functions.get_target_function(primitive),
+                queries,
+                config,
+            )
+            lut = network_to_lut(network, name=primitive)
+            calibrated[primitive] = lut.with_metadata(
+                calibrated=True, num_calibration_samples=int(queries.size)
+            )
+    return calibrated

@@ -163,7 +163,12 @@ class LookupTable:
         min_gap = float(np.min(np.diff(bp)))
         if not (span > 0 and min_gap > 0):
             return False
-        buckets = 1 << int(np.ceil(np.log2(4.0 * span / min_gap)))
+        # Near-duplicate breakpoints can push span/min_gap past the float
+        # range (ratio = inf), which int(ceil(log2(...))) cannot digest.
+        ratio = 4.0 * span / min_gap
+        if not np.isfinite(ratio) or ratio > 2.0**31:
+            return False
+        buckets = 1 << int(np.ceil(np.log2(ratio)))
         if buckets > 8192:
             return False
         width = span / buckets

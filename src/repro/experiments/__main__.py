@@ -1,0 +1,43 @@
+"""CLI for the experiment drivers.
+
+Run any table / figure of the paper by name::
+
+    PYTHONPATH=src python -m repro.experiments table2a
+    PYTHONPATH=src python -m repro.experiments all --smoke
+
+``--smoke`` switches the software experiments to the CI-sized scale
+(``SMOKE_SCALE``) so a full sweep finishes in minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import DEFAULT_SCALE, EXPERIMENT_NAMES, SMOKE_SCALE, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENT_NAMES + ("all",),
+        help="which experiment to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the software experiments at the CI smoke scale",
+    )
+    args = parser.parse_args(argv)
+    scale = SMOKE_SCALE if args.smoke else DEFAULT_SCALE
+    names = EXPERIMENT_NAMES if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        print(run_experiment(name, scale=scale).report())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

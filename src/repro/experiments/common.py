@@ -11,9 +11,19 @@ everything for smoke tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
-__all__ = ["ExperimentScale", "DEFAULT_SCALE", "SMOKE_SCALE"]
+from ..api import BackendSpec
+from ..transformer.nonlinear_backend import ALL_OPS
+
+__all__ = [
+    "ExperimentScale",
+    "DEFAULT_SCALE",
+    "SMOKE_SCALE",
+    "METHOD_LABELS",
+    "PER_OPERATOR_GROUPS",
+    "backend_variant_specs",
+]
 
 
 @dataclass(frozen=True)
@@ -32,6 +42,8 @@ class ExperimentScale:
     task_seed: int = 0
     #: LUT size used throughout (the paper's setting).
     num_lut_entries: int = 16
+    #: Table-5 sequence-length sweep (None = the paper's full eight points).
+    table5_sequence_lengths: Sequence[int] | None = None
 
     def spec_overrides(self) -> Dict[str, object]:
         """Overrides applied to every GLUE task spec."""
@@ -51,4 +63,73 @@ SMOKE_SCALE = ExperimentScale(
     num_test=64,
     sequence_length=32,
     glue_tasks=("SST-2", "MRPC"),
+    table5_sequence_lengths=(16, 128, 1024),
 )
+
+
+#: Report-row labels per approximation method.
+METHOD_LABELS: Dict[str, str] = {
+    "exact": "Baseline",
+    "nn_lut": "NN-LUT",
+    "linear_lut": "Linear-LUT",
+    "ibert": "I-BERT",
+}
+
+#: The per-operator sweep of Table 2(a): row-label suffix -> operators replaced.
+PER_OPERATOR_GROUPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("GELU only", ("gelu",)),
+    ("Softmax only", ("softmax",)),
+    ("LayerNorm only", ("layernorm",)),
+    ("Altogether", ALL_OPS),
+)
+
+
+def backend_variant_specs(
+    num_entries: int = 16,
+    methods: Sequence[str] = ("linear_lut", "nn_lut"),
+    groups: Sequence[Tuple[str, Sequence[str]]] = PER_OPERATOR_GROUPS,
+    precisions: Sequence[str] = ("fp32",),
+    input_scaling: bool = True,
+) -> Dict[str, BackendSpec]:
+    """Labelled grid of backend variants: method x operator group x precision.
+
+    This is the one definition of the variant dictionaries the table drivers
+    sweep (Table 2(a)'s per-operator rows, Table 3's Softmax-only precision
+    rows) — previously duplicated across ``table2.py`` and ``table3.py``.
+    The precision tag only appears in labels when more than one precision is
+    requested, matching the papers' row-naming conventions.
+    """
+    lut_methods = {"nn_lut", "linear_lut"}
+    specs: Dict[str, BackendSpec] = {}
+    for method in methods:
+        # Only the LUT methods have precision/entry variants, and only the
+        # non-exact methods vary per operator group; sweeping the rest would
+        # fabricate duplicate rows under distinct labels.
+        method_precisions: Sequence[str | None] = (
+            precisions if method in lut_methods else (None,)
+        )
+        method_groups = groups if method != "exact" else (("", ()),)
+        for group_label, ops in method_groups:
+            for precision in method_precisions:
+                parts = [METHOD_LABELS.get(method, method)]
+                if group_label:
+                    parts.append(group_label)
+                if precision is not None and len(precisions) > 1:
+                    parts.append(precision.upper())
+                kwargs: Dict[str, object] = {}
+                if method != "exact":
+                    kwargs["replace"] = tuple(ops)
+                if precision is not None:
+                    kwargs.update(
+                        precision=precision,
+                        num_entries=num_entries,
+                        input_scaling=input_scaling,
+                    )
+                label = " ".join(parts)
+                if label in specs:
+                    raise ValueError(
+                        f"duplicate variant label {label!r}; a sweep row would be "
+                        "silently dropped — give groups distinct labels"
+                    )
+                specs[label] = BackendSpec.from_method(method, **kwargs)
+    return specs

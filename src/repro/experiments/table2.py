@@ -7,33 +7,29 @@ three together.
 Part (b): the INT8-matmul model — I-BERT's integer approximations versus
 NN-LUT in FP32 and INT32, with and without the dataset-free calibration of
 the LayerNorm table ("+C" rows).
+
+Every variant is declared as a :class:`repro.api.BackendSpec` and realised
+through :func:`repro.api.build_backend`; the per-operator sweep comes from
+:func:`repro.experiments.common.backend_variant_specs`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List
 
 import numpy as np
 
 from ..analysis.reporting import format_mapping_table
-from ..core import functions
-from ..core.calibration import CalibrationConfig, calibrate_network
-from ..core.conversion import network_to_lut
+from ..api import BackendSpec, build_backend, calibrate_primitive_luts
+from ..core.calibration import CalibrationConfig
 from ..core.lut import LookupTable
 from ..core.registry import LutRegistry, default_registry
-from ..core.scaling import InputScaler
 from ..tasks.evaluation import GlueBenchmark
 from ..tasks.glue import list_glue_tasks
 from ..transformer.models import RobertaLikeModel
-from ..transformer.nonlinear_backend import (
-    NonlinearBackend,
-    exact_backend,
-    ibert_backend,
-    linear_lut_backend,
-    nn_lut_backend,
-)
-from .common import DEFAULT_SCALE, ExperimentScale
+from ..transformer.nonlinear_backend import NonlinearBackend
+from .common import DEFAULT_SCALE, ExperimentScale, backend_variant_specs
 
 __all__ = [
     "Table2aResult",
@@ -97,17 +93,12 @@ def run_table2a(
     """Direct approximation on the FP32 model (Table 2a)."""
     registry = registry or default_registry()
     benchmark = _build_benchmark(scale, matmul_precision="fp32")
-    entries = scale.num_lut_entries
 
-    variants: Dict[str, NonlinearBackend] = {"Baseline": exact_backend()}
-    per_op = (("GELU only", ["gelu"]), ("Softmax only", ["softmax"]),
-              ("LayerNorm only", ["layernorm"]), ("Altogether", ["gelu", "softmax", "layernorm"]))
-    for label, ops in per_op:
-        variants[f"Linear-LUT {label}"] = linear_lut_backend(num_entries=entries, replace=ops)
-    for label, ops in per_op:
-        variants[f"NN-LUT {label}"] = nn_lut_backend(
-            registry=registry, num_entries=entries, replace=ops
-        )
+    variants: Dict[str, NonlinearBackend] = {
+        "Baseline": build_backend(BackendSpec.exact(), registry=registry)
+    }
+    for label, spec in backend_variant_specs(num_entries=scale.num_lut_entries).items():
+        variants[label] = build_backend(spec, registry=registry)
 
     scores = {name: benchmark.score_all(backend) for name, backend in variants.items()}
     return Table2aResult(scores=scores)
@@ -123,48 +114,30 @@ def calibrate_layernorm_lut(
     """Dataset-free calibration of the LayerNorm (1/sqrt) table.
 
     Mirrors Sec. 3.3.3: run the frozen model over a small set of *unlabelled*
-    training sequences, record what actually reaches the LayerNorm sites,
-    convert those activations into the 1/sqrt query points (variance, with the
-    input-scaling mapping applied), and re-fit the approximation network
-    against the exact reference on that distribution.
+    training sequences while recording what actually reaches the LayerNorm
+    sites, then re-fit the 1/sqrt approximation on that distribution (the
+    query-point mapping and the network re-fit live in
+    :func:`repro.api.calibrate_primitive_luts`).
     """
-    backend = exact_backend()
-    backend.recorder.enabled = True
-    scaler = InputScaler()
-
-    # A small unlabelled subset (about one tenth of the training data, as in
-    # the paper) drawn from the benchmark's existing tasks.
-    count = 0
-    for task in benchmark.tasks.values():
-        tokens = task.train_tokens[: max(4, max_sequences // max(1, len(benchmark.tasks)))]
-        benchmark.model.forward(tokens, backend=backend)
-        count += tokens.shape[0]
-        if count >= max_sequences:
-            break
-
-    variance_samples: List[np.ndarray] = []
-    for recorded in backend.recorder.layernorm_inputs:
-        mean = np.mean(recorded, axis=-1, keepdims=True)
-        variance = np.mean((recorded - mean) ** 2, axis=-1) + 1e-5
-        variance_samples.append(variance.ravel())
-    if not variance_samples:
-        raise RuntimeError("no LayerNorm activations were recorded for calibration")
-    variance = np.concatenate(variance_samples)
-    # The table is queried at S*var for small variances (input scaling).
-    queries = np.where(variance < scaler.threshold, variance * scaler.scale, variance)
-    # Mix in a small share of generic log-uniform samples over the training
-    # range so the calibrated table keeps its global shape outside the
-    # recorded distribution (guards against extrapolation damage).
-    rng = np.random.default_rng(0)
-    num_generic = max(1, queries.size // 5)
-    generic = np.exp(rng.uniform(np.log(1.0), np.log(1024.0), size=num_generic))
-    queries = np.concatenate([queries, generic])
-
-    primitive = registry.get("rsqrt", num_entries=scale.num_lut_entries)
-    config = calibration_config or CalibrationConfig(epochs=5, learning_rate=5e-4)
-    calibrated = calibrate_network(primitive.network, functions.rsqrt, queries, config)
-    lut = network_to_lut(calibrated, name="rsqrt")
-    return lut.with_metadata(calibrated=True, num_calibration_samples=int(queries.size))
+    backend = build_backend(BackendSpec.exact(), registry=registry)
+    with backend.recording() as recorder:
+        # A small unlabelled subset (about one tenth of the training data, as
+        # in the paper) drawn from the benchmark's existing tasks.
+        count = 0
+        for task in benchmark.tasks.values():
+            tokens = task.train_tokens[: max(4, max_sequences // max(1, len(benchmark.tasks)))]
+            benchmark.model.forward(tokens, backend=backend)
+            count += tokens.shape[0]
+            if count >= max_sequences:
+                break
+    calibrated = calibrate_primitive_luts(
+        recorder,
+        registry,
+        operators=("layernorm",),
+        num_entries=scale.num_lut_entries,
+        config=calibration_config,
+    )
+    return calibrated["rsqrt"]
 
 
 def run_table2b(
@@ -176,20 +149,23 @@ def run_table2b(
     benchmark = _build_benchmark(scale, matmul_precision="int8")
     entries = scale.num_lut_entries
 
-    calibrated_rsqrt = calibrate_layernorm_lut(benchmark, registry, scale)
-    overrides = {"rsqrt": calibrated_rsqrt}
+    overrides = {"rsqrt": calibrate_layernorm_lut(benchmark, registry, scale)}
+
+    def nn_lut(precision: str, calibrated: bool) -> NonlinearBackend:
+        spec = BackendSpec.nn_lut(precision=precision, num_entries=entries)
+        if calibrated:
+            spec = spec.with_calibration("layernorm")
+        return build_backend(
+            spec, registry=registry, lut_overrides=overrides if calibrated else None
+        )
 
     variants: Dict[str, NonlinearBackend] = {
-        "Baseline": exact_backend(),
-        "I-BERT": ibert_backend(),
-        "NN-LUT FP32": nn_lut_backend(registry=registry, num_entries=entries, precision="fp32"),
-        "NN-LUT FP32+C": nn_lut_backend(
-            registry=registry, num_entries=entries, precision="fp32", lut_overrides=overrides
-        ),
-        "NN-LUT INT32": nn_lut_backend(registry=registry, num_entries=entries, precision="int32"),
-        "NN-LUT INT32+C": nn_lut_backend(
-            registry=registry, num_entries=entries, precision="int32", lut_overrides=overrides
-        ),
+        "Baseline": build_backend(BackendSpec.exact(), registry=registry),
+        "I-BERT": build_backend(BackendSpec.ibert(), registry=registry),
+        "NN-LUT FP32": nn_lut("fp32", calibrated=False),
+        "NN-LUT FP32+C": nn_lut("fp32", calibrated=True),
+        "NN-LUT INT32": nn_lut("int32", calibrated=False),
+        "NN-LUT INT32+C": nn_lut("int32", calibrated=True),
     }
     scores = {name: benchmark.score_all(backend) for name, backend in variants.items()}
     return Table2bResult(scores=scores)

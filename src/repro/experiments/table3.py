@@ -17,8 +17,7 @@ from ..core.registry import LutRegistry, default_registry
 from ..tasks.evaluation import SquadResult, evaluate_squad
 from ..tasks.squad import SquadTaskSpec, generate_squad_task
 from ..transformer.models import MobileBertLikeModel
-from ..transformer.nonlinear_backend import linear_lut_backend, nn_lut_backend
-from .common import DEFAULT_SCALE, ExperimentScale
+from .common import DEFAULT_SCALE, ExperimentScale, backend_variant_specs
 
 __all__ = ["Table3Result", "run_table3"]
 
@@ -57,19 +56,14 @@ def run_table3(
     )
     data = generate_squad_task(vocab_size=model.config.vocab_size, seed=scale.task_seed, spec=spec)
 
-    backends = {
-        "Linear-LUT FP32": linear_lut_backend(num_entries=entries, replace=["softmax"]),
-        "Linear-LUT FP16": linear_lut_backend(
-            num_entries=entries, precision="fp16", replace=["softmax"]
-        ),
-        "NN-LUT FP32": nn_lut_backend(
-            registry=registry, num_entries=entries, replace=["softmax"]
-        ),
-        "NN-LUT FP16": nn_lut_backend(
-            registry=registry, num_entries=entries, precision="fp16", replace=["softmax"]
-        ),
-    }
-    results = evaluate_squad(model, backends, seed=scale.task_seed, data=data)
+    backends = backend_variant_specs(
+        num_entries=entries,
+        groups=(("", ("softmax",)),),
+        precisions=("fp32", "fp16"),
+    )
+    results = evaluate_squad(
+        model, backends, seed=scale.task_seed, data=data, registry=registry
+    )
     return Table3Result(results=results)
 
 

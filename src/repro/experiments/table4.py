@@ -90,7 +90,9 @@ def run_table4(
 
 
 def main() -> None:  # pragma: no cover - convenience entry point
-    print(run_table4().report())
+    from . import run_experiment
+
+    print(run_experiment("table4").report())
 
 
 if __name__ == "__main__":  # pragma: no cover

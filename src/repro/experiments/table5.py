@@ -63,7 +63,9 @@ def run_table5(sequence_lengths: Sequence[int] = PAPER_SEQUENCE_LENGTHS) -> Tabl
 
 
 def main() -> None:  # pragma: no cover - convenience entry point
-    print(run_table5().report())
+    from . import run_experiment
+
+    print(run_experiment("table5").report())
 
 
 if __name__ == "__main__":  # pragma: no cover

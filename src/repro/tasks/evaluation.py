@@ -3,21 +3,25 @@
 These helpers implement the measurement loop behind Tables 2 and 3: fit the
 task heads once on exact-backend features, then score the *same* model + head
 under each approximate backend.
+
+Every entry point accepts either a built
+:class:`~repro.transformer.nonlinear_backend.NonlinearBackend` or a
+declarative :class:`repro.api.BackendSpec` (realised on the fly via
+:func:`repro.api.as_backend`); ``None`` means the exact reference backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
+from ..api.spec import BackendSpec, as_backend
+from ..core.registry import LutRegistry
 from ..transformer.models import EncoderModel
-from ..transformer.nonlinear_backend import NonlinearBackend, exact_backend
+from ..transformer.nonlinear_backend import NonlinearBackend
 from .finetune import (
-    FinetunedClassifier,
-    FinetunedRegressor,
-    FinetunedSpanModel,
     finetune_classification_task,
     finetune_regression_task,
     finetune_span_task,
@@ -33,7 +37,6 @@ __all__ = [
     "evaluate_squad",
     "SquadResult",
 ]
-
 
 @dataclass
 class GlueBenchmark:
@@ -68,37 +71,52 @@ class GlueBenchmark:
                 benchmark.fitted[name] = finetune_regression_task(model, task)
         return benchmark
 
-    def score(self, task_name: str, backend: NonlinearBackend | None = None) -> float:
+    def score(
+        self,
+        task_name: str,
+        backend: NonlinearBackend | BackendSpec | None = None,
+        registry: LutRegistry | None = None,
+    ) -> float:
         """Score one task under ``backend`` using the task's own metric."""
         if task_name not in self.fitted:
             raise KeyError(f"task {task_name!r} has not been fitted")
         task = self.tasks[task_name]
         fitted = self.fitted[task_name]
-        predictions = fitted.predict(backend)
+        predictions = fitted.predict(as_backend(backend, registry=registry))
         return compute_metric(task.spec.metric, predictions, task.test_labels)
 
-    def score_all(self, backend: NonlinearBackend | None = None) -> Dict[str, float]:
+    def score_all(
+        self,
+        backend: NonlinearBackend | BackendSpec | None = None,
+        registry: LutRegistry | None = None,
+    ) -> Dict[str, float]:
         """Scores for every fitted task under ``backend``."""
-        return {name: self.score(name, backend) for name in self.tasks}
+        built = as_backend(backend, registry=registry)
+        return {name: self.score(name, built) for name in self.tasks}
 
 
 def evaluate_glue_task(
     model: EncoderModel,
     task_name: str,
-    backends: Mapping[str, NonlinearBackend],
+    backends: Mapping[str, NonlinearBackend | BackendSpec],
     seed: int = 0,
+    registry: LutRegistry | None = None,
 ) -> Dict[str, float]:
     """Convenience: one task, several backends → {backend name: score}."""
     benchmark = GlueBenchmark.build(model, task_names=[task_name], seed=seed)
-    return {name: benchmark.score(task_name, backend) for name, backend in backends.items()}
+    return {
+        name: benchmark.score(task_name, backend, registry=registry)
+        for name, backend in backends.items()
+    }
 
 
 def evaluate_backends_on_glue(
     model: EncoderModel,
-    backends: Mapping[str, NonlinearBackend],
+    backends: Mapping[str, NonlinearBackend | BackendSpec],
     task_names: Sequence[str] | None = None,
     seed: int = 0,
     spec_overrides: Mapping[str, object] | None = None,
+    registry: LutRegistry | None = None,
 ) -> Dict[str, Dict[str, float]]:
     """Full Table-2 style sweep: {backend name: {task name: score}}.
 
@@ -108,9 +126,9 @@ def evaluate_backends_on_glue(
     benchmark = GlueBenchmark.build(
         model, task_names=task_names, seed=seed, spec_overrides=spec_overrides
     )
-    results: Dict[str, Dict[str, float]] = {"Baseline": benchmark.score_all(exact_backend())}
+    results: Dict[str, Dict[str, float]] = {"Baseline": benchmark.score_all()}
     for name, backend in backends.items():
-        results[name] = benchmark.score_all(backend)
+        results[name] = benchmark.score_all(backend, registry=registry)
     return results
 
 
@@ -124,9 +142,10 @@ class SquadResult:
 
 def evaluate_squad(
     model: EncoderModel,
-    backends: Mapping[str, NonlinearBackend],
+    backends: Mapping[str, NonlinearBackend | BackendSpec],
     seed: int = 0,
     data: SquadData | None = None,
+    registry: LutRegistry | None = None,
 ) -> Dict[str, SquadResult]:
     """Table-3 style sweep on the synthetic SQuAD task.
 
@@ -137,15 +156,15 @@ def evaluate_squad(
     fitted = finetune_span_task(model, data)
     results: Dict[str, SquadResult] = {}
     reference = data.test_spans
-    baseline_prediction = fitted.predict(exact_backend())
-    results["Baseline"] = SquadResult(
-        f1=span_f1(baseline_prediction, reference),
-        exact_match=span_exact_match(baseline_prediction, reference),
-    )
-    for name, backend in backends.items():
-        prediction = fitted.predict(backend)
-        results[name] = SquadResult(
+
+    def score(backend: NonlinearBackend | BackendSpec | None) -> SquadResult:
+        prediction = fitted.predict(as_backend(backend, registry=registry))
+        return SquadResult(
             f1=span_f1(prediction, reference),
             exact_match=span_exact_match(prediction, reference),
         )
+
+    results["Baseline"] = score(None)
+    for name, backend in backends.items():
+        results[name] = score(backend)
     return results

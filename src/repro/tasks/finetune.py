@@ -16,9 +16,10 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..api.spec import as_backend
 from ..transformer.heads import ClassificationHead, RegressionHead, SpanHead
 from ..transformer.models import EncoderModel
-from ..transformer.nonlinear_backend import NonlinearBackend, exact_backend
+from ..transformer.nonlinear_backend import NonlinearBackend
 from .glue import TaskData
 from .squad import SquadData
 
@@ -41,7 +42,7 @@ def extract_pooled_features(
     batch_size: int = 64,
 ) -> np.ndarray:
     """Pooled ([CLS]) features for a batch of token sequences."""
-    backend = backend or exact_backend()
+    backend = as_backend(backend)
     chunks = []
     for start in range(0, tokens.shape[0], batch_size):
         chunk = tokens[start : start + batch_size]
@@ -56,7 +57,7 @@ def extract_token_features(
     batch_size: int = 64,
 ) -> np.ndarray:
     """Per-token hidden states for a batch of token sequences."""
-    backend = backend or exact_backend()
+    backend = as_backend(backend)
     chunks = []
     for start in range(0, tokens.shape[0], batch_size):
         chunk = tokens[start : start + batch_size]

@@ -143,6 +143,16 @@ class Linear:
         """Drop all prepared weight operands (after in-place weight edits)."""
         self._prepared.clear()
 
+    def prepare(self) -> None:
+        """Eagerly prepare the weight operand for the active precision.
+
+        Preparation is otherwise lazy (first forward call); serving sessions
+        call this up front so no request pays the one-time quantisation /
+        cast cost.  A no-op when ``cache_weights`` is disabled.
+        """
+        if self.cache_weights:
+            self._prepared_operands()
+
     def _prepared_operands(self) -> Tuple:
         """Weight operand + bias for the active precision, prepared once."""
         key = (self.precision, self.compute_dtype)

@@ -13,7 +13,7 @@ fine-tuning).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterator
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from .config import (
 )
 from .encoder import TransformerEncoder
 from .layers import Embedding, Linear, NormParameters
-from .nonlinear_backend import NonlinearBackend, exact_backend
+from .nonlinear_backend import NonlinearBackend, _exact_backend
 
 __all__ = ["EncoderModel", "RobertaLikeModel", "MobileBertLikeModel"]
 
@@ -78,7 +78,7 @@ class EncoderModel:
         attention_mask: np.ndarray | None = None,
     ) -> np.ndarray:
         """Return hidden states of shape ``(batch, seq, hidden)``."""
-        backend = backend or exact_backend()
+        backend = backend or _exact_backend()
         embeddings = self.embedding(token_ids)
         # The embedding tables are float64 masters; the engine runs in the
         # configured compute dtype from here on.
@@ -88,6 +88,15 @@ class EncoderModel:
 
     __call__ = forward
 
+    def pool_hidden(self, hidden_states: np.ndarray) -> np.ndarray:
+        """Tanh pooler over the first-token representation of hidden states.
+
+        The single definition of the pooling composition — the serving layer
+        applies it per sequence to keep bit-exact parity with per-call
+        inference.
+        """
+        return np.tanh(self.pooler(hidden_states[:, 0, :]))
+
     def pooled(
         self,
         token_ids: np.ndarray,
@@ -96,7 +105,7 @@ class EncoderModel:
     ) -> np.ndarray:
         """First-token ("[CLS]") representation through a tanh pooler."""
         hidden = self.forward(token_ids, backend=backend, attention_mask=attention_mask)
-        return np.tanh(self.pooler(hidden[:, 0, :]))
+        return self.pool_hidden(hidden)
 
     def num_parameters(self) -> int:
         return (
@@ -105,6 +114,19 @@ class EncoderModel:
             + self.embedding_norm.num_parameters()
             + self.pooler.num_parameters()
         )
+
+    def iter_linears(self) -> Iterator[Linear]:
+        """Every linear layer in the model (attention, FFN, pooler).
+
+        Serving sessions use this to prepare the cached weight operands up
+        front; calibration flows that edit weights in place use it to
+        ``invalidate()`` them all.
+        """
+        for layer in self.encoder.layers:
+            attention = layer.attention
+            yield from (attention.query, attention.key, attention.value, attention.output)
+            yield from (layer.ffn_in, layer.ffn_out)
+        yield self.pooler
 
 
 @dataclass

@@ -11,19 +11,26 @@ evaluated with:
 * calibrated NN-LUT variants (Table 2(b) "+C" rows).
 
 A backend can also *record* the tensors flowing into each operator site,
-which is what the dataset-free calibration pass consumes.
+which is what the dataset-free calibration pass consumes — use the
+:meth:`NonlinearBackend.recording` context manager.
+
+Backends are declared with :class:`repro.api.BackendSpec` and realised by
+:func:`repro.api.build_backend`.  The module-level ``exact_backend`` /
+``nn_lut_backend`` / ``linear_lut_backend`` / ``ibert_backend`` constructors
+remain as thin deprecated shims over that factory; :func:`backend_from_luts`
+stays as the low-level assembler for callers that bring their own primitive
+approximators (e.g. the benchmark harness's seed-path replicas).
 """
 
 from __future__ import annotations
 
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
-from ..baselines.ibert import IBertGelu, IBertLayerNorm, IBertSoftmax
-from ..baselines.linear_lut import linear_lut_for
-from ..core import functions
 from ..core.approximators import (
     ExactGelu,
     ExactLayerNorm,
@@ -32,10 +39,8 @@ from ..core.approximators import (
     LutLayerNorm,
     LutSoftmax,
 )
-from ..core.functions import get_training_range
 from ..core.lut import LookupTable
-from ..core.quantization import quantize_lut_fp16, quantize_lut_int32
-from ..core.registry import LutRegistry, default_registry
+from ..core.registry import LutRegistry
 from ..core.scaling import InputScaler
 
 __all__ = [
@@ -111,6 +116,23 @@ class NonlinearBackend:
             self.recorder.record("layernorm", x)
         return self.layernorm(x, gamma=gamma, beta=beta, axis=axis)
 
+    @contextmanager
+    def recording(self, enabled: bool = True) -> Iterator[OperatorRecorder]:
+        """Scoped operator-input recording.
+
+        The previous recorder state is restored on exit *even if the body
+        raises* — the manual ``backend.recorder.enabled = True/False`` pattern
+        this replaces leaked an enabled recorder (and its per-call tensor
+        copies) into subsequent inference whenever the calibration pass
+        failed midway.
+        """
+        previous = self.recorder.enabled
+        self.recorder.enabled = enabled
+        try:
+            yield self.recorder
+        finally:
+            self.recorder.enabled = previous
+
 
 def _validate_replace(replace: Iterable[str]) -> Tuple[str, ...]:
     ops = tuple(replace)
@@ -120,8 +142,12 @@ def _validate_replace(replace: Iterable[str]) -> Tuple[str, ...]:
     return ops
 
 
-def exact_backend() -> NonlinearBackend:
-    """Exact FP32/FP64 reference backend (the paper's "Baseline")."""
+def _exact_backend() -> NonlinearBackend:
+    """Internal exact backend — the ``backend=None`` default of the substrate.
+
+    Kept warning-free and import-cycle-free (``repro.api`` builds *on* this
+    package); public callers should use ``repro.api.BackendSpec.exact()``.
+    """
     return NonlinearBackend(
         name="exact",
         gelu=ExactGelu(),
@@ -129,19 +155,6 @@ def exact_backend() -> NonlinearBackend:
         layernorm=ExactLayerNorm(),
         metadata={"method": "exact"},
     )
-
-
-def _apply_precision(
-    lut: LookupTable, precision: str, function_name: str
-) -> Callable[[np.ndarray], np.ndarray]:
-    """Wrap a float LUT in the requested precision variant."""
-    if precision == "fp32":
-        return lut
-    if precision == "fp16":
-        return quantize_lut_fp16(lut)
-    if precision == "int32":
-        return quantize_lut_int32(lut, input_range=get_training_range(function_name))
-    raise ValueError(f"precision must be 'fp32', 'fp16' or 'int32', got {precision!r}")
 
 
 def backend_from_luts(
@@ -154,8 +167,9 @@ def backend_from_luts(
 
     ``luts`` maps primitive names (``"gelu"``, ``"exp"``, ``"reciprocal"``,
     ``"rsqrt"``) to callables.  Operators not listed in ``replace`` fall back
-    to the exact implementation — this is how the per-operator rows of
-    Table 2(a) ("GELU only", "Softmax only", "LayerNorm only") are produced.
+    to the exact implementation.  This is the low-level escape hatch for
+    hand-built primitives; declarative scenarios should go through
+    :func:`repro.api.build_backend`.
     """
     ops = _validate_replace(replace)
     gelu_op: Callable[[np.ndarray], np.ndarray] = ExactGelu()
@@ -179,6 +193,27 @@ def backend_from_luts(
     )
 
 
+# --------------------------------------------------------------------------- #
+# Deprecated shims over repro.api.build_backend
+# --------------------------------------------------------------------------- #
+def _deprecated(legacy: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.transformer.{legacy}() is deprecated; declare the backend with "
+        f"repro.api.BackendSpec.{replacement}(...) and realise it with "
+        "repro.api.build_backend(spec)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def exact_backend() -> NonlinearBackend:
+    """Deprecated: use ``build_backend(BackendSpec.exact())``."""
+    from ..api.spec import BackendSpec, build_backend
+
+    _deprecated("exact_backend", "exact")
+    return build_backend(BackendSpec.exact())
+
+
 def nn_lut_backend(
     registry: LutRegistry | None = None,
     num_entries: int = 16,
@@ -187,38 +222,22 @@ def nn_lut_backend(
     input_scaling: bool = True,
     lut_overrides: Dict[str, LookupTable] | None = None,
 ) -> NonlinearBackend:
-    """NN-LUT backend built from the (shared) fitted-primitive registry.
+    """Deprecated: use ``build_backend(BackendSpec.nn_lut(...))``.
 
-    Parameters
-    ----------
-    registry:
-        Source of fitted tables; defaults to the process-wide registry.
-    num_entries:
-        LUT size (16 in the paper).
-    precision:
-        ``"fp32"``, ``"fp16"`` or ``"int32"`` table/datapath precision.
-    replace:
-        Which Transformer operators to approximate; the rest stay exact.
-    input_scaling:
-        Enable the Sec.-3.3.2 input scaling for LayerNorm's 1/sqrt.
-    lut_overrides:
-        Optional replacement tables per primitive (e.g. calibrated LUTs).
+    ``lut_overrides`` maps primitive names to replacement tables (e.g.
+    calibrated LUTs) and corresponds to the ``lut_overrides`` argument of
+    :func:`repro.api.build_backend`.
     """
-    registry = registry or default_registry()
-    lut_overrides = lut_overrides or {}
-    primitives: Dict[str, Callable[[np.ndarray], np.ndarray]] = {}
-    for primitive in ("gelu", "exp", "reciprocal", "rsqrt"):
-        lut = lut_overrides.get(primitive, None)
-        if lut is None:
-            lut = registry.lut(primitive, num_entries=num_entries)
-        primitives[primitive] = _apply_precision(lut, precision, primitive)
-    suffix = "+cal" if lut_overrides else ""
-    return backend_from_luts(
-        primitives,
+    from ..api.spec import BackendSpec, build_backend
+
+    _deprecated("nn_lut_backend", "nn_lut")
+    spec = BackendSpec.nn_lut(
+        precision=precision,
+        num_entries=num_entries,
         replace=replace,
         input_scaling=input_scaling,
-        name=f"nn-lut-{precision}{suffix}",
     )
+    return build_backend(spec, registry=registry, lut_overrides=lut_overrides)
 
 
 def linear_lut_backend(
@@ -227,26 +246,22 @@ def linear_lut_backend(
     replace: Sequence[str] = ALL_OPS,
     input_scaling: bool = True,
 ) -> NonlinearBackend:
-    """Linear-mode LUT baseline backend (fixed equally-spaced breakpoints)."""
-    primitives: Dict[str, Callable[[np.ndarray], np.ndarray]] = {}
-    for primitive in ("gelu", "exp", "reciprocal", "rsqrt"):
-        lut = linear_lut_for(primitive, num_entries=num_entries)
-        primitives[primitive] = _apply_precision(lut, precision, primitive)
-    return backend_from_luts(
-        primitives,
+    """Deprecated: use ``build_backend(BackendSpec.linear_lut(...))``."""
+    from ..api.spec import BackendSpec, build_backend
+
+    _deprecated("linear_lut_backend", "linear_lut")
+    spec = BackendSpec.linear_lut(
+        precision=precision,
+        num_entries=num_entries,
         replace=replace,
         input_scaling=input_scaling,
-        name=f"linear-lut-{precision}",
     )
+    return build_backend(spec)
 
 
 def ibert_backend(replace: Sequence[str] = ALL_OPS) -> NonlinearBackend:
-    """I-BERT integer-approximation backend."""
-    ops = _validate_replace(replace)
-    return NonlinearBackend(
-        name="i-bert",
-        gelu=IBertGelu() if "gelu" in ops else ExactGelu(),
-        softmax=IBertSoftmax() if "softmax" in ops else ExactSoftmax(),
-        layernorm=IBertLayerNorm() if "layernorm" in ops else ExactLayerNorm(),
-        metadata={"method": "i-bert", "replaced": ops},
-    )
+    """Deprecated: use ``build_backend(BackendSpec.ibert(...))``."""
+    from ..api.spec import BackendSpec, build_backend
+
+    _deprecated("ibert_backend", "ibert")
+    return build_backend(BackendSpec.ibert(replace=replace))

@@ -1,0 +1,425 @@
+"""InferenceSession: batching correctness, bitwise parity, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BackendSpec,
+    InferenceSession,
+    RequestBatcher,
+    SessionConfig,
+    build_backend,
+)
+from repro.transformer.heads import ClassificationHead
+
+
+@pytest.fixture(scope="module")
+def tiny64_config():
+    return SessionConfig(model_family="tiny", compute_dtype="float64", max_batch_size=3)
+
+
+@pytest.fixture(scope="module")
+def tiny64_model(tiny64_config):
+    return tiny64_config.build_model()
+
+
+@pytest.fixture(scope="module")
+def ragged_requests():
+    rng = np.random.default_rng(7)
+    lengths = (5, 12, 5, 9, 30, 12, 7, 5)
+    return [rng.integers(0, 100, size=length) for length in lengths]
+
+
+class TestRequestBatcher:
+    def test_groups_by_length_and_respects_batch_size(self):
+        batcher = RequestBatcher(max_batch_size=2, bucket_size=1)
+        plan = batcher.plan([5, 9, 5, 5, 9, 3])
+        assert plan == [(3, (5,)), (5, (0, 2)), (5, (3,)), (9, (1, 4))]
+
+    def test_bucketing_pads_to_multiple(self):
+        batcher = RequestBatcher(max_batch_size=8, bucket_size=8)
+        plan = batcher.plan([5, 7, 9, 16])
+        assert plan == [(8, (0, 1)), (16, (2, 3))]
+
+    def test_bucketing_never_pads_past_max_length(self, fast_registry):
+        # bucket_size 7 does not divide max_sequence_length 32: a length-29
+        # request must be capped at 32, not bucketed to 35.
+        batcher = RequestBatcher(max_batch_size=4, bucket_size=7)
+        assert batcher.plan([29, 3], max_length=32) == [(7, (1,)), (32, (0,))]
+        session = InferenceSession(
+            SessionConfig(model_family="tiny", bucket_size=7), registry=fast_registry
+        )
+        (hidden,) = session.forward([np.arange(1, 30)])
+        assert hidden.shape[0] == 29
+
+    def test_no_mask_without_padding(self):
+        batcher = RequestBatcher(max_batch_size=4)
+        requests = [np.arange(1, 5), np.arange(2, 6)]
+        (batch,) = list(batcher.iter_batches(requests))
+        assert batch.mask is None
+        assert np.array_equal(batch.tokens, np.stack(requests))
+
+    def test_padding_and_mask(self):
+        batcher = RequestBatcher(max_batch_size=4, bucket_size=4)
+        requests = [np.array([1, 2]), np.array([3, 4, 5, 6])]
+        (batch,) = list(batcher.iter_batches(requests))
+        assert batch.tokens.shape == (2, 4)
+        assert np.array_equal(batch.tokens[0], [1, 2, 0, 0])
+        assert np.array_equal(batch.mask, [[1, 1, 0, 0], [1, 1, 1, 1]])
+
+    def test_buffers_are_reused_across_batches(self):
+        batcher = RequestBatcher(max_batch_size=4)
+        requests = [np.arange(6), np.arange(6), np.arange(4)]
+        # Warm-up pass grows the buffer; copy=False is the zero-allocation
+        # hot path the session uses.
+        list(batcher.iter_batches(requests, copy=False))
+        first = [b.tokens.base for b in batcher.iter_batches(requests, copy=False)]
+        second = [b.tokens.base for b in batcher.iter_batches(requests, copy=False)]
+        assert first[0] is not None and all(base is first[0] for base in first + second)
+
+    def test_default_batches_own_their_arrays(self):
+        batcher = RequestBatcher(max_batch_size=1)
+        requests = [np.full(5, 1), np.full(5, 2)]
+        batches = list(batcher.iter_batches(requests))
+        assert np.array_equal(batches[0].tokens[0], np.full(5, 1))
+        assert np.array_equal(batches[1].tokens[0], np.full(5, 2))
+
+    @pytest.mark.parametrize(
+        "bad_request, match",
+        [
+            (np.array([]), "empty"),
+            (np.zeros((2, 3), dtype=np.int64), "1-D"),
+            (np.array([0.5, 1.5]), "integer"),
+        ],
+    )
+    def test_rejects_malformed_requests(self, bad_request, match):
+        batcher = RequestBatcher()
+        with pytest.raises(ValueError, match=match):
+            list(batcher.iter_batches([bad_request]))
+
+    def test_rejects_over_length_requests(self):
+        batcher = RequestBatcher()
+        with pytest.raises(ValueError, match="maximum sequence length"):
+            list(batcher.iter_batches([np.arange(10)], max_length=8))
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            RequestBatcher(max_batch_size=0)
+        with pytest.raises(ValueError, match="bucket_size"):
+            RequestBatcher(bucket_size=0)
+
+
+#: Every BackendSpec scenario of the acceptance criterion.
+PARITY_SPECS = {
+    "exact": BackendSpec.exact(),
+    "nn_lut_fp32": BackendSpec.nn_lut(precision="fp32"),
+    "nn_lut_fp16": BackendSpec.nn_lut(precision="fp16"),
+    "nn_lut_int32": BackendSpec.nn_lut(precision="int32"),
+    "linear_lut": BackendSpec.linear_lut(),
+    "ibert": BackendSpec.ibert(),
+}
+
+
+class TestBitwiseParity:
+    """Micro-batched ragged serving == legacy per-call, bit for bit (fp64)."""
+
+    @pytest.mark.parametrize("key", sorted(PARITY_SPECS))
+    def test_forward_matches_per_call(
+        self, key, tiny64_model, ragged_requests, fast_registry
+    ):
+        spec = PARITY_SPECS[key]
+        session = InferenceSession.from_model(
+            tiny64_model, spec=spec, registry=fast_registry, max_batch_size=3
+        )
+        batched = session.forward(ragged_requests)
+        for i, request in enumerate(ragged_requests):
+            per_call = tiny64_model.forward(request[None, :], backend=session.backend)
+            assert np.array_equal(per_call[0], batched[i]), f"{key}: request {i}"
+
+    @pytest.mark.parametrize("key", sorted(PARITY_SPECS))
+    def test_pooled_matches_per_call(
+        self, key, tiny64_model, ragged_requests, fast_registry
+    ):
+        spec = PARITY_SPECS[key]
+        session = InferenceSession.from_model(
+            tiny64_model, spec=spec, registry=fast_registry, max_batch_size=3
+        )
+        pooled = session.pooled(ragged_requests)
+        for i, request in enumerate(ragged_requests):
+            per_call = tiny64_model.pooled(request[None, :], backend=session.backend)
+            assert np.array_equal(per_call[0], pooled[i]), f"{key}: request {i}"
+
+
+class TestServing:
+    def test_outputs_come_back_in_request_order(self, tiny64_model, fast_registry):
+        session = InferenceSession.from_model(
+            tiny64_model, registry=fast_registry, max_batch_size=2
+        )
+        requests = [np.full(length, length, dtype=np.int64) for length in (4, 9, 4, 6)]
+        outputs = session.forward(requests)
+        assert [o.shape[0] for o in outputs] == [4, 9, 4, 6]
+
+    def test_empty_request_list(self, tiny64_model, fast_registry):
+        session = InferenceSession.from_model(tiny64_model, registry=fast_registry)
+        assert session.forward([]) == []
+        assert session.pooled([]).shape == (0, tiny64_model.config.hidden_size)
+
+    def test_padded_buckets_stay_close_to_per_call(self, tiny64_model, fast_registry):
+        session = InferenceSession.from_model(
+            tiny64_model, registry=fast_registry, max_batch_size=4, bucket_size=8
+        )
+        rng = np.random.default_rng(3)
+        requests = [rng.integers(0, 100, size=length) for length in (5, 8, 6, 3)]
+        batched = session.forward(requests)
+        for i, request in enumerate(requests):
+            per_call = tiny64_model.forward(request[None, :], backend=session.backend)
+            # Padded keys receive a large-negative score, not -inf, so parity
+            # is approximate here (exact softmax underflows them to zero).
+            assert np.allclose(per_call[0], batched[i], atol=1e-8), f"request {i}"
+
+    def test_classify_uses_fitted_head(self, tiny64_model, fast_registry, rng):
+        session = InferenceSession.from_model(tiny64_model, registry=fast_registry)
+        requests = [rng.integers(0, 100, size=length) for length in (6, 11, 6)]
+        features = session.pooled(requests)
+        labels = (features[:, 0] > np.median(features[:, 0])).astype(np.int64)
+        head = ClassificationHead.fit(features, labels, num_classes=2, epochs=20)
+        assert np.array_equal(session.classify(requests, head), head.predict(features))
+
+    def test_classify_unwraps_finetuned_wrappers(self, tiny64_model, fast_registry, rng):
+        # The finetuning flow's Finetuned* objects carry the real head in
+        # `.head`; classify must score *these* requests through it, not call
+        # the wrapper's backend-taking predict().
+        session = InferenceSession.from_model(tiny64_model, registry=fast_registry)
+        requests = [rng.integers(0, 100, size=length) for length in (6, 11)]
+        features = session.pooled(requests)
+        labels = np.array([0, 1])
+        head = ClassificationHead.fit(features, labels, num_classes=2, epochs=20)
+
+        class Wrapper:
+            def __init__(self, head):
+                self.head = head
+
+            def predict(self, backend=None):  # pragma: no cover - must not run
+                raise AssertionError("wrapper predict must not be called")
+
+        assert np.array_equal(
+            session.classify(requests, Wrapper(head)), head.predict(features)
+        )
+
+    def test_classify_rejects_non_classification_heads(
+        self, tiny64_model, fast_registry
+    ):
+        session = InferenceSession.from_model(tiny64_model, registry=fast_registry)
+        with pytest.raises(TypeError, match="ClassificationHead"):
+            session.classify([np.arange(1, 5)], head=object())
+        # A span head has .predict too but scores token features — it must be
+        # rejected up front, not crash deep inside heads.py.
+        from repro.transformer.heads import SpanHead
+
+        span_head = SpanHead(weight=np.zeros(tiny64_model.config.hidden_size), bias=0.0)
+        with pytest.raises(TypeError, match="ClassificationHead"):
+            session.classify([np.arange(1, 5)], head=span_head)
+
+    def test_forward_batch_passthrough(self, tiny64_model, fast_registry, rng):
+        session = InferenceSession.from_model(tiny64_model, registry=fast_registry)
+        tokens = rng.integers(0, 100, size=(2, 8))
+        assert np.array_equal(
+            session.forward_batch(tokens),
+            tiny64_model.forward(tokens, backend=session.backend),
+        )
+
+    def test_session_builds_model_from_config(self, fast_registry):
+        config = SessionConfig(model_family="tiny", seed=5)
+        session = InferenceSession(config, registry=fast_registry)
+        assert session.model.config.name == "tiny-test"
+        twin = config.build_model()
+        request = np.arange(1, 9)
+        assert np.array_equal(
+            session.forward([request])[0],
+            twin.forward(request[None, :], backend=session.backend)[0],
+        )
+
+
+class TestSessionConfig:
+    def test_round_trip(self):
+        config = SessionConfig(
+            model_family="mobilebert",
+            seed=4,
+            matmul_precision="int8",
+            bucket_size=4,
+            model_overrides={"num_layers": 2},
+        )
+        assert SessionConfig.from_dict(config.to_dict()) == config
+
+    def test_rejects_unknown_family_and_size(self):
+        with pytest.raises(ValueError, match="model_family"):
+            SessionConfig(model_family="gpt")
+        with pytest.raises(ValueError, match="model_size"):
+            SessionConfig(model_size="xxl")
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="sharding"):
+            SessionConfig.from_dict({"sharding": 2})
+
+    def test_configs_are_hashable_values(self):
+        a = SessionConfig(model_overrides={"num_layers": 2})
+        b = SessionConfig(model_overrides={"num_layers": 2})
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b, SessionConfig()}) == 2
+
+    def test_engine_settings_reach_the_model(self):
+        config = SessionConfig(
+            model_family="tiny", compute_dtype="float64", matmul_precision="int8"
+        )
+        model = config.build_model()
+        assert model.config.compute_dtype == "float64"
+        assert model.config.matmul_precision == "int8"
+
+    def test_adopted_model_rejects_named_family_configs(self, tiny64_model, fast_registry):
+        with pytest.raises(ValueError, match="custom"):
+            InferenceSession(
+                SessionConfig(model_family="roberta"),
+                registry=fast_registry,
+                model=tiny64_model,
+            )
+        # With no config at all, an honest custom config is synthesized.
+        session = InferenceSession(registry=fast_registry, model=tiny64_model)
+        assert session.config.model_family == "custom"
+        assert session.config.compute_dtype == tiny64_model.config.compute_dtype
+
+    def test_custom_config_engine_fields_must_match_model(
+        self, tiny64_model, fast_registry
+    ):
+        # tiny64_model runs float64; a custom config claiming float32 would
+        # log engine settings the session does not actually use.
+        with pytest.raises(ValueError, match="compute_dtype"):
+            InferenceSession(
+                SessionConfig(model_family="custom", compute_dtype="float32"),
+                registry=fast_registry,
+                model=tiny64_model,
+            )
+        session = InferenceSession(
+            SessionConfig(model_family="custom", compute_dtype="float64", max_batch_size=4),
+            registry=fast_registry,
+            model=tiny64_model,
+        )
+        assert session.config.max_batch_size == 4
+
+    def test_from_model_config_is_marked_custom(self, tiny64_model, fast_registry):
+        session = InferenceSession.from_model(tiny64_model, registry=fast_registry)
+        assert session.config.model_family == "custom"
+        # A custom config round-trips but refuses to rebuild a model — it
+        # never described the adopted architecture.
+        replayed = SessionConfig.from_dict(session.config.to_dict())
+        with pytest.raises(ValueError, match="custom"):
+            replayed.build_model()
+
+
+class TestCalibration:
+    def test_calibrate_swaps_tables_in(self, fast_registry):
+        spec = BackendSpec.nn_lut().with_calibration("layernorm")
+        session = InferenceSession(
+            SessionConfig(model_family="tiny", compute_dtype="float64"),
+            spec=spec,
+            registry=fast_registry,
+        )
+        rng = np.random.default_rng(0)
+        samples = [rng.integers(0, 100, size=length) for length in (8, 12, 8, 16)]
+        calibrated = session.calibrate(samples)
+        assert set(calibrated) == {"rsqrt"}
+        assert calibrated["rsqrt"].metadata["calibrated"] is True
+        assert session.lut_overrides["rsqrt"] is calibrated["rsqrt"]
+        assert session.backend.name == "nn-lut-fp32+cal"
+        # The recording pass must not leak into the serving backend.
+        assert not session.backend.recorder.enabled
+        # The calibrated session still serves.
+        assert session.pooled(samples).shape == (4, session.model.config.hidden_size)
+
+    def test_calibrate_is_invariant_to_bucketed_padding(self, fast_registry):
+        # Recording always runs with exact-length batching: a padded-bucket
+        # session must produce the same calibrated table as an unpadded one
+        # (pad-token activations must never reach the recorder).
+        rng = np.random.default_rng(2)
+        samples = [rng.integers(0, 100, size=length) for length in (5, 11, 7, 13)]
+        tables = []
+        for bucket_size in (1, 8):
+            session = InferenceSession(
+                SessionConfig(model_family="tiny", bucket_size=bucket_size),
+                spec=BackendSpec.nn_lut().with_calibration("layernorm"),
+                registry=fast_registry,
+            )
+            tables.append(session.calibrate(samples)["rsqrt"])
+        assert np.array_equal(tables[0].breakpoints, tables[1].breakpoints)
+        assert np.array_equal(tables[0].slopes, tables[1].slopes)
+
+    def test_calibration_queries_respect_input_scaling(self, fast_registry):
+        # input_scaling=False serves raw variances; the calibrated table must
+        # be fitted on that same distribution, not the S*var mapping.
+        from repro.api import calibrate_primitive_luts
+        from repro.transformer.nonlinear_backend import OperatorRecorder
+
+        rng = np.random.default_rng(0)
+        recorder = OperatorRecorder(enabled=True)
+        recorder.record("layernorm", rng.normal(0.0, 0.01, size=(4, 16, 32)))
+        scaled = calibrate_primitive_luts(
+            recorder, fast_registry, ("layernorm",), input_scaling=True
+        )
+        raw = calibrate_primitive_luts(
+            recorder, fast_registry, ("layernorm",), input_scaling=False
+        )
+        assert not np.array_equal(
+            scaled["rsqrt"].breakpoints, raw["rsqrt"].breakpoints
+        )
+
+    def test_calibrate_defaults_to_all_nn_lut_operators(self, fast_registry):
+        session = InferenceSession(
+            SessionConfig(model_family="tiny"),
+            spec=BackendSpec.nn_lut(replace=("gelu",)),
+            registry=fast_registry,
+        )
+        rng = np.random.default_rng(1)
+        calibrated = session.calibrate([rng.integers(0, 100, size=10)])
+        assert set(calibrated) == {"gelu"}
+
+    def test_calibrate_rejects_exact_spec(self, fast_registry):
+        session = InferenceSession(
+            SessionConfig(model_family="tiny"), registry=fast_registry
+        )
+        with pytest.raises(ValueError, match="nothing to calibrate"):
+            session.calibrate([np.arange(1, 9)])
+
+    def test_calibrate_rejects_non_nn_lut_operator(self, fast_registry):
+        session = InferenceSession(
+            SessionConfig(model_family="tiny"),
+            spec=BackendSpec.linear_lut(),
+            registry=fast_registry,
+        )
+        with pytest.raises(ValueError, match="NN-LUT"):
+            session.calibrate([np.arange(1, 9)], operators=("gelu",))
+
+
+class TestRecordingContextManager:
+    def test_restores_state_on_exception(self):
+        backend = build_backend(BackendSpec.exact())
+        with pytest.raises(RuntimeError):
+            with backend.recording():
+                assert backend.recorder.enabled
+                raise RuntimeError("calibration failed midway")
+        assert not backend.recorder.enabled
+
+    def test_restores_prior_enabled_state(self):
+        backend = build_backend(BackendSpec.exact())
+        backend.recorder.enabled = True
+        with backend.recording(enabled=False):
+            assert not backend.recorder.enabled
+        assert backend.recorder.enabled
+
+    def test_records_inside_scope_only(self, rng):
+        backend = build_backend(BackendSpec.exact())
+        backend.apply_gelu(rng.normal(size=(2, 3)))
+        assert backend.recorder.gelu_inputs == []
+        with backend.recording() as recorder:
+            backend.apply_gelu(rng.normal(size=(2, 3)))
+        assert len(recorder.gelu_inputs) == 1
+        backend.apply_gelu(rng.normal(size=(2, 3)))
+        assert len(recorder.gelu_inputs) == 1

@@ -22,6 +22,40 @@ TINY = ExperimentScale(
 )
 
 
+class TestBackendVariantSpecs:
+    def test_table2a_grid_labels(self):
+        from repro.experiments import backend_variant_specs
+
+        specs = backend_variant_specs(num_entries=8)
+        assert list(specs) == [
+            "Linear-LUT GELU only", "Linear-LUT Softmax only",
+            "Linear-LUT LayerNorm only", "Linear-LUT Altogether",
+            "NN-LUT GELU only", "NN-LUT Softmax only",
+            "NN-LUT LayerNorm only", "NN-LUT Altogether",
+        ]
+        assert specs["NN-LUT GELU only"].replaced() == ("gelu",)
+        assert specs["NN-LUT Altogether"].gelu.num_entries == 8
+
+    def test_precision_sweep_skips_non_lut_methods(self):
+        from repro.experiments import backend_variant_specs
+
+        specs = backend_variant_specs(
+            methods=("nn_lut", "ibert"),
+            groups=(("", ("softmax",)),),
+            precisions=("fp32", "fp16"),
+        )
+        # One I-BERT row (it has no precision variants), two NN-LUT rows.
+        assert list(specs) == ["NN-LUT FP32", "NN-LUT FP16", "I-BERT"]
+
+    def test_exact_method_emits_a_single_baseline_row(self):
+        from repro.experiments import backend_variant_specs
+
+        specs = backend_variant_specs(methods=("exact", "nn_lut"))
+        baseline_rows = [label for label in specs if label.startswith("Baseline")]
+        assert baseline_rows == ["Baseline"]
+        assert specs["Baseline"].replaced() == ()
+
+
 class TestFigure2:
     def test_nn_lut_beats_linear_lut_on_wide_range_ops(self, fast_registry):
         result = run_figure2(registry=fast_registry, num_points=256)
@@ -90,3 +124,25 @@ class TestTable5:
         assert speedups[1024] > speedups[16] > 1.0
         assert speedups[1024] == pytest.approx(1.26, abs=0.05)
         assert "Table 5" in result.report()
+
+    def test_run_experiment_honours_the_scale_sweep(self):
+        from repro.experiments import run_experiment
+
+        scale = ExperimentScale(table5_sequence_lengths=(32, 512))
+        result = run_experiment("table5", scale=scale)
+        assert sorted(result.speedups()) == [32, 512]
+
+
+class TestRunExperimentScaleThreading:
+    def test_figure2_honours_num_lut_entries(self, fast_registry):
+        from repro.experiments import run_experiment
+
+        scale = ExperimentScale(num_lut_entries=8)
+        result = run_experiment("figure2", scale=scale, registry=fast_registry)
+        assert result.num_entries == 8
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments import run_experiment
+
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("table9")

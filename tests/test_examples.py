@@ -1,0 +1,54 @@
+"""Tier-1 shim over the example suite: example drift fails the build.
+
+Runs every ``examples/*.py`` script in a subprocess with ``EXAMPLES_SMOKE=1``
+(the same mode ``scripts/run_examples.sh`` uses), so the examples stay
+working demonstrations of the public API.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_SCRIPTS = sorted(
+    path for path in EXAMPLES_DIR.glob("*.py") if path.name != "example_utils.py"
+)
+
+
+def test_example_suite_is_complete():
+    """Every example is picked up (guards against glob/layout drift)."""
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert {
+        "approximate_transformer.py",
+        "calibration_demo.py",
+        "hardware_speedup.py",
+        "operator_accuracy.py",
+        "quickstart.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.stem)
+def test_example_runs_in_smoke_mode(script: Path):
+    env = dict(os.environ)
+    env["EXAMPLES_SMOKE"] = "1"
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "") if env.get("PYTHONPATH") else src
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed with exit code {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"
