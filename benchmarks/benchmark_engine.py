@@ -52,6 +52,12 @@ def test_report_schema(engine_report):
         "linear_fp32",
         "linear_int8",
     }
+    assert set(engine_report["end_to_end"]) == {
+        "encoder_forward_fp32",
+        "encoder_forward_int8",
+        "session_ragged_fp32",
+        "server_concurrent_fp32",
+    }
     for row in engine_report["ops"].values():
         assert row["seed_s"] > 0 and row["fast_s"] > 0 and row["speedup"] > 0
     for row in engine_report["end_to_end"].values():
@@ -76,6 +82,8 @@ def test_full_mode_speedups(engine_report):
     end_to_end = engine_report["end_to_end"]
     assert end_to_end["encoder_forward_int8"]["speedup"] >= 3.0
     assert end_to_end["encoder_forward_fp32"]["speedup"] >= 1.25
+    # Acceptance gate: pooled concurrent serving vs one-forward-per-request.
+    assert end_to_end["server_concurrent_fp32"]["speedup"] >= 1.5
     for name, row in engine_report["ops"].items():
         assert row["speedup"] >= 1.0, f"op {name} regressed: {row}"
 
@@ -109,6 +117,23 @@ def test_session_ragged_row(engine_report):
     row = engine_report["end_to_end"]["session_ragged_fp32"]
     assert row["num_requests"] >= 1 and row["total_tokens"] > 0
     assert row["cached_float64_bitwise_equal"]
+
+
+def test_server_concurrent_row(engine_report):
+    """The concurrent-serving row: pooled serving matches single-session.
+
+    Runs in tier-1 smoke mode too, so the SessionPool + ServingQueue path
+    (2 replicas, mixed-length traffic, concurrent clients) cannot rot.
+    """
+    row = engine_report["end_to_end"]["server_concurrent_fp32"]
+    assert row["num_replicas"] >= 2 and row["num_clients"] >= 1
+    assert row["num_requests"] >= 1 and row["total_tokens"] > 0
+    assert row["cached_float64_bitwise_equal"]
+    queue = row["queue"]
+    assert queue["completed"] >= row["num_requests"]
+    assert queue["rejected"] == 0 and queue["expired"] == 0
+    assert queue["mean_batch_size"] >= 1.0
+    assert 0.0 < queue["p50_latency_ms"] <= queue["p99_latency_ms"]
 
 
 @pytest.mark.benchmark(group="engine")

@@ -20,7 +20,12 @@ prepared once (I-BERT's static-weight discipline), fused
 ``LookupTable.evaluate`` kernels with buffer reuse.  The
 ``session_ragged_fp32`` row additionally compares the legacy one-forward-
 per-request serving pattern against :class:`repro.api.InferenceSession`'s
-dynamic micro-batching on a ragged request mix (schema v2).
+dynamic micro-batching on a ragged request mix, and the
+``server_concurrent_fp32`` row (schema v3) measures the concurrent serving
+subsystem — a 2-replica :class:`repro.api.SessionPool` behind a
+batch-coalescing :class:`repro.api.ServingQueue`, fed short-request traffic
+from concurrent client threads — against the same one-forward-per-request
+baseline, with a float64 bitwise-parity check vs single-session serving.
 
 Run directly to regenerate the report (or use ``scripts/bench.sh``)::
 
@@ -36,6 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import threading
 import time
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
@@ -43,7 +49,13 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
-from repro.api import BackendSpec, InferenceSession, build_backend
+from repro.api import (
+    BackendSpec,
+    InferenceSession,
+    ServingQueue,
+    SessionPool,
+    build_backend,
+)
 from repro.core.lut import LookupTable
 from repro.core.registry import LutRegistry
 from repro.core.training import TrainingConfig
@@ -54,7 +66,7 @@ from repro.transformer import (
     backend_from_luts,
 )
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Default report location: the repository root (next to ROADMAP.md).
 DEFAULT_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -473,6 +485,149 @@ def benchmark_session_ragged(
     return row
 
 
+def server_request_lengths(shapes: EngineShapes, num_requests: int) -> List[int]:
+    """Short-request serving traffic: the regime batched scheduling targets.
+
+    Interactive serving is dominated by short sequences (queries, snippets),
+    where the per-request fixed cost — small under-utilised GEMMs plus the
+    Python operator overhead of a depth-``num_layers`` forward — is exactly
+    what cross-caller batch coalescing amortises.
+    """
+    rng = np.random.default_rng(13)
+    seq = shapes.sequence_length
+    candidates = sorted({max(2, seq // 16), max(2, 3 * seq // 32), max(2, seq // 8)})
+    return [int(length) for length in rng.choice(candidates, size=num_requests)]
+
+
+def _concurrent_clients(
+    queue: ServingQueue, requests: List[np.ndarray], num_clients: int
+) -> List[np.ndarray]:
+    """Submit ``requests`` from ``num_clients`` threads; results in order."""
+    futures: List[List] = [[] for _ in range(num_clients)]
+    errors: List[BaseException] = []
+    shards = [list(range(c, len(requests), num_clients)) for c in range(num_clients)]
+
+    def client(c: int) -> None:
+        try:
+            futures[c] = [queue.submit(requests[i]) for i in shards[c]]
+        except BaseException as exc:  # surface, don't silently drop results
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(c,)) for c in range(num_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    outputs: List[np.ndarray] = [None] * len(requests)  # type: ignore[list-item]
+    for c, shard in enumerate(shards):
+        for future, i in zip(futures[c], shard):
+            outputs[i] = future.result(600)
+    return outputs
+
+
+def benchmark_server_concurrent(
+    registry: LutRegistry,
+    shapes: EngineShapes,
+    num_requests: int = 48,
+    num_replicas: int = 2,
+    check_equivalence: bool = True,
+) -> Dict[str, object]:
+    """Concurrent serving: per-call loop vs SessionPool + ServingQueue.
+
+    The "seed" path is again the naive serving loop (one ``model.forward``
+    per request as traffic arrives); the fast path runs the same requests
+    through the batch-coalescing scheduler from concurrent client threads —
+    the ROADMAP's "batched multi-sequence scheduling".  The float64 twin of
+    the pool must reproduce single-session serving bit for bit (exact-length
+    bucketing + identical replicas).
+    """
+    rng = np.random.default_rng(14)
+    lengths = server_request_lengths(shapes, num_requests)
+    requests = [rng.integers(0, shapes.vocab_size, size=length) for length in lengths]
+    total_tokens = int(sum(lengths))
+    num_clients = min(8, num_requests)
+
+    model = build_engine(shapes, "fp32", compute_dtype="float32")
+    spec = BackendSpec.nn_lut()
+    pool = SessionPool.from_model(
+        model, spec=spec, registry=registry,
+        num_replicas=num_replicas, max_batch_size=16,
+    )
+    baseline_backend = pool.sessions[0].backend
+
+    def per_call() -> None:
+        for request in requests:
+            model.forward(request[None, :], backend=baseline_backend)
+
+    seed_s = time_call(per_call, shapes.repeats)
+    with ServingQueue(
+        pool, max_wait_ms=10.0, max_queue_depth=4 * num_requests
+    ) as queue:
+        fast_s = time_call(
+            lambda: _concurrent_clients(queue, requests, num_clients),
+            shapes.repeats,
+        )
+        stats = queue.stats()
+
+    row: Dict[str, object] = {
+        "shape": asdict(shapes),
+        "num_requests": num_requests,
+        "num_replicas": num_replicas,
+        "num_clients": num_clients,
+        "total_tokens": total_tokens,
+        **_op_row(seed_s, fast_s),
+        "tokens_per_s_seed": total_tokens / seed_s,
+        "tokens_per_s_fast": total_tokens / fast_s,
+        "queue": {
+            "mean_batch_size": stats.mean_batch_size,
+            "p50_latency_ms": stats.p50_latency_ms,
+            "p99_latency_ms": stats.p99_latency_ms,
+            "completed": stats.completed,
+            "rejected": stats.rejected,
+            "expired": stats.expired,
+        },
+    }
+    if check_equivalence:
+        # float64 engine: pooled concurrent serving must equal single-session
+        # (and per-call) serving bit for bit; float32 reported as max-abs.
+        model64 = build_engine(shapes, "fp32", compute_dtype="float64")
+        pool64 = SessionPool.from_model(
+            model64, spec=spec, registry=registry,
+            num_replicas=num_replicas, max_batch_size=16,
+        )
+        with ServingQueue(pool64, max_wait_ms=10.0) as queue64:
+            served64 = _concurrent_clients(queue64, requests, num_clients)
+        bitwise = all(
+            np.array_equal(
+                model64.forward(
+                    request[None, :], backend=pool64.sessions[0].backend
+                )[0],
+                served64[i],
+            )
+            for i, request in enumerate(requests)
+        )
+        with ServingQueue(pool, max_wait_ms=10.0) as queue32:
+            served32 = _concurrent_clients(queue32, requests, num_clients)
+        diff32 = max(
+            float(
+                np.max(
+                    np.abs(
+                        model.forward(request[None, :], backend=baseline_backend)[0]
+                        - served32[i]
+                    )
+                )
+            )
+            for i, request in enumerate(requests)
+        )
+        row["cached_float64_bitwise_equal"] = bool(bitwise)
+        row["float32_max_abs_diff"] = diff32
+    return row
+
+
 def fused_lut_equivalence(registry: LutRegistry, num_points: int = 200_001) -> Dict[str, float]:
     """Max |fused fp32 evaluate - seed fp64 call| per primitive, on-range."""
     out: Dict[str, float] = {}
@@ -503,6 +658,9 @@ def run_engine_benchmark(mode: str = "smoke", registry: LutRegistry | None = Non
             "session_ragged_fp32": benchmark_session_ragged(
                 registry, shapes, num_requests=12 if mode == "full" else 6
             ),
+            "server_concurrent_fp32": benchmark_server_concurrent(
+                registry, shapes, num_requests=48 if mode == "full" else 8
+            ),
         },
         "equivalence": {"fused_lut_fp32_max_abs_diff": fused_lut_equivalence(registry)},
         "environment": {
@@ -530,6 +688,7 @@ def main(argv: list[str] | None = None) -> int:
     fp32 = report["end_to_end"]["encoder_forward_fp32"]
     int8 = report["end_to_end"]["encoder_forward_int8"]
     session = report["end_to_end"]["session_ragged_fp32"]
+    server = report["end_to_end"]["server_concurrent_fp32"]
     print(f"wrote {path}")
     print(
         f"encoder forward fp32: {fp32['speedup']:.2f}x "
@@ -543,6 +702,15 @@ def main(argv: list[str] | None = None) -> int:
         f"session ragged fp32:  {session['speedup']:.2f}x "
         f"({session['tokens_per_s_seed']:.0f} -> {session['tokens_per_s_fast']:.0f} tokens/s, "
         f"micro-batching over {session['num_requests']} requests)"
+    )
+    print(
+        f"server concurrent fp32: {server['speedup']:.2f}x "
+        f"({server['tokens_per_s_seed']:.0f} -> {server['tokens_per_s_fast']:.0f} tokens/s, "
+        f"{server['num_replicas']} replicas x {server['num_clients']} clients, "
+        f"{server['num_requests']} requests, "
+        f"mean batch {server['queue']['mean_batch_size']:.1f}, "
+        f"p50 {server['queue']['p50_latency_ms']:.0f} ms / "
+        f"p99 {server['queue']['p99_latency_ms']:.0f} ms)"
     )
     return 0
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_engine.json: the full BERT-base-shaped inference-engine
-# benchmark (seed path vs vectorized fast path), plus the speed gates.
+# benchmark (seed path vs vectorized fast path, plus the concurrent-serving
+# row), and run the speed gates.
 #
 #   ./scripts/bench.sh            # regenerate BENCH_engine.json + run gates
 #   ./scripts/bench.sh --cli      # CLI-only regeneration (no pytest)
@@ -12,4 +13,26 @@ if [[ "${1:-}" == "--cli" ]]; then
     exec python benchmarks/regression.py --mode full
 fi
 
-BENCH_ENGINE_FULL=1 exec python -m pytest benchmarks/ -q -s --benchmark-disable
+BENCH_ENGINE_FULL=1 python -m pytest benchmarks/ -q -s --benchmark-disable
+
+# Emit the serving rows of the refreshed report for quick inspection.
+python - <<'PY'
+import json
+
+report = json.load(open("BENCH_engine.json"))
+for name in ("session_ragged_fp32", "server_concurrent_fp32"):
+    row = report["end_to_end"][name]
+    extra = ""
+    if "queue" in row:
+        queue = row["queue"]
+        extra = (
+            f", {row['num_replicas']} replicas, mean batch "
+            f"{queue['mean_batch_size']:.1f}, p50 {queue['p50_latency_ms']:.0f} ms"
+            f" / p99 {queue['p99_latency_ms']:.0f} ms"
+        )
+    print(
+        f"{name}: {row['speedup']:.2f}x "
+        f"({row['tokens_per_s_seed']:.0f} -> {row['tokens_per_s_fast']:.0f} tokens/s"
+        f"{extra})"
+    )
+PY

@@ -9,6 +9,10 @@ The two halves of the API:
   seed and quantised-linear engine, prepared once into a session that serves
   ragged request lists with dynamic micro-batching and offers the built-in
   dataset-free :meth:`~InferenceSession.calibrate` workflow.
+* :class:`SessionPool` + :class:`ServingQueue` — the concurrent serving
+  layer: replica sessions over one shared frozen model, plus a
+  batch-coalescing scheduler with deadlines, overload rejection and latency
+  statistics (see :mod:`repro.api.server`).
 
 Every experiment, example and benchmark in the repo goes through this
 surface; the legacy ``*_backend()`` constructors in
@@ -16,6 +20,15 @@ surface; the legacy ``*_backend()`` constructors in
 """
 
 from .batching import MicroBatch, RequestBatcher
+from .server import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServerClosedError,
+    ServingFuture,
+    ServingQueue,
+    ServingStats,
+    SessionPool,
+)
 from .session import (
     MODEL_FAMILIES,
     InferenceSession,
@@ -48,4 +61,11 @@ __all__ = [
     "SessionConfig",
     "InferenceSession",
     "calibrate_primitive_luts",
+    "SessionPool",
+    "ServingQueue",
+    "ServingFuture",
+    "ServingStats",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServerClosedError",
 ]

@@ -1,0 +1,756 @@
+"""Concurrent serving: replica pools and a batch-coalescing scheduler.
+
+The ROADMAP's open perf item says the FP32 engine is matmul-bound — the next
+win is *batched multi-sequence scheduling*, not more LUT fusion.  This module
+supplies it, one layer above :class:`~repro.api.session.InferenceSession`
+(the seam PR 2 left for exactly this):
+
+* :class:`SessionPool` — N replica sessions over **one** shared frozen
+  encoder.  ``InferenceSession`` construction makes every subsequent forward
+  read-only (weights prepared eagerly; the pool warms the remaining lazy
+  per-dtype caches), so replicas can serve simultaneously from threads.
+  numpy's BLAS releases the GIL, which is where the thread parallelism comes
+  from on multi-core machines; on a single core the win is batch density.
+* :class:`ServingQueue` — a scheduler thread that accepts requests from many
+  client threads, coalesces them *across callers* for up to ``max_wait_ms``
+  (or until every replica has a full batch), forms exact-length /
+  length-bucketed batches of at most ``max_batch_size`` rows, and dispatches
+  them to the pool's replica workers.  Per-request deadlines and a bounded
+  queue give overload behaviour a server can rely on; :meth:`ServingQueue.stats`
+  reports p50/p99 latency, throughput and queue/batch shape.
+
+Determinism and parity: every replica serves the *same* frozen model object
+through an identically-built backend, and with exact-length bucketing
+(``bucket_size=1``) a micro-batched forward reproduces the per-call forward
+bit for bit on the float engines (the PR-2 guarantee).  Which replica serves a
+request therefore cannot change its result — pooled/queued serving is
+bitwise-equal to single-session serving under ``compute_dtype="float64"`` on
+the ``fp32``/``fp16`` matmul engines.  :meth:`SessionPool.forward` goes
+further and makes the *dispatch itself* deterministic (micro-batch ``j`` goes
+to replica ``j % num_replicas``), so runs are reproducible batch-for-batch.
+The ``int8`` engine keeps its documented caveat: one activation scale per
+packed tensor means batch composition legitimately affects its numerics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Sequence
+
+import numpy as np
+
+from ..core.registry import LutRegistry
+from ..transformer.models import EncoderModel
+from .session import InferenceSession, SessionConfig
+from .spec import BackendSpec
+
+__all__ = [
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServerClosedError",
+    "ServingFuture",
+    "ServingStats",
+    "SessionPool",
+    "ServingQueue",
+]
+
+
+class QueueFullError(RuntimeError):
+    """Raised by ``submit`` when the queue is at ``max_queue_depth``."""
+
+
+class DeadlineExceededError(RuntimeError):
+    """Raised from a request's future when its deadline passed while queued."""
+
+
+class ServerClosedError(RuntimeError):
+    """Raised when submitting to (or waiting on) a closed :class:`ServingQueue`."""
+
+
+class ServingFuture:
+    """Result handle for one submitted request.
+
+    ``result()`` blocks until the scheduler fulfils (or fails) the request
+    and either returns the hidden states ``(length, hidden)`` or raises the
+    recorded error (:class:`DeadlineExceededError`, :class:`ServerClosedError`,
+    or whatever the forward itself raised).
+    """
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._value: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    def _fulfill(self, value: np.ndarray) -> None:
+        self._value = value
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        if not self._done.wait(timeout):
+            raise TimeoutError("request not served within the wait timeout")
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Aggregate queue statistics since construction (or the last reset).
+
+    Latency is submit-to-fulfilment wall time per completed request;
+    ``throughput_rps`` divides completions by the span between the first
+    submit and the last fulfilment.  ``mean_batch_size`` measures how much
+    cross-caller coalescing actually happened (1.0 = no coalescing).
+    ``queue_depth`` (and its high-water mark) counts the whole backlog —
+    pending, formed into batches, and in flight — the same quantity
+    ``max_queue_depth`` admission control bounds.
+    """
+
+    submitted: int
+    completed: int
+    rejected: int
+    expired: int
+    failed: int
+    queue_depth: int
+    max_queue_depth_seen: int
+    batches: int
+    mean_batch_size: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    mean_latency_ms: float
+    throughput_rps: float
+
+
+class SessionPool:
+    """N replica :class:`InferenceSession`\\ s over one shared frozen encoder.
+
+    The pool builds (or adopts) the model once; every replica session adopts
+    the same :class:`~repro.transformer.models.EncoderModel` instance, so the
+    weight memory and the one-time preparation cost are paid once regardless
+    of ``num_replicas``.  Each replica owns its *mutable* serving state — the
+    batcher's packing buffers and the backend (with its recorder) — which is
+    what makes replicas safe to run from concurrent threads.
+
+    Construction ends with one tiny warm-up forward per replica: that fills
+    every lazy per-dtype cache on the shared tables/parameters
+    (``LookupTable`` parameter casts, norm-parameter casts), so concurrent
+    traffic never races on a cache fill.
+
+    Parameters mirror :class:`InferenceSession`; ``model=`` adopts an
+    existing encoder exactly like the session constructor does.
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig | None = None,
+        spec: BackendSpec | None = None,
+        registry: LutRegistry | None = None,
+        num_replicas: int = 2,
+        model: EncoderModel | None = None,
+    ) -> None:
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        primary = InferenceSession(
+            config=config, spec=spec, registry=registry, model=model
+        )
+        self.sessions: List[InferenceSession] = [primary]
+        for _ in range(num_replicas - 1):
+            replica = InferenceSession.from_model(
+                primary.model,
+                spec=primary.spec,
+                registry=primary.registry,
+                max_batch_size=primary.config.max_batch_size,
+                bucket_size=primary.config.bucket_size,
+            )
+            if primary.lut_overrides:
+                replica.apply_lut_overrides(primary.lut_overrides)
+            self.sessions.append(replica)
+        self.config = primary.config
+        self.spec = primary.spec
+        warmup = [np.zeros(1, dtype=np.int64)]
+        for session in self.sessions:
+            session.forward(warmup)
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def model(self) -> EncoderModel:
+        return self.sessions[0].model
+
+    @property
+    def max_sequence_length(self) -> int:
+        return self.sessions[0].max_sequence_length
+
+    @classmethod
+    def from_model(
+        cls,
+        model: EncoderModel,
+        spec: BackendSpec | None = None,
+        registry: LutRegistry | None = None,
+        num_replicas: int = 2,
+        max_batch_size: int = 32,
+        bucket_size: int = 1,
+    ) -> "SessionPool":
+        """Pool over an already-built encoder (its engine settings win)."""
+        config = SessionConfig(
+            model_family="custom",
+            compute_dtype=model.config.compute_dtype,
+            matmul_precision=model.config.matmul_precision,
+            max_batch_size=max_batch_size,
+            bucket_size=bucket_size,
+        )
+        return cls(config=config, spec=spec, registry=registry,
+                   num_replicas=num_replicas, model=model)
+
+    # ------------------------------------------------------------------ #
+    # Deterministic sharded serving
+    # ------------------------------------------------------------------ #
+    def _shard(
+        self, requests: Sequence[np.ndarray]
+    ) -> List[List[Sequence[int]]]:
+        """Micro-batch index groups per replica: batch ``j`` -> replica ``j % N``.
+
+        The layout comes from the primary batcher's (pure) ``plan``, so the
+        assignment depends only on the request list — never on thread timing.
+        """
+        sessions = self.sessions
+        plan = sessions[0]._batcher.plan(
+            [np.asarray(r).size for r in requests], self.max_sequence_length
+        )
+        shards: List[List[Sequence[int]]] = [[] for _ in sessions]
+        for j, (_, indices) in enumerate(plan):
+            shards[j % len(sessions)].append(indices)
+        return shards
+
+    def _serve_sharded(self, requests: Sequence[np.ndarray], serve) -> List:
+        """Run ``serve(session, sub_requests) -> list`` per shard, threaded.
+
+        Results come back in request order regardless of sharding.
+        """
+        requests = [np.asarray(r) for r in requests]
+        outputs: List = [None] * len(requests)
+        shards = self._shard(requests)
+        errors: List[BaseException] = []
+
+        def run(replica: int) -> None:
+            session = self.sessions[replica]
+            try:
+                for indices in shards[replica]:
+                    results = serve(session, [requests[i] for i in indices])
+                    for index, result in zip(indices, results):
+                        outputs[index] = result
+            except BaseException as exc:  # surface worker failures to caller
+                errors.append(exc)
+
+        live = [replica for replica in range(len(shards)) if shards[replica]]
+        if len(live) <= 1:
+            for replica in live:
+                run(replica)
+        else:
+            threads = [
+                threading.Thread(target=run, args=(replica,), daemon=True)
+                for replica in live
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise errors[0]
+        return outputs
+
+    def forward(self, requests: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Hidden states per request, served across the replicas.
+
+        Bitwise-equal to :meth:`InferenceSession.forward` on the float
+        engines with exact-length bucketing (see the module docstring).
+        """
+        return self._serve_sharded(
+            requests, lambda session, sub: session.forward(sub)
+        )
+
+    def pooled(self, requests: Sequence[np.ndarray]) -> np.ndarray:
+        """First-token (``[CLS]``) representations, shape ``(n, hidden)``."""
+        rows = self._serve_sharded(
+            requests, lambda session, sub: list(session.pooled(sub))
+        )
+        if not rows:
+            hidden_size = self.model.config.hidden_size
+            return np.empty(
+                (0, hidden_size), dtype=np.dtype(self.model.config.compute_dtype)
+            )
+        return np.stack(rows, axis=0)
+
+    def classify(self, requests: Sequence[np.ndarray], head) -> np.ndarray:
+        """Predicted labels through a fitted classification head.
+
+        Same head contract as :meth:`InferenceSession.classify`, with the
+        pooling served across the replicas.
+        """
+        from .session import _resolve_classification_head
+
+        return _resolve_classification_head(head).predict(self.pooled(requests))
+
+    def calibrate(
+        self, samples: Sequence[np.ndarray], config=None, operators=None
+    ) -> Dict[str, object]:
+        """Dataset-free calibration for the whole pool.
+
+        Runs :meth:`InferenceSession.calibrate` on the primary replica and
+        installs the calibrated tables into every other replica, so the pool
+        keeps serving one consistent backend.
+        """
+        calibrated = self.sessions[0].calibrate(
+            samples, config=config, operators=operators
+        )
+        for session in self.sessions[1:]:
+            session.apply_lut_overrides(calibrated)
+        return calibrated
+
+
+class _Pending:
+    """One queued request: payload plus bookkeeping for stats/deadlines."""
+
+    __slots__ = ("tokens", "future", "submitted_at", "deadline_at")
+
+    def __init__(
+        self, tokens: np.ndarray, future: ServingFuture,
+        submitted_at: float, deadline_at: float | None,
+    ) -> None:
+        self.tokens = tokens
+        self.future = future
+        self.submitted_at = submitted_at
+        self.deadline_at = deadline_at
+
+
+class ServingQueue:
+    """Batch-coalescing scheduler over a :class:`SessionPool`.
+
+    Client threads call :meth:`submit` (non-blocking, returns a
+    :class:`ServingFuture`) or :meth:`serve_one` (blocking convenience).  A
+    scheduler thread coalesces everything submitted within ``max_wait_ms`` of
+    the oldest pending request — or sooner, once every replica has a full
+    batch — groups the window by (bucketed) length exactly like
+    :class:`~repro.api.batching.RequestBatcher`, and hands the formed batches
+    to per-replica worker threads.
+
+    Overload behaviour: :meth:`submit` raises :class:`QueueFullError` once
+    ``max_queue_depth`` requests are in the system — pending, formed into
+    batches, or in flight (admission control over the whole backlog, so the
+    queue never grows unboundedly even when the scheduler keeps draining the
+    pending deque into formed batches faster than workers serve them).  A
+    request whose ``deadline_ms`` elapses before its forward *starts* fails
+    with :class:`DeadlineExceededError` instead of wasting a forward on it —
+    checked both when its coalescing window closes and again when a worker
+    picks its batch up.
+
+    Parameters
+    ----------
+    pool:
+        A :class:`SessionPool`, or a single :class:`InferenceSession` (served
+        as a pool of one).
+    max_wait_ms:
+        Coalescing window measured from the oldest pending request.  Larger
+        values trade tail latency for denser batches.
+    max_batch_size:
+        Rows per dispatched batch; defaults to the pool's session setting.
+    max_queue_depth:
+        Backlog bound (pending + formed + in-flight requests) above which
+        :meth:`submit` rejects.
+    start:
+        Start the scheduler/worker threads immediately (default).  Tests and
+        warm-up flows can pass ``False`` and call :meth:`start` later.
+    """
+
+    def __init__(
+        self,
+        pool: SessionPool | InferenceSession,
+        max_wait_ms: float = 2.0,
+        max_batch_size: int | None = None,
+        max_queue_depth: int = 1024,
+        start: bool = True,
+    ) -> None:
+        if isinstance(pool, InferenceSession):
+            source = pool
+            pool = SessionPool.from_model(
+                source.model, spec=source.spec, registry=source.registry,
+                num_replicas=1,
+                max_batch_size=source.config.max_batch_size,
+                bucket_size=source.config.bucket_size,
+            )
+            if source.lut_overrides:
+                # A calibrated session must keep serving its calibrated
+                # tables through the queue, not a freshly-built backend.
+                for session in pool.sessions:
+                    session.apply_lut_overrides(source.lut_overrides)
+        if not isinstance(pool, SessionPool):
+            raise TypeError(
+                f"pool must be a SessionPool or InferenceSession, got "
+                f"{type(pool).__name__}"
+            )
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.pool = pool
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.max_batch_size = int(
+            pool.config.max_batch_size if max_batch_size is None else max_batch_size
+        )
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        self.max_queue_depth = int(max_queue_depth)
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._pending: Deque[_Pending] = deque()
+        self._batch_queue: Deque[List[_Pending]] = deque()
+        self._closed = False
+        self._started = False
+        self._inflight_batches = 0
+        #: Submitted-but-unfinished requests: pending + formed + in flight.
+        self._backlog = 0
+
+        # Stats (guarded by _lock; latencies bounded to keep memory flat).
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._expired = 0
+        self._failed = 0
+        self._max_depth_seen = 0
+        self._batches = 0
+        self._batched_rows = 0
+        self._latencies_ms: Deque[float] = deque(maxlen=8192)
+        self._first_submit_at: float | None = None
+        self._last_done_at: float | None = None
+
+        self._scheduler: threading.Thread | None = None
+        self._workers: List[threading.Thread] = []
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ServingQueue":
+        """Start the scheduler and one worker thread per replica (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("cannot start a closed ServingQueue")
+            if self._started:
+                return self
+            self._started = True
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="serving-scheduler", daemon=True
+        )
+        self._scheduler.start()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, args=(replica,),
+                name=f"serving-worker-{replica}", daemon=True,
+            )
+            for replica in range(self.pool.num_replicas)
+        ]
+        for worker in self._workers:
+            worker.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop serving.  In-flight batches finish; queued requests fail.
+
+        Safe to call more than once.  Requests still waiting (pending or in
+        formed-but-undispatched batches) receive :class:`ServerClosedError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            dropped = list(self._pending)
+            self._pending.clear()
+            for batch in self._batch_queue:
+                dropped.extend(batch)
+            self._batch_queue.clear()
+            self._backlog -= len(dropped)
+            self._work.notify_all()
+        for pending in dropped:
+            pending.future._fail(ServerClosedError("ServingQueue was closed"))
+        for thread in [self._scheduler, *self._workers]:
+            if thread is not None and thread.is_alive():
+                thread.join(timeout)
+
+    def __enter__(self) -> "ServingQueue":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Client surface
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, tokens: np.ndarray, deadline_ms: float | None = None
+    ) -> ServingFuture:
+        """Enqueue one request; returns its :class:`ServingFuture`.
+
+        ``deadline_ms`` bounds the *queueing* delay: a request not dispatched
+        within that many milliseconds of submission fails with
+        :class:`DeadlineExceededError` (it is never half-served).
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1 or tokens.size == 0:
+            raise ValueError(
+                f"a request must be a non-empty 1-D token id sequence, "
+                f"got shape {tokens.shape}"
+            )
+        if not np.issubdtype(tokens.dtype, np.integer):
+            raise ValueError(f"token ids must be integers, got {tokens.dtype}")
+        if tokens.size > self.pool.max_sequence_length:
+            raise ValueError(
+                f"request length {tokens.size} exceeds the model's maximum "
+                f"sequence length {self.pool.max_sequence_length}"
+            )
+        if deadline_ms is not None and deadline_ms < 0:
+            raise ValueError(f"deadline_ms must be >= 0, got {deadline_ms}")
+        now = time.monotonic()
+        future = ServingFuture()
+        pending = _Pending(
+            tokens=tokens,
+            future=future,
+            submitted_at=now,
+            deadline_at=None if deadline_ms is None else now + deadline_ms / 1000.0,
+        )
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("ServingQueue is closed")
+            if self._backlog >= self.max_queue_depth:
+                self._rejected += 1
+                raise QueueFullError(
+                    f"queue depth {self._backlog} is at max_queue_depth="
+                    f"{self.max_queue_depth}; request rejected"
+                )
+            self._pending.append(pending)
+            self._backlog += 1
+            self._submitted += 1
+            if self._first_submit_at is None:
+                self._first_submit_at = now
+            self._max_depth_seen = max(self._max_depth_seen, self._backlog)
+            self._work.notify_all()
+        return future
+
+    def serve_one(
+        self,
+        tokens: np.ndarray,
+        deadline_ms: float | None = None,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Blocking convenience: ``submit`` + ``result``."""
+        return self.submit(tokens, deadline_ms=deadline_ms).result(timeout)
+
+    def serve(
+        self, requests: Sequence[np.ndarray], timeout: float | None = None
+    ) -> List[np.ndarray]:
+        """Submit a burst of requests and wait for all results (in order)."""
+        futures = [self.submit(tokens) for tokens in requests]
+        return [future.result(timeout) for future in futures]
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Block until nothing is pending, formed, or in flight."""
+        deadline = time.monotonic() + timeout
+        with self._work:
+            while (
+                self._pending or self._batch_queue or self._inflight_batches
+            ) and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("ServingQueue did not drain in time")
+                self._work.wait(remaining)
+
+    def stats(self) -> ServingStats:
+        """A consistent snapshot of the queue's counters and latency digest."""
+        with self._lock:
+            latencies = np.asarray(self._latencies_ms, dtype=np.float64)
+            span = None
+            if self._first_submit_at is not None and self._last_done_at is not None:
+                span = self._last_done_at - self._first_submit_at
+            return ServingStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                rejected=self._rejected,
+                expired=self._expired,
+                failed=self._failed,
+                queue_depth=self._backlog,
+                max_queue_depth_seen=self._max_depth_seen,
+                batches=self._batches,
+                mean_batch_size=(
+                    self._batched_rows / self._batches if self._batches else 0.0
+                ),
+                p50_latency_ms=(
+                    float(np.percentile(latencies, 50)) if latencies.size else 0.0
+                ),
+                p99_latency_ms=(
+                    float(np.percentile(latencies, 99)) if latencies.size else 0.0
+                ),
+                mean_latency_ms=(
+                    float(np.mean(latencies)) if latencies.size else 0.0
+                ),
+                throughput_rps=(
+                    self._completed / span if span and span > 0 else 0.0
+                ),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Scheduler: pending window -> length-grouped batches
+    # ------------------------------------------------------------------ #
+    def _bucketed_length(self, length: int) -> int:
+        bucket = self.pool.config.bucket_size
+        bucketed = -(-length // bucket) * bucket
+        return min(bucketed, self.pool.max_sequence_length)
+
+    def _form_batches(self, window: List[_Pending]) -> List[List[_Pending]]:
+        """Group a coalescing window by bucketed length, chunk to batch size.
+
+        The same stable grouping rule as ``RequestBatcher.plan`` — requests
+        with equal bucketed length stay in arrival order — so queued serving
+        inherits the exact-length parity guarantee.
+        """
+        groups: Dict[int, List[_Pending]] = {}
+        for pending in window:
+            groups.setdefault(self._bucketed_length(pending.tokens.size), []).append(
+                pending
+            )
+        batches: List[List[_Pending]] = []
+        for length in sorted(groups):
+            group = groups[length]
+            for start in range(0, len(group), self.max_batch_size):
+                batches.append(group[start : start + self.max_batch_size])
+        return batches
+
+    def _scheduler_loop(self) -> None:
+        full_fleet = self.max_batch_size * self.pool.num_replicas
+        while True:
+            with self._lock:
+                while not self._pending and not self._closed:
+                    self._work.wait()
+                if self._closed:
+                    return
+                window_end = self._pending[0].submitted_at + self.max_wait_s
+                while (
+                    not self._closed
+                    and len(self._pending) < full_fleet
+                    and (remaining := window_end - time.monotonic()) > 0
+                ):
+                    self._work.wait(remaining)
+                if self._closed:
+                    return
+                window = list(self._pending)
+                self._pending.clear()
+
+            now = time.monotonic()
+            expired, live = [], []
+            for pending in window:
+                if pending.deadline_at is not None and pending.deadline_at < now:
+                    expired.append(pending)
+                else:
+                    live.append(pending)
+            batches = self._form_batches(live)
+            with self._lock:
+                if self._closed:
+                    # close() already failed everything it saw; fail the rest.
+                    self._backlog -= len(window)
+                    for pending in window:
+                        pending.future._fail(
+                            ServerClosedError("ServingQueue was closed")
+                        )
+                    return
+                self._expired += len(expired)
+                self._backlog -= len(expired)
+                self._batch_queue.extend(batches)
+                self._work.notify_all()
+            for pending in expired:
+                pending.future._fail(
+                    DeadlineExceededError(
+                        "request deadline elapsed before dispatch "
+                        f"(queued {1000 * (now - pending.submitted_at):.1f} ms)"
+                    )
+                )
+
+    # ------------------------------------------------------------------ #
+    # Workers: one thread per replica
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self, replica: int) -> None:
+        session = self.pool.sessions[replica]
+        while True:
+            with self._lock:
+                while not self._batch_queue and not self._closed:
+                    self._work.wait()
+                if self._closed and not self._batch_queue:
+                    return
+                batch = self._batch_queue.popleft()
+                self._inflight_batches += 1
+            # Re-check deadlines at pick-up: a formed batch can sit behind a
+            # backlog long past the window-close check, and a request whose
+            # deadline lapsed must fail rather than be served arbitrarily
+            # late (or waste forward time).
+            now = time.monotonic()
+            expired, live = [], []
+            for pending in batch:
+                if pending.deadline_at is not None and pending.deadline_at < now:
+                    expired.append(pending)
+                else:
+                    live.append(pending)
+            if expired:
+                with self._lock:
+                    self._expired += len(expired)
+                    self._backlog -= len(expired)
+                    if not live:
+                        self._inflight_batches -= 1
+                    self._work.notify_all()
+                for pending in expired:
+                    pending.future._fail(
+                        DeadlineExceededError(
+                            "request deadline elapsed before its forward "
+                            f"started (queued {1000 * (now - pending.submitted_at):.1f} ms)"
+                        )
+                    )
+                if not live:
+                    continue
+                batch = live
+            try:
+                results = session.forward([pending.tokens for pending in batch])
+            except BaseException as exc:
+                with self._lock:
+                    self._failed += len(batch)
+                    self._backlog -= len(batch)
+                    self._inflight_batches -= 1
+                    self._work.notify_all()
+                for pending in batch:
+                    pending.future._fail(exc)
+                continue
+            done_at = time.monotonic()
+            with self._lock:
+                self._batches += 1
+                self._batched_rows += len(batch)
+                self._completed += len(batch)
+                self._backlog -= len(batch)
+                self._last_done_at = done_at
+                for pending in batch:
+                    self._latencies_ms.append(
+                        1000.0 * (done_at - pending.submitted_at)
+                    )
+                self._inflight_batches -= 1
+                self._work.notify_all()
+            for pending, result in zip(batch, results):
+                pending.future._fulfill(result)

@@ -59,12 +59,56 @@ __all__ = [
     "calibrate_primitive_luts",
 ]
 
+
+def _resolve_classification_head(head) -> ClassificationHead:
+    """Unwrap/validate a classification head (shared by session and pool).
+
+    Accepts either a bare head (``predict(features)``) or one of the
+    finetuning flow's ``Finetuned*`` wrappers — those hold the real head in
+    ``.head`` and their own ``predict()`` takes a *backend* and scores the
+    task's stored test set, which is not the serving contract.
+    """
+    inner = getattr(head, "head", None)
+    if inner is not None:
+        head = inner
+    if not isinstance(head, ClassificationHead):
+        raise TypeError(
+            "classify requires a ClassificationHead (or a Finetuned wrapper "
+            f"around one), got {type(head).__name__} — span/regression heads "
+            "score token features, not pooled requests"
+        )
+    return head
+
 #: (family, size) -> TransformerConfig factory.
 MODEL_FAMILIES: Dict[str, Dict[str, object]] = {
     "roberta": {"small": roberta_like_small_config, "full": roberta_base_config},
     "mobilebert": {"small": mobilebert_like_small_config, "full": mobilebert_config},
     "tiny": {"small": tiny_test_config, "full": tiny_test_config},
 }
+
+
+def _canonical_override(value: object) -> object:
+    """Recursively rewrite an override value into a hashable canonical form.
+
+    Mappings become sorted ``(key, value)`` pair tuples, sequences and sets
+    become tuples — so ``{"x": [1, 2]}`` and ``{"x": (1, 2)}`` canonicalise
+    (and hash) identically, and a JSON round-trip through ``to_dict`` (which
+    emits lists) compares equal to the original.
+    """
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _canonical_override(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_override(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((_canonical_override(v) for v in value), key=repr))
+    return value
+
+
+def _jsonable_override(value: object) -> object:
+    """Canonical form back to a JSON-friendly shape (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_jsonable_override(v) for v in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -92,13 +136,26 @@ class SessionConfig:
     max_batch_size: int = 32
     bucket_size: int = 1
     #: Accepts any mapping; stored canonically as sorted (key, value) pairs
-    #: so the frozen config stays hashable like its sibling BackendSpec.
+    #: with nested lists/dicts/sets rewritten to tuples, so the frozen config
+    #: stays hashable like its sibling BackendSpec even for container-valued
+    #: overrides (a factory receiving such an override gets the tuple form).
     model_overrides: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "model_overrides", tuple(sorted(dict(self.model_overrides).items()))
-        )
+        items = []
+        for key, value in sorted(dict(self.model_overrides).items()):
+            value = _canonical_override(value)
+            try:
+                hash(value)
+            except TypeError:
+                raise TypeError(
+                    f"model_overrides[{key!r}] is not hashable even after "
+                    f"canonicalising containers to tuples (got "
+                    f"{type(value).__name__}); SessionConfig values must stay "
+                    "usable as dict keys"
+                ) from None
+            items.append((key, value))
+        object.__setattr__(self, "model_overrides", tuple(items))
         if self.model_family != "custom":
             if self.model_family not in MODEL_FAMILIES:
                 raise ValueError(
@@ -147,7 +204,9 @@ class SessionConfig:
             "matmul_precision": self.matmul_precision,
             "max_batch_size": self.max_batch_size,
             "bucket_size": self.bucket_size,
-            "model_overrides": dict(self.model_overrides),
+            "model_overrides": {
+                key: _jsonable_override(value) for key, value in self.model_overrides
+            },
         }
 
     @classmethod
@@ -311,22 +370,9 @@ class InferenceSession:
     def classify(self, requests: Sequence[np.ndarray], head) -> np.ndarray:
         """Predicted labels for ``requests`` from a fitted classification head.
 
-        Accepts either a bare head (``predict(features)``, e.g.
-        :class:`~repro.transformer.heads.ClassificationHead`) or one of the
-        finetuning flow's ``Finetuned*`` wrappers — those hold the real head
-        in ``.head`` and their own ``predict()`` takes a *backend* and scores
-        the task's stored test set, which is not this method's contract.
+        See :func:`_resolve_classification_head` for the accepted head forms.
         """
-        inner = getattr(head, "head", None)
-        if inner is not None:
-            head = inner
-        if not isinstance(head, ClassificationHead):
-            raise TypeError(
-                "classify requires a ClassificationHead (or a Finetuned wrapper "
-                f"around one), got {type(head).__name__} — span/regression heads "
-                "score token features, not pooled requests"
-            )
-        return head.predict(self.pooled(requests))
+        return _resolve_classification_head(head).predict(self.pooled(requests))
 
     def forward_batch(
         self, token_ids: np.ndarray, attention_mask: np.ndarray | None = None
@@ -408,11 +454,20 @@ class InferenceSession:
             config=config,
             input_scaling=self.spec.input_scaling,
         )
-        self.lut_overrides.update(calibrated)
+        self.apply_lut_overrides(calibrated)
+        return calibrated
+
+    def apply_lut_overrides(self, overrides: Mapping[str, LookupTable]) -> None:
+        """Swap replacement primitive tables into this session's backend.
+
+        The tail of the :meth:`calibrate` flow, exposed so other holders of
+        calibrated tables — replica pools, a session being cloned — can
+        install them without re-running calibration.
+        """
+        self.lut_overrides.update(overrides)
         self.backend = build_backend(
             self.spec, registry=self.registry, lut_overrides=self.lut_overrides
         )
-        return calibrated
 
 
 # --------------------------------------------------------------------------- #

@@ -11,9 +11,11 @@ datapath:
   to integers, and the per-element evaluation ``s*x + t`` is carried out in
   integer arithmetic with the scale factors tracked on the side.
 
-All three variants expose the same ``__call__(x) -> np.ndarray`` interface as
-:class:`~repro.core.lut.LookupTable`, so they are drop-in interchangeable in
-the approximators and the Transformer backends.
+All three variants expose the same ``__call__(x)`` / ``evaluate(x, out=)``
+interface as :class:`~repro.core.lut.LookupTable`, so they are drop-in
+interchangeable in the approximators and the Transformer backends.  Both
+entry points preserve the input's floating dtype (non-float input promotes
+to float64), so the fp32 engine never silently upcasts through a table call.
 """
 
 from __future__ import annotations
@@ -95,7 +97,11 @@ class Fp16LookupTable:
         return out
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        return self.evaluate(np.asarray(x, dtype=np.float64))
+        # Same dtype contract as ``evaluate``: the result carries the input's
+        # floating dtype (non-float input promotes to float64 once).  A
+        # forced float64 cast here would silently upcast the fp32 engine
+        # wherever a backend reaches the table through ``__call__``.
+        return self.evaluate(x)
 
 
 @dataclass
@@ -171,7 +177,9 @@ class Int32LookupTable:
         return out
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        return self.evaluate(np.asarray(x, dtype=np.float64))
+        # See Fp16LookupTable.__call__: delegate preserving the floating
+        # dtype instead of force-casting through float64.
+        return self.evaluate(x)
 
 
 def quantize_lut_int32(

@@ -1,0 +1,94 @@
+"""RequestBatcher buffer semantics: aliasing, growth, re-zeroing, capping.
+
+The serving hot path runs ``iter_batches(..., copy=False)`` — zero per-batch
+allocation, but each yielded batch is a view into the batcher's reusable
+buffers and only valid until the next pull.  These tests pin down that
+contract (and the re-zeroing between padded fills) so the concurrent serving
+layer can rely on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import RequestBatcher
+
+
+class TestCopyFalseAliasing:
+    def test_next_pull_invalidates_previous_batch(self):
+        batcher = RequestBatcher(max_batch_size=1)
+        requests = [np.full(4, 7), np.full(4, 9)]
+        batches = batcher.iter_batches(requests, copy=False)
+        first = next(batches)
+        kept = first.tokens
+        assert np.array_equal(kept[0], np.full(4, 7))
+        second = next(batches)
+        # Same backing buffer: the earlier batch's view now shows the new
+        # batch's rows — documented invalidation, not a defect.
+        assert np.shares_memory(kept, second.tokens)
+        assert np.array_equal(kept[0], np.full(4, 9))
+
+    def test_copy_true_batches_survive_the_next_pull(self):
+        batcher = RequestBatcher(max_batch_size=1)
+        requests = [np.full(4, 7), np.full(4, 9)]
+        batches = list(batcher.iter_batches(requests))
+        assert np.array_equal(batches[0].tokens[0], np.full(4, 7))
+        assert np.array_equal(batches[1].tokens[0], np.full(4, 9))
+
+    def test_geometric_growth_reallocates_then_stabilises(self):
+        batcher = RequestBatcher(max_batch_size=2)
+        short = [np.arange(1, 5)]  # 4 columns
+        long = [np.arange(1, 12)]  # 11 columns > 2 * 4: forces a reallocation
+        (b_short,) = batcher.iter_batches(short, copy=False)
+        first_base = b_short.tokens.base
+        assert first_base is not None
+        (b_long,) = batcher.iter_batches(long, copy=False)
+        grown_base = b_long.tokens.base
+        assert grown_base is not first_base
+        assert np.array_equal(b_long.tokens[0], np.arange(1, 12))
+        # Once grown, shorter batches reuse the grown buffer (no churn) —
+        # which is exactly why a held copy=False batch goes stale.
+        (b_again,) = batcher.iter_batches(short, copy=False)
+        assert b_again.tokens.base is grown_base
+        assert np.array_equal(b_again.tokens[0], np.arange(1, 5))
+
+
+class TestPaddedBufferReZeroing:
+    def test_mask_rezeroed_between_padded_batches(self):
+        batcher = RequestBatcher(max_batch_size=2, bucket_size=4)
+        first = list(
+            batcher.iter_batches([np.arange(1, 3), np.arange(1, 5)], copy=False)
+        )
+        assert np.array_equal(first[0].mask, [[1, 1, 0, 0], [1, 1, 1, 1]])
+        # The second fill reuses the same mask buffer with a shorter row
+        # where the previous fill wrote ones — stale ones must not survive.
+        second = list(
+            batcher.iter_batches([np.arange(1, 5), np.arange(1, 2)], copy=False)
+        )
+        assert np.array_equal(second[0].mask, [[1, 1, 1, 1], [1, 0, 0, 0]])
+
+    def test_tokens_rezeroed_between_padded_batches(self):
+        batcher = RequestBatcher(max_batch_size=2, bucket_size=4)
+        list(batcher.iter_batches([np.full(4, 5), np.full(4, 5)], copy=False))
+        (batch,) = batcher.iter_batches([np.array([1]), np.array([2])], copy=False)
+        # Rows are padded with token id 0, not with the previous fill's 5s.
+        assert np.array_equal(batch.tokens, [[1, 0, 0, 0], [2, 0, 0, 0]])
+
+
+class TestPlanCapping:
+    def test_bucketed_lengths_cap_at_max_length(self):
+        batcher = RequestBatcher(max_batch_size=4, bucket_size=6)
+        # 9 and 10 bucket to 12, past the model maximum 10: both cap at 10
+        # (a valid request is never padded beyond the limit).
+        assert batcher.plan([9, 10, 3], max_length=10) == [(6, (2,)), (10, (0, 1))]
+
+    def test_capping_merges_requests_that_would_otherwise_split(self):
+        batcher = RequestBatcher(max_batch_size=8, bucket_size=8)
+        assert batcher.plan([17, 20, 19], max_length=20) == [(20, (0, 1, 2))]
+
+    def test_capped_bucket_serves_through_iter_batches(self):
+        batcher = RequestBatcher(max_batch_size=4, bucket_size=6)
+        (batch,) = batcher.iter_batches(
+            [np.arange(1, 10), np.arange(1, 11)], max_length=10, copy=False
+        )
+        assert batch.tokens.shape == (2, 10)
+        assert np.array_equal(batch.mask, [[1] * 9 + [0], [1] * 10])

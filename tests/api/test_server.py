@@ -1,0 +1,349 @@
+"""Concurrent serving: SessionPool sharding, ServingQueue scheduling, parity.
+
+This is the tier-1 smoke run of the concurrent server the ISSUE calls for:
+a tiny model, two replicas, mixed-length traffic submitted from real client
+threads, gated on *bitwise* parity with single-session serving (float64
+engine, exact-length bucketing).  If the scheduler or the pool ever groups,
+pads or dispatches differently, the parity gates here fail.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BackendSpec,
+    DeadlineExceededError,
+    InferenceSession,
+    QueueFullError,
+    ServerClosedError,
+    ServingQueue,
+    SessionConfig,
+    SessionPool,
+)
+from repro.transformer.heads import ClassificationHead
+
+
+@pytest.fixture(scope="module")
+def pool64(fast_registry):
+    config = SessionConfig(
+        model_family="tiny", compute_dtype="float64", max_batch_size=3
+    )
+    return SessionPool(
+        config, spec=BackendSpec.nn_lut(), registry=fast_registry, num_replicas=2
+    )
+
+
+@pytest.fixture(scope="module")
+def single64(pool64, fast_registry):
+    """Single-session serving over the same frozen model (the parity oracle)."""
+    return InferenceSession.from_model(
+        pool64.model, spec=pool64.spec, registry=fast_registry, max_batch_size=3
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_requests():
+    rng = np.random.default_rng(7)
+    lengths = (5, 12, 5, 9, 30, 12, 7, 5, 9, 5)
+    return [rng.integers(0, 100, size=length) for length in lengths]
+
+
+class TestSessionPool:
+    def test_replicas_share_the_frozen_model(self, pool64):
+        assert pool64.num_replicas == 2
+        first, second = pool64.sessions
+        assert second.model is first.model  # one copy of the weights
+        assert second.backend is not first.backend  # own recorder/wrappers
+        assert second._batcher is not first._batcher  # own packing buffers
+
+    def test_forward_bitwise_matches_single_session(
+        self, pool64, single64, mixed_requests
+    ):
+        pooled = pool64.forward(mixed_requests)
+        single = single64.forward(mixed_requests)
+        for i, (a, b) in enumerate(zip(pooled, single)):
+            assert np.array_equal(a, b), f"request {i}"
+
+    def test_forward_bitwise_matches_per_call(self, pool64, mixed_requests):
+        outputs = pool64.forward(mixed_requests)
+        model, backend = pool64.model, pool64.sessions[0].backend
+        for i, request in enumerate(mixed_requests):
+            per_call = model.forward(request[None, :], backend=backend)
+            assert np.array_equal(per_call[0], outputs[i]), f"request {i}"
+
+    def test_pooled_bitwise_matches_single_session(
+        self, pool64, single64, mixed_requests
+    ):
+        assert np.array_equal(
+            pool64.pooled(mixed_requests), single64.pooled(mixed_requests)
+        )
+
+    def test_dispatch_is_deterministic(self, pool64, mixed_requests):
+        shards = pool64._shard(mixed_requests)
+        assert shards == pool64._shard(mixed_requests)
+        served = sorted(i for shard in shards for batch in shard for i in batch)
+        assert served == list(range(len(mixed_requests)))
+
+    def test_empty_request_list(self, pool64):
+        assert pool64.forward([]) == []
+        assert pool64.pooled([]).shape == (0, pool64.model.config.hidden_size)
+
+    def test_classify_matches_session(self, pool64, single64, mixed_requests):
+        features = single64.pooled(mixed_requests)
+        labels = (features[:, 0] > np.median(features[:, 0])).astype(np.int64)
+        head = ClassificationHead.fit(features, labels, num_classes=2, epochs=20)
+        assert np.array_equal(
+            pool64.classify(mixed_requests, head),
+            single64.classify(mixed_requests, head),
+        )
+        with pytest.raises(TypeError, match="ClassificationHead"):
+            pool64.classify(mixed_requests, head=object())
+
+    def test_single_replica_pool(self, fast_registry, mixed_requests, single64):
+        pool = SessionPool(
+            SessionConfig(model_family="tiny", compute_dtype="float64"),
+            spec=BackendSpec.nn_lut(),
+            registry=fast_registry,
+            num_replicas=1,
+        )
+        outputs = pool.forward(mixed_requests[:3])
+        single = single64.forward(mixed_requests[:3])
+        assert all(np.array_equal(a, b) for a, b in zip(outputs, single))
+
+    def test_rejects_bad_replica_count(self, fast_registry):
+        with pytest.raises(ValueError, match="num_replicas"):
+            SessionPool(
+                SessionConfig(model_family="tiny"),
+                registry=fast_registry,
+                num_replicas=0,
+            )
+
+    def test_from_model_adopts_engine_settings(self, pool64, fast_registry):
+        pool = SessionPool.from_model(
+            pool64.model, spec=pool64.spec, registry=fast_registry, num_replicas=2
+        )
+        assert pool.config.model_family == "custom"
+        assert pool.config.compute_dtype == "float64"
+        assert pool.model is pool64.model
+
+
+class TestServingQueue:
+    def test_concurrent_clients_bitwise_parity(
+        self, pool64, single64, mixed_requests
+    ):
+        """The acceptance gate: threaded traffic == single-session, bitwise."""
+        oracle = single64.forward(mixed_requests)
+        with ServingQueue(pool64, max_wait_ms=5.0) as queue:
+            results: list = [None] * len(mixed_requests)
+
+            def client(i: int) -> None:
+                results[i] = queue.serve_one(mixed_requests[i], timeout=60)
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(mixed_requests))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = queue.stats()
+        for i, result in enumerate(results):
+            assert np.array_equal(result, oracle[i]), f"request {i}"
+        assert stats.submitted == stats.completed == len(mixed_requests)
+        assert stats.rejected == stats.expired == stats.failed == 0
+        assert stats.batches >= 1 and stats.mean_batch_size >= 1.0
+        assert 0.0 < stats.p50_latency_ms <= stats.p99_latency_ms
+        assert stats.throughput_rps > 0
+
+    def test_burst_serve_returns_in_request_order(
+        self, pool64, single64, mixed_requests
+    ):
+        oracle = single64.forward(mixed_requests)
+        with ServingQueue(pool64, max_wait_ms=5.0) as queue:
+            results = queue.serve(mixed_requests, timeout=60)
+            queue.drain(timeout=30)
+        assert all(np.array_equal(a, b) for a, b in zip(results, oracle))
+
+    def test_wraps_a_bare_session(self, single64, mixed_requests):
+        with ServingQueue(single64, max_wait_ms=1.0) as queue:
+            assert queue.pool.num_replicas == 1
+            result = queue.serve_one(mixed_requests[0], timeout=60)
+        assert np.array_equal(result, single64.forward(mixed_requests[:1])[0])
+
+    def test_overload_rejection_and_deferred_start(self, pool64, mixed_requests):
+        queue = ServingQueue(pool64, max_queue_depth=2, start=False)
+        first = queue.submit(mixed_requests[0])
+        queue.submit(mixed_requests[1], deadline_ms=0.0)
+        with pytest.raises(QueueFullError, match="max_queue_depth"):
+            queue.submit(mixed_requests[2])
+        assert queue.stats().rejected == 1
+        queue.start()
+        assert first.result(timeout=60).shape[0] == mixed_requests[0].size
+        queue.close()
+
+    def test_deadline_expires_before_dispatch(self, pool64, mixed_requests):
+        queue = ServingQueue(pool64, start=False)
+        expired = queue.submit(mixed_requests[0], deadline_ms=0.0)
+        import time
+
+        time.sleep(0.005)
+        queue.start()
+        with pytest.raises(DeadlineExceededError, match="deadline"):
+            expired.result(timeout=60)
+        assert queue.stats().expired == 1
+        queue.close()
+
+    def test_close_fails_pending_and_rejects_new(self, pool64, mixed_requests):
+        queue = ServingQueue(pool64, start=False)
+        pending = queue.submit(mixed_requests[0])
+        queue.close()
+        with pytest.raises(ServerClosedError):
+            pending.result(timeout=5)
+        with pytest.raises(ServerClosedError):
+            queue.submit(mixed_requests[0])
+        queue.close()  # idempotent
+        with pytest.raises(ServerClosedError):
+            queue.start()
+
+    @pytest.mark.parametrize(
+        "bad, match",
+        [
+            (np.zeros((2, 3), dtype=np.int64), "1-D"),
+            (np.array([], dtype=np.int64), "1-D|non-empty"),
+            (np.array([0.5, 1.5]), "integer"),
+            (np.arange(100), "maximum sequence length"),
+        ],
+    )
+    def test_rejects_malformed_requests(self, pool64, bad, match):
+        queue = ServingQueue(pool64, start=False)
+        with pytest.raises(ValueError, match=match):
+            queue.submit(bad)
+        queue.close()
+
+    def test_rejects_bad_knobs(self, pool64):
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            ServingQueue(pool64, max_wait_ms=-1, start=False)
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            ServingQueue(pool64, max_queue_depth=0, start=False)
+        with pytest.raises(TypeError, match="SessionPool"):
+            ServingQueue(object())  # type: ignore[arg-type]
+
+
+def _gated_single_replica_pool(pool64, fast_registry):
+    """A 1-replica pool whose forwards block on a gate (backlog on demand)."""
+    pool = SessionPool.from_model(
+        pool64.model, spec=pool64.spec, registry=fast_registry,
+        num_replicas=1, max_batch_size=8,
+    )
+    gate = threading.Event()
+    inner = pool.sessions[0].forward
+
+    def gated_forward(requests):
+        gate.wait(30)
+        return inner(requests)
+
+    pool.sessions[0].forward = gated_forward  # type: ignore[method-assign]
+    return pool, gate
+
+
+def _wait_for_inflight(queue: ServingQueue, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while queue._inflight_batches == 0:
+        if time.monotonic() > deadline:
+            raise TimeoutError("no batch reached a worker in time")
+        time.sleep(0.001)
+
+
+class TestOverloadAndDeadlines:
+    def test_formed_and_inflight_requests_count_toward_depth(
+        self, pool64, fast_registry, mixed_requests
+    ):
+        # Regression: admission control only bounded the pending deque, so
+        # the scheduler's pending->formed drain defeated max_queue_depth and
+        # the batch queue grew without bound under overload.
+        pool, gate = _gated_single_replica_pool(pool64, fast_registry)
+        queue = ServingQueue(pool, max_wait_ms=0.0, max_queue_depth=2)
+        try:
+            first = queue.submit(mixed_requests[0])
+            _wait_for_inflight(queue)  # in flight, no longer pending
+            second = queue.submit(mixed_requests[1])  # backlog now 2
+            with pytest.raises(QueueFullError, match="max_queue_depth"):
+                queue.submit(mixed_requests[2])
+            gate.set()
+            assert first.result(timeout=60).shape[0] == mixed_requests[0].size
+            assert second.result(timeout=60).shape[0] == mixed_requests[1].size
+            assert queue.stats().queue_depth == 0
+        finally:
+            gate.set()
+            queue.close()
+
+    def test_deadline_rechecked_when_worker_picks_batch_up(
+        self, pool64, fast_registry, mixed_requests
+    ):
+        # Regression: deadlines were only checked at window close, so a
+        # request stuck in a formed batch behind a backlog was served
+        # arbitrarily late instead of failing.
+        pool, gate = _gated_single_replica_pool(pool64, fast_registry)
+        queue = ServingQueue(pool, max_wait_ms=0.0, max_queue_depth=16)
+        try:
+            blocker = queue.submit(mixed_requests[0])
+            _wait_for_inflight(queue)
+            doomed = queue.submit(mixed_requests[1], deadline_ms=100.0)
+            time.sleep(0.15)  # deadline lapses while the batch sits formed
+            gate.set()
+            assert blocker.result(timeout=60).shape[0] == mixed_requests[0].size
+            with pytest.raises(DeadlineExceededError, match="deadline"):
+                doomed.result(timeout=60)
+            assert queue.stats().expired == 1
+        finally:
+            gate.set()
+            queue.close()
+
+
+class TestCalibratedServing:
+    def test_wrapped_session_keeps_calibrated_tables(self, fast_registry):
+        # Regression: wrapping a calibrated InferenceSession rebuilt the
+        # backend from the bare spec, silently serving uncalibrated tables.
+        spec = BackendSpec.nn_lut().with_calibration("layernorm")
+        session = InferenceSession(
+            SessionConfig(model_family="tiny", compute_dtype="float64"),
+            spec=spec,
+            registry=fast_registry,
+        )
+        rng = np.random.default_rng(5)
+        samples = [rng.integers(0, 100, size=length) for length in (8, 12, 8, 16)]
+        session.calibrate(samples)
+        expected = session.forward(samples)
+        with ServingQueue(session, max_wait_ms=1.0) as queue:
+            results = queue.serve(samples, timeout=120)
+        for i, (result, reference) in enumerate(zip(results, expected)):
+            assert np.array_equal(result, reference), f"request {i}"
+
+    def test_pool_calibrate_updates_every_replica(self, fast_registry):
+        spec = BackendSpec.nn_lut().with_calibration("layernorm")
+        pool = SessionPool(
+            SessionConfig(model_family="tiny", compute_dtype="float64"),
+            spec=spec,
+            registry=fast_registry,
+            num_replicas=2,
+        )
+        rng = np.random.default_rng(6)
+        samples = [rng.integers(0, 100, size=length) for length in (8, 12, 8, 16)]
+        calibrated = pool.calibrate(samples)
+        for session in pool.sessions:
+            assert session.lut_overrides["rsqrt"] is calibrated["rsqrt"]
+            assert session.backend.name == "nn-lut-fp32+cal"
+        # Every replica serves the calibrated backend identically.
+        primary_out = pool.sessions[0].forward(samples)
+        replica_out = pool.sessions[1].forward(samples)
+        assert all(
+            np.array_equal(a, b) for a, b in zip(primary_out, replica_out)
+        )
+        pooled_out = pool.forward(samples)
+        assert all(
+            np.array_equal(a, b) for a, b in zip(pooled_out, primary_out)
+        )

@@ -267,6 +267,30 @@ class TestSessionConfig:
         assert a == b and hash(a) == hash(b)
         assert len({a, b, SessionConfig()}) == 2
 
+    def test_container_overrides_stay_hashable(self):
+        # Regression: a list-valued override constructed fine and then
+        # hash() raised TypeError (unhashable 'list') — breaking the
+        # "hashable like its sibling BackendSpec" contract.
+        a = SessionConfig(model_overrides={"x": [1, 2], "y": {"k": [3]}})
+        b = SessionConfig(model_overrides={"x": (1, 2), "y": {"k": (3,)}})
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_container_overrides_round_trip(self):
+        config = SessionConfig(
+            model_family="tiny", model_overrides={"x": [1, 2], "y": {"k": [3]}}
+        )
+        payload = config.to_dict()
+        assert payload["model_overrides"] == {"x": [1, 2], "y": [["k", [3]]]}
+        assert SessionConfig.from_dict(payload) == config
+
+    def test_unhashable_override_rejected_with_clear_error(self):
+        class Opaque:
+            __hash__ = None  # type: ignore[assignment]
+
+        with pytest.raises(TypeError, match=r"model_overrides\['x'\]"):
+            SessionConfig(model_overrides={"x": Opaque()})
+
     def test_engine_settings_reach_the_model(self):
         config = SessionConfig(
             model_family="tiny", compute_dtype="float64", matmul_precision="int8"

@@ -154,6 +154,21 @@ class TestPrecisionVariants:
         lut_q = quantize_lut_int32(random_table(rng), input_range=(-5, 5))
         assert np.array_equal(lut_q(x), seed_int32_call(lut_q, x))
 
+    def test_call_preserves_floating_dtype(self, rng, fitted_gelu):
+        # Regression: __call__ force-cast through float64, so the fp32 engine
+        # silently upcast wherever a backend reached a reduced-precision
+        # table via __call__ instead of evaluate().
+        x32 = rng.uniform(-4, 4, size=128).astype(np.float32)
+        lut16 = quantize_lut_fp16(fitted_gelu.lut)
+        lut_q = quantize_lut_int32(fitted_gelu.lut, input_range=(-5, 5))
+        for variant in (lut16, lut_q):
+            called = variant(x32)
+            assert called.dtype == np.float32
+            assert np.array_equal(called, variant.evaluate(x32))
+            assert variant(x32.astype(np.float64)).dtype == np.float64
+            # Non-float input still promotes to float64 once.
+            assert variant(np.arange(3)).dtype == np.float64
+
     def test_fp16_int32_float32_inputs(self, rng, fitted_gelu):
         x = rng.uniform(-5, 5, 5000)
         lut16 = quantize_lut_fp16(fitted_gelu.lut)

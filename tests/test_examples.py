@@ -30,6 +30,7 @@ def test_example_suite_is_complete():
         "hardware_speedup.py",
         "operator_accuracy.py",
         "quickstart.py",
+        "serving_demo.py",
     } <= names
 
 
