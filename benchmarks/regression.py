@@ -26,6 +26,12 @@ subsystem — a 2-replica :class:`repro.api.SessionPool` behind a
 batch-coalescing :class:`repro.api.ServingQueue`, fed short-request traffic
 from concurrent client threads — against the same one-forward-per-request
 baseline, with a float64 bitwise-parity check vs single-session serving.
+The ``server_sharded_fp32`` row (schema v4) swaps the threaded pool for a
+:class:`repro.api.ShardedPool` — replicas in worker *processes* over
+shared-memory weights — measuring what multi-process sharding buys over the
+same per-call baseline (the row records ``cpu_count``: on a single-core
+machine the number isolates IPC overhead vs batch density; the multi-core
+speedup the subsystem exists for needs real cores).
 
 Run directly to regenerate the report (or use ``scripts/bench.sh``)::
 
@@ -40,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import threading
 import time
@@ -54,6 +61,7 @@ from repro.api import (
     InferenceSession,
     ServingQueue,
     SessionPool,
+    ShardedPool,
     build_backend,
 )
 from repro.core.lut import LookupTable
@@ -66,7 +74,7 @@ from repro.transformer import (
     backend_from_luts,
 )
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Default report location: the repository root (next to ROADMAP.md).
 DEFAULT_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -529,6 +537,112 @@ def _concurrent_clients(
     return outputs
 
 
+def _close_pool(pool) -> None:
+    """Close a pool if its kind needs closing (ShardedPool does)."""
+    close = getattr(pool, "close", None)
+    if callable(close):
+        close()
+
+
+def _benchmark_pool_serving(
+    shapes: EngineShapes,
+    make_pool,
+    num_requests: int,
+    num_replicas: int,
+    check_equivalence: bool,
+) -> Dict[str, object]:
+    """Shared harness: per-call loop vs a replica pool behind a ServingQueue.
+
+    ``make_pool(model)`` builds the pool under test over the given engine
+    model (any :class:`repro.api.ReplicaPool`); its ``template`` backend
+    doubles as the per-call oracle.  The "seed" path is the naive serving
+    loop — one ``model.forward`` per request as traffic arrives — and the
+    fast path runs the same requests through the batch-coalescing scheduler
+    from concurrent client threads.  The float64 twin of the pool must
+    reproduce per-call serving bit for bit (exact-length bucketing +
+    identical replicas); float32 is reported as a max-abs deviation.
+    """
+    rng = np.random.default_rng(14)
+    lengths = server_request_lengths(shapes, num_requests)
+    requests = [rng.integers(0, shapes.vocab_size, size=length) for length in lengths]
+    total_tokens = int(sum(lengths))
+    num_clients = min(8, num_requests)
+
+    model = build_engine(shapes, "fp32", compute_dtype="float32")
+    pool = make_pool(model)
+    try:
+        baseline_backend = pool.template.backend
+
+        def per_call() -> None:
+            for request in requests:
+                model.forward(request[None, :], backend=baseline_backend)
+
+        seed_s = time_call(per_call, shapes.repeats)
+        with ServingQueue(
+            pool, max_wait_ms=10.0, max_queue_depth=4 * num_requests
+        ) as queue:
+            fast_s = time_call(
+                lambda: _concurrent_clients(queue, requests, num_clients),
+                shapes.repeats,
+            )
+            stats = queue.stats()
+
+        row: Dict[str, object] = {
+            "shape": asdict(shapes),
+            "num_requests": num_requests,
+            "num_replicas": num_replicas,
+            "num_clients": num_clients,
+            "total_tokens": total_tokens,
+            **_op_row(seed_s, fast_s),
+            "tokens_per_s_seed": total_tokens / seed_s,
+            "tokens_per_s_fast": total_tokens / fast_s,
+            "queue": {
+                "mean_batch_size": stats.mean_batch_size,
+                "p50_latency_ms": stats.p50_latency_ms,
+                "p99_latency_ms": stats.p99_latency_ms,
+                "completed": stats.completed,
+                "rejected": stats.rejected,
+                "expired": stats.expired,
+            },
+        }
+        if check_equivalence:
+            model64 = build_engine(shapes, "fp32", compute_dtype="float64")
+            pool64 = make_pool(model64)
+            try:
+                with ServingQueue(pool64, max_wait_ms=10.0) as queue64:
+                    served64 = _concurrent_clients(queue64, requests, num_clients)
+                oracle64 = pool64.template.backend
+                bitwise = all(
+                    np.array_equal(
+                        model64.forward(request[None, :], backend=oracle64)[0],
+                        served64[i],
+                    )
+                    for i, request in enumerate(requests)
+                )
+            finally:
+                _close_pool(pool64)
+            with ServingQueue(pool, max_wait_ms=10.0) as queue32:
+                served32 = _concurrent_clients(queue32, requests, num_clients)
+            diff32 = max(
+                float(
+                    np.max(
+                        np.abs(
+                            model.forward(
+                                request[None, :], backend=baseline_backend
+                            )[0]
+                            - served32[i]
+                        )
+                    )
+                )
+                for i, request in enumerate(requests)
+            )
+            row["cached_float64_bitwise_equal"] = bool(bitwise)
+            row["float32_max_abs_diff"] = diff32
+        return row
+    finally:
+        _close_pool(pool)
+
+
 def benchmark_server_concurrent(
     registry: LutRegistry,
     shapes: EngineShapes,
@@ -538,93 +652,49 @@ def benchmark_server_concurrent(
 ) -> Dict[str, object]:
     """Concurrent serving: per-call loop vs SessionPool + ServingQueue.
 
-    The "seed" path is again the naive serving loop (one ``model.forward``
-    per request as traffic arrives); the fast path runs the same requests
-    through the batch-coalescing scheduler from concurrent client threads —
-    the ROADMAP's "batched multi-sequence scheduling".  The float64 twin of
-    the pool must reproduce single-session serving bit for bit (exact-length
-    bucketing + identical replicas).
+    The ROADMAP's "batched multi-sequence scheduling": replica threads over
+    one shared frozen encoder behind the coalescing scheduler (see
+    :func:`_benchmark_pool_serving` for the harness and parity contract).
     """
-    rng = np.random.default_rng(14)
-    lengths = server_request_lengths(shapes, num_requests)
-    requests = [rng.integers(0, shapes.vocab_size, size=length) for length in lengths]
-    total_tokens = int(sum(lengths))
-    num_clients = min(8, num_requests)
-
-    model = build_engine(shapes, "fp32", compute_dtype="float32")
-    spec = BackendSpec.nn_lut()
-    pool = SessionPool.from_model(
-        model, spec=spec, registry=registry,
-        num_replicas=num_replicas, max_batch_size=16,
-    )
-    baseline_backend = pool.sessions[0].backend
-
-    def per_call() -> None:
-        for request in requests:
-            model.forward(request[None, :], backend=baseline_backend)
-
-    seed_s = time_call(per_call, shapes.repeats)
-    with ServingQueue(
-        pool, max_wait_ms=10.0, max_queue_depth=4 * num_requests
-    ) as queue:
-        fast_s = time_call(
-            lambda: _concurrent_clients(queue, requests, num_clients),
-            shapes.repeats,
-        )
-        stats = queue.stats()
-
-    row: Dict[str, object] = {
-        "shape": asdict(shapes),
-        "num_requests": num_requests,
-        "num_replicas": num_replicas,
-        "num_clients": num_clients,
-        "total_tokens": total_tokens,
-        **_op_row(seed_s, fast_s),
-        "tokens_per_s_seed": total_tokens / seed_s,
-        "tokens_per_s_fast": total_tokens / fast_s,
-        "queue": {
-            "mean_batch_size": stats.mean_batch_size,
-            "p50_latency_ms": stats.p50_latency_ms,
-            "p99_latency_ms": stats.p99_latency_ms,
-            "completed": stats.completed,
-            "rejected": stats.rejected,
-            "expired": stats.expired,
-        },
-    }
-    if check_equivalence:
-        # float64 engine: pooled concurrent serving must equal single-session
-        # (and per-call) serving bit for bit; float32 reported as max-abs.
-        model64 = build_engine(shapes, "fp32", compute_dtype="float64")
-        pool64 = SessionPool.from_model(
-            model64, spec=spec, registry=registry,
+    return _benchmark_pool_serving(
+        shapes,
+        lambda model: SessionPool.from_model(
+            model, spec=BackendSpec.nn_lut(), registry=registry,
             num_replicas=num_replicas, max_batch_size=16,
-        )
-        with ServingQueue(pool64, max_wait_ms=10.0) as queue64:
-            served64 = _concurrent_clients(queue64, requests, num_clients)
-        bitwise = all(
-            np.array_equal(
-                model64.forward(
-                    request[None, :], backend=pool64.sessions[0].backend
-                )[0],
-                served64[i],
-            )
-            for i, request in enumerate(requests)
-        )
-        with ServingQueue(pool, max_wait_ms=10.0) as queue32:
-            served32 = _concurrent_clients(queue32, requests, num_clients)
-        diff32 = max(
-            float(
-                np.max(
-                    np.abs(
-                        model.forward(request[None, :], backend=baseline_backend)[0]
-                        - served32[i]
-                    )
-                )
-            )
-            for i, request in enumerate(requests)
-        )
-        row["cached_float64_bitwise_equal"] = bool(bitwise)
-        row["float32_max_abs_diff"] = diff32
+        ),
+        num_requests=num_requests,
+        num_replicas=num_replicas,
+        check_equivalence=check_equivalence,
+    )
+
+
+def benchmark_server_sharded(
+    registry: LutRegistry,
+    shapes: EngineShapes,
+    num_requests: int = 48,
+    num_replicas: int = 2,
+    check_equivalence: bool = True,
+) -> Dict[str, object]:
+    """Multi-process sharded serving: per-call loop vs ShardedPool + queue.
+
+    Same harness as ``benchmark_server_concurrent`` (one shared
+    :func:`_benchmark_pool_serving`, same traffic), but the replicas live in
+    worker *processes* over shared-memory weights, so on a multi-core machine
+    the forwards themselves (not just the BLAS inner loops) run in parallel.
+    The row records ``cpu_count`` so the speedup can be read in context: on
+    one core it isolates the IPC/pickling overhead the process boundary adds.
+    """
+    row = _benchmark_pool_serving(
+        shapes,
+        lambda model: ShardedPool.from_model(
+            model, spec=BackendSpec.nn_lut(), registry=registry,
+            num_replicas=num_replicas, max_batch_size=16,
+        ),
+        num_requests=num_requests,
+        num_replicas=num_replicas,
+        check_equivalence=check_equivalence,
+    )
+    row["cpu_count"] = os.cpu_count()
     return row
 
 
@@ -661,6 +731,9 @@ def run_engine_benchmark(mode: str = "smoke", registry: LutRegistry | None = Non
             "server_concurrent_fp32": benchmark_server_concurrent(
                 registry, shapes, num_requests=48 if mode == "full" else 8
             ),
+            "server_sharded_fp32": benchmark_server_sharded(
+                registry, shapes, num_requests=48 if mode == "full" else 8
+            ),
         },
         "equivalence": {"fused_lut_fp32_max_abs_diff": fused_lut_equivalence(registry)},
         "environment": {
@@ -689,6 +762,7 @@ def main(argv: list[str] | None = None) -> int:
     int8 = report["end_to_end"]["encoder_forward_int8"]
     session = report["end_to_end"]["session_ragged_fp32"]
     server = report["end_to_end"]["server_concurrent_fp32"]
+    sharded = report["end_to_end"]["server_sharded_fp32"]
     print(f"wrote {path}")
     print(
         f"encoder forward fp32: {fp32['speedup']:.2f}x "
@@ -711,6 +785,15 @@ def main(argv: list[str] | None = None) -> int:
         f"mean batch {server['queue']['mean_batch_size']:.1f}, "
         f"p50 {server['queue']['p50_latency_ms']:.0f} ms / "
         f"p99 {server['queue']['p99_latency_ms']:.0f} ms)"
+    )
+    print(
+        f"server sharded fp32: {sharded['speedup']:.2f}x "
+        f"({sharded['tokens_per_s_seed']:.0f} -> {sharded['tokens_per_s_fast']:.0f} tokens/s, "
+        f"{sharded['num_replicas']} worker processes on {sharded['cpu_count']} cores, "
+        f"{sharded['num_clients']} clients, {sharded['num_requests']} requests, "
+        f"mean batch {sharded['queue']['mean_batch_size']:.1f}, "
+        f"p50 {sharded['queue']['p50_latency_ms']:.0f} ms / "
+        f"p99 {sharded['queue']['p99_latency_ms']:.0f} ms)"
     )
     return 0
 

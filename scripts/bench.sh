@@ -20,16 +20,19 @@ python - <<'PY'
 import json
 
 report = json.load(open("BENCH_engine.json"))
-for name in ("session_ragged_fp32", "server_concurrent_fp32"):
+for name in ("session_ragged_fp32", "server_concurrent_fp32", "server_sharded_fp32"):
     row = report["end_to_end"][name]
     extra = ""
     if "queue" in row:
         queue = row["queue"]
+        kind = "worker processes" if "cpu_count" in row else "replicas"
         extra = (
-            f", {row['num_replicas']} replicas, mean batch "
+            f", {row['num_replicas']} {kind}, mean batch "
             f"{queue['mean_batch_size']:.1f}, p50 {queue['p50_latency_ms']:.0f} ms"
             f" / p99 {queue['p99_latency_ms']:.0f} ms"
         )
+        if "cpu_count" in row:
+            extra += f", {row['cpu_count']} cores"
     print(
         f"{name}: {row['speedup']:.2f}x "
         f"({row['tokens_per_s_seed']:.0f} -> {row['tokens_per_s_fast']:.0f} tokens/s"

@@ -13,6 +13,9 @@ The two halves of the API:
   layer: replica sessions over one shared frozen model, plus a
   batch-coalescing scheduler with deadlines, overload rejection and latency
   statistics (see :mod:`repro.api.server`).
+* :class:`ShardedPool` — the same :class:`ReplicaPool` protocol served from
+  worker *processes* over shared-memory weights, lifting the GIL ceiling on
+  multi-core machines (see :mod:`repro.api.sharding`).
 
 Every experiment, example and benchmark in the repo goes through this
 surface; the legacy ``*_backend()`` constructors in
@@ -23,6 +26,7 @@ from .batching import MicroBatch, RequestBatcher
 from .server import (
     DeadlineExceededError,
     QueueFullError,
+    ReplicaPool,
     ServerClosedError,
     ServingFuture,
     ServingQueue,
@@ -33,8 +37,11 @@ from .session import (
     MODEL_FAMILIES,
     InferenceSession,
     SessionConfig,
+    attach_weight_state,
     calibrate_primitive_luts,
+    export_weight_state,
 )
+from .sharding import ShardedPool, SharedWeightStore, WorkerDiedError
 from .spec import (
     METHODS,
     OPERATOR_PRIMITIVES,
@@ -61,7 +68,13 @@ __all__ = [
     "SessionConfig",
     "InferenceSession",
     "calibrate_primitive_luts",
+    "export_weight_state",
+    "attach_weight_state",
+    "ReplicaPool",
     "SessionPool",
+    "ShardedPool",
+    "SharedWeightStore",
+    "WorkerDiedError",
     "ServingQueue",
     "ServingFuture",
     "ServingStats",

@@ -34,6 +34,7 @@ packed tensor means batch composition legitimately affects its numerics.
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from collections import deque
@@ -44,7 +45,7 @@ import numpy as np
 
 from ..core.registry import LutRegistry
 from ..transformer.models import EncoderModel
-from .session import InferenceSession, SessionConfig
+from .session import InferenceSession, SessionConfig, adopted_model_config
 from .spec import BackendSpec
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "ServerClosedError",
     "ServingFuture",
     "ServingStats",
+    "ReplicaPool",
     "SessionPool",
     "ServingQueue",
 ]
@@ -132,88 +134,56 @@ class ServingStats:
     throughput_rps: float
 
 
-class SessionPool:
-    """N replica :class:`InferenceSession`\\ s over one shared frozen encoder.
+class ReplicaPool:
+    """The pool protocol: deterministic replica serving over N handles.
 
-    The pool builds (or adopts) the model once; every replica session adopts
-    the same :class:`~repro.transformer.models.EncoderModel` instance, so the
-    weight memory and the one-time preparation cost are paid once regardless
-    of ``num_replicas``.  Each replica owns its *mutable* serving state — the
-    batcher's packing buffers and the backend (with its recorder) — which is
-    what makes replicas safe to run from concurrent threads.
+    This is the seam :class:`ServingQueue` (and any direct caller) programs
+    against.  A concrete pool provides
 
-    Construction ends with one tiny warm-up forward per replica: that fills
-    every lazy per-dtype cache on the shared tables/parameters
-    (``LookupTable`` parameter casts, norm-parameter casts), so concurrent
-    traffic never races on a cache fill.
+    * ``sessions`` — one serving handle per replica, each exposing
+      ``forward(requests) -> list`` and ``pooled(requests)``.  For
+      :class:`SessionPool` these are in-process
+      :class:`~repro.api.session.InferenceSession`\\ s; for
+      :class:`~repro.api.sharding.ShardedPool` they are proxies to worker
+      *processes*.
+    * ``_template`` — a local :class:`InferenceSession` describing the pool
+      (its pure ``RequestBatcher.plan`` drives the deterministic sharding;
+      its model supplies shapes/dtypes).
+    * ``config`` / ``spec`` — the serializable session/backend description.
 
-    Parameters mirror :class:`InferenceSession`; ``model=`` adopts an
-    existing encoder exactly like the session constructor does.
+    ``forward``/``pooled``/``classify`` shard micro-batches deterministically
+    (batch ``j`` -> replica ``j % N``) and are implemented once here, so every
+    pool — threaded or multi-process — serves identically.
     """
 
-    def __init__(
-        self,
-        config: SessionConfig | None = None,
-        spec: BackendSpec | None = None,
-        registry: LutRegistry | None = None,
-        num_replicas: int = 2,
-        model: EncoderModel | None = None,
-    ) -> None:
-        if num_replicas < 1:
-            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
-        primary = InferenceSession(
-            config=config, spec=spec, registry=registry, model=model
-        )
-        self.sessions: List[InferenceSession] = [primary]
-        for _ in range(num_replicas - 1):
-            replica = InferenceSession.from_model(
-                primary.model,
-                spec=primary.spec,
-                registry=primary.registry,
-                max_batch_size=primary.config.max_batch_size,
-                bucket_size=primary.config.bucket_size,
-            )
-            if primary.lut_overrides:
-                replica.apply_lut_overrides(primary.lut_overrides)
-            self.sessions.append(replica)
-        self.config = primary.config
-        self.spec = primary.spec
-        warmup = [np.zeros(1, dtype=np.int64)]
-        for session in self.sessions:
-            session.forward(warmup)
+    #: Replica serving handles (``forward``/``pooled`` duck type).
+    sessions: List
+    #: Local session describing the pool (planner + model metadata).
+    _template: InferenceSession
+    config: SessionConfig
+    spec: BackendSpec
 
     @property
     def num_replicas(self) -> int:
         return len(self.sessions)
 
     @property
+    def template(self) -> InferenceSession:
+        """The local session describing this pool.
+
+        Its (pure) batcher drives the deterministic sharding, its model
+        supplies shapes/dtypes, and its backend is the per-call oracle the
+        parity gates/benchmarks compare pooled serving against.
+        """
+        return self._template
+
+    @property
     def model(self) -> EncoderModel:
-        return self.sessions[0].model
+        return self._template.model
 
     @property
     def max_sequence_length(self) -> int:
-        return self.sessions[0].max_sequence_length
-
-    @classmethod
-    def from_model(
-        cls,
-        model: EncoderModel,
-        spec: BackendSpec | None = None,
-        registry: LutRegistry | None = None,
-        num_replicas: int = 2,
-        max_batch_size: int = 32,
-        bucket_size: int = 1,
-    ) -> "SessionPool":
-        """Pool over an already-built encoder (its engine settings win)."""
-        config = SessionConfig(
-            model_family="custom",
-            compute_dtype=model.config.compute_dtype,
-            matmul_precision=model.config.matmul_precision,
-            max_batch_size=max_batch_size,
-            bucket_size=bucket_size,
-        )
-        return cls(config=config, spec=spec, registry=registry,
-                   num_replicas=num_replicas, model=model)
+        return self._template.max_sequence_length
 
     # ------------------------------------------------------------------ #
     # Deterministic sharded serving
@@ -223,11 +193,11 @@ class SessionPool:
     ) -> List[List[Sequence[int]]]:
         """Micro-batch index groups per replica: batch ``j`` -> replica ``j % N``.
 
-        The layout comes from the primary batcher's (pure) ``plan``, so the
+        The layout comes from the template batcher's (pure) ``plan``, so the
         assignment depends only on the request list — never on thread timing.
         """
         sessions = self.sessions
-        plan = sessions[0]._batcher.plan(
+        plan = self._template._batcher.plan(
             [np.asarray(r).size for r in requests], self.max_sequence_length
         )
         shards: List[List[Sequence[int]]] = [[] for _ in sessions]
@@ -304,6 +274,75 @@ class SessionPool:
 
         return _resolve_classification_head(head).predict(self.pooled(requests))
 
+
+class SessionPool(ReplicaPool):
+    """N replica :class:`InferenceSession`\\ s over one shared frozen encoder.
+
+    The pool builds (or adopts) the model once; every replica session adopts
+    the same :class:`~repro.transformer.models.EncoderModel` instance, so the
+    weight memory and the one-time preparation cost are paid once regardless
+    of ``num_replicas``.  Each replica owns its *mutable* serving state — the
+    batcher's packing buffers and the backend (with its recorder) — which is
+    what makes replicas safe to run from concurrent threads.
+
+    Construction ends with one tiny warm-up forward per replica: that fills
+    every lazy per-dtype cache on the shared tables/parameters
+    (``LookupTable`` parameter casts, norm-parameter casts), so concurrent
+    traffic never races on a cache fill.
+
+    Parameters mirror :class:`InferenceSession`; ``model=`` adopts an
+    existing encoder exactly like the session constructor does.
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig | None = None,
+        spec: BackendSpec | None = None,
+        registry: LutRegistry | None = None,
+        num_replicas: int = 2,
+        model: EncoderModel | None = None,
+    ) -> None:
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        primary = InferenceSession(
+            config=config, spec=spec, registry=registry, model=model
+        )
+        self._template = primary
+        self.sessions: List[InferenceSession] = [primary]
+        for _ in range(num_replicas - 1):
+            replica = InferenceSession.from_model(
+                primary.model,
+                spec=primary.spec,
+                registry=primary.registry,
+                max_batch_size=primary.config.max_batch_size,
+                bucket_size=primary.config.bucket_size,
+            )
+            if primary.lut_overrides:
+                replica.apply_lut_overrides(primary.lut_overrides)
+            self.sessions.append(replica)
+        self.config = primary.config
+        self.spec = primary.spec
+        warmup = [np.zeros(1, dtype=np.int64)]
+        for session in self.sessions:
+            session.forward(warmup)
+
+    @classmethod
+    def from_model(
+        cls,
+        model: EncoderModel,
+        spec: BackendSpec | None = None,
+        registry: LutRegistry | None = None,
+        num_replicas: int = 2,
+        max_batch_size: int = 32,
+        bucket_size: int = 1,
+    ) -> "SessionPool":
+        """Pool over an already-built encoder (its engine settings win)."""
+        config = adopted_model_config(
+            model, max_batch_size=max_batch_size, bucket_size=bucket_size
+        )
+        return cls(config=config, spec=spec, registry=registry,
+                   num_replicas=num_replicas, model=model)
+
     def calibrate(
         self, samples: Sequence[np.ndarray], config=None, operators=None
     ) -> Dict[str, object]:
@@ -319,6 +358,29 @@ class SessionPool:
         for session in self.sessions[1:]:
             session.apply_lut_overrides(calibrated)
         return calibrated
+
+
+def _per_future_error(exc: BaseException) -> BaseException:
+    """A private copy of a batch failure for one future.
+
+    Every future in a failed batch re-raises "the" error, but ``raise``
+    mutates the raised instance's ``__traceback__`` — handing the *same*
+    instance to N futures makes concurrent ``result()`` calls race on that
+    shared mutable state (and chains unrelated client-side tracebacks into
+    each other).  Each future therefore gets its own copy, with the original
+    attached as ``__cause__`` so nothing about the failure is lost.
+    """
+    clone: BaseException | None = None
+    try:
+        clone = type(exc)(*exc.args)
+    except Exception:
+        try:
+            clone = copy.copy(exc)
+        except Exception:
+            clone = RuntimeError(f"batch forward failed: {exc!r}")
+    clone.__traceback__ = None
+    clone.__cause__ = exc
+    return clone
 
 
 class _Pending:
@@ -360,8 +422,9 @@ class ServingQueue:
     Parameters
     ----------
     pool:
-        A :class:`SessionPool`, or a single :class:`InferenceSession` (served
-        as a pool of one).
+        Any :class:`ReplicaPool` — a threaded :class:`SessionPool`, a
+        multi-process :class:`~repro.api.sharding.ShardedPool` — or a single
+        :class:`InferenceSession` (served as a pool of one).
     max_wait_ms:
         Coalescing window measured from the oldest pending request.  Larger
         values trade tail latency for denser batches.
@@ -377,7 +440,7 @@ class ServingQueue:
 
     def __init__(
         self,
-        pool: SessionPool | InferenceSession,
+        pool: ReplicaPool | InferenceSession,
         max_wait_ms: float = 2.0,
         max_batch_size: int | None = None,
         max_queue_depth: int = 1024,
@@ -396,10 +459,10 @@ class ServingQueue:
                 # tables through the queue, not a freshly-built backend.
                 for session in pool.sessions:
                     session.apply_lut_overrides(source.lut_overrides)
-        if not isinstance(pool, SessionPool):
+        if not isinstance(pool, ReplicaPool):
             raise TypeError(
-                f"pool must be a SessionPool or InferenceSession, got "
-                f"{type(pool).__name__}"
+                f"pool must be a SessionPool, a ShardedPool (any ReplicaPool) "
+                f"or an InferenceSession, got {type(pool).__name__}"
             )
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
@@ -423,6 +486,9 @@ class ServingQueue:
         self._inflight_batches = 0
         #: Submitted-but-unfinished requests: pending + formed + in flight.
         self._backlog = 0
+        #: Requests close() failed with ServerClosedError instead of serving;
+        #: drain() consults this to distinguish "served" from "discarded".
+        self._dropped_on_close = 0
 
         # Stats (guarded by _lock; latencies bounded to keep memory flat).
         self._submitted = 0
@@ -439,6 +505,7 @@ class ServingQueue:
 
         self._scheduler: threading.Thread | None = None
         self._workers: List[threading.Thread] = []
+        self._live_workers = 0
         if start:
             self.start()
 
@@ -453,6 +520,7 @@ class ServingQueue:
             if self._started:
                 return self
             self._started = True
+        self._live_workers = self.pool.num_replicas
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name="serving-scheduler", daemon=True
         )
@@ -468,12 +536,8 @@ class ServingQueue:
             worker.start()
         return self
 
-    def close(self, timeout: float = 5.0) -> None:
-        """Stop serving.  In-flight batches finish; queued requests fail.
-
-        Safe to call more than once.  Requests still waiting (pending or in
-        formed-but-undispatched batches) receive :class:`ServerClosedError`.
-        """
+    def _shut_down(self, reason: str) -> None:
+        """Mark the queue closed and fail the dropped backlog (idempotent)."""
         with self._lock:
             if self._closed:
                 return
@@ -484,9 +548,18 @@ class ServingQueue:
                 dropped.extend(batch)
             self._batch_queue.clear()
             self._backlog -= len(dropped)
+            self._dropped_on_close += len(dropped)
             self._work.notify_all()
         for pending in dropped:
-            pending.future._fail(ServerClosedError("ServingQueue was closed"))
+            pending.future._fail(ServerClosedError(reason))
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop serving.  In-flight batches finish; queued requests fail.
+
+        Safe to call more than once.  Requests still waiting (pending or in
+        formed-but-undispatched batches) receive :class:`ServerClosedError`.
+        """
+        self._shut_down("ServingQueue was closed")
         for thread in [self._scheduler, *self._workers]:
             if thread is not None and thread.is_alive():
                 thread.join(timeout)
@@ -562,21 +635,80 @@ class ServingQueue:
     def serve(
         self, requests: Sequence[np.ndarray], timeout: float | None = None
     ) -> List[np.ndarray]:
-        """Submit a burst of requests and wait for all results (in order)."""
+        """Submit a burst of requests and wait for all results (in order).
+
+        ``timeout`` is one shared deadline for the *whole burst*, not a
+        per-future allowance: waiting on result ``i`` consumes the same
+        budget as results ``0..i-1`` did, so a burst of N requests against a
+        stalled queue raises :class:`TimeoutError` after ~``timeout``
+        seconds, never ``N * timeout``.
+        """
         futures = [self.submit(tokens) for tokens in requests]
-        return [future.result(timeout) for future in futures]
+        if timeout is None:
+            return [future.result(None) for future in futures]
+        deadline = time.monotonic() + timeout
+        return [
+            future.result(max(0.0, deadline - time.monotonic()))
+            for future in futures
+        ]
 
     def drain(self, timeout: float = 30.0) -> None:
-        """Block until nothing is pending, formed, or in flight."""
+        """Block until nothing is pending, formed, or in flight.
+
+        Raises :class:`ServerClosedError` if the queue is closed with
+        backlog still present (or after close() discarded backlog while this
+        call was waiting) — that backlog will never be served, so returning
+        normally would falsely report it drained.  A close() that raced in
+        *after* everything was genuinely served does not raise.
+        """
+        closed_error = ServerClosedError(
+            "ServingQueue was closed while draining; the remaining "
+            "backlog will never be served"
+        )
         deadline = time.monotonic() + timeout
         with self._work:
-            while (
-                self._pending or self._batch_queue or self._inflight_batches
-            ) and not self._closed:
+            while self._pending or self._batch_queue or self._inflight_batches:
+                if self._closed:
+                    raise closed_error
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise TimeoutError("ServingQueue did not drain in time")
                 self._work.wait(remaining)
+            # The backlog is gone — but close() *discards* the pending and
+            # formed backlog (failing those futures), so an empty closed
+            # queue is not necessarily a served one.
+            if self._closed and self._dropped_on_close:
+                raise closed_error
+
+    def reset_stats(self) -> None:
+        """Zero the counters, latency digest and throughput span anchors.
+
+        Long-lived servers call this to take per-window measurements: after a
+        reset, :meth:`stats` describes only the traffic observed since.
+        Backlog accounting (``queue_depth`` and the admission-control bound
+        it feeds) is deliberately untouched — requests already in the system
+        still count against ``max_queue_depth`` and still complete.  Those
+        carried-over requests complete *into* the new window: their
+        completions/latencies are counted here (a latency necessarily
+        includes queueing time from before the reset), the high-water mark
+        restarts from the current backlog, and the throughput span is
+        anchored at the reset while any backlog remains.
+        """
+        with self._lock:
+            self._submitted = 0
+            self._completed = 0
+            self._rejected = 0
+            self._expired = 0
+            self._failed = 0
+            self._batches = 0
+            self._batched_rows = 0
+            self._latencies_ms.clear()
+            # Anchor the span at the reset when requests are still in the
+            # system — their completions land in this window and must not
+            # report as zero throughput.
+            self._first_submit_at = time.monotonic() if self._backlog else None
+            self._last_done_at = None
+            self._max_depth_seen = self._backlog
 
     def stats(self) -> ServingStats:
         """A consistent snapshot of the queue's counters and latency digest."""
@@ -670,6 +802,8 @@ class ServingQueue:
                 if self._closed:
                     # close() already failed everything it saw; fail the rest.
                     self._backlog -= len(window)
+                    self._dropped_on_close += len(window)
+                    self._work.notify_all()
                     for pending in window:
                         pending.future._fail(
                             ServerClosedError("ServingQueue was closed")
@@ -737,7 +871,24 @@ class ServingQueue:
                     self._inflight_batches -= 1
                     self._work.notify_all()
                 for pending in batch:
-                    pending.future._fail(exc)
+                    pending.future._fail(_per_future_error(exc))
+                if getattr(session, "defunct", False):
+                    # A permanently-dead replica (a shard worker process that
+                    # died or was poisoned) must stop consuming the shared
+                    # batch queue: failing batches instantly, this thread
+                    # would outrace the healthy replicas and poison traffic
+                    # they could have served.  And once the *last* live
+                    # worker exits, the queue must fail fast rather than
+                    # silently accept requests nothing will ever serve.
+                    with self._lock:
+                        self._live_workers -= 1
+                        fleet_dead = self._live_workers <= 0
+                    if fleet_dead:
+                        self._shut_down(
+                            "every replica of this ServingQueue's pool is "
+                            "dead; the queue closed itself"
+                        )
+                    return
                 continue
             done_at = time.monotonic()
             with self._lock:

@@ -56,7 +56,10 @@ __all__ = [
     "MODEL_FAMILIES",
     "SessionConfig",
     "InferenceSession",
+    "adopted_model_config",
     "calibrate_primitive_luts",
+    "export_weight_state",
+    "attach_weight_state",
 ]
 
 
@@ -78,6 +81,91 @@ def _resolve_classification_head(head) -> ClassificationHead:
             "score token features, not pooled requests"
         )
     return head
+
+# --------------------------------------------------------------------------- #
+# Weight export/attach: one flat view of a frozen encoder's master arrays
+# --------------------------------------------------------------------------- #
+def _weight_slots(model: EncoderModel):
+    """Yield ``(name, owner, attribute)`` for every float64 master array.
+
+    The names are stable across processes for a given architecture, which is
+    what lets :mod:`repro.api.sharding` ship a model's weights through
+    ``multiprocessing.shared_memory`` by name and re-attach them on the
+    worker side.
+    """
+    yield "embedding.token_table", model.embedding, "token_table"
+    yield "embedding.position_table", model.embedding, "position_table"
+    yield "embedding_norm.gamma", model.embedding_norm, "gamma"
+    yield "embedding_norm.beta", model.embedding_norm, "beta"
+    for index, layer in enumerate(model.encoder.layers):
+        attention = layer.attention
+        linears = (
+            (f"layers.{index}.attention.query", attention.query),
+            (f"layers.{index}.attention.key", attention.key),
+            (f"layers.{index}.attention.value", attention.value),
+            (f"layers.{index}.attention.output", attention.output),
+            (f"layers.{index}.ffn_in", layer.ffn_in),
+            (f"layers.{index}.ffn_out", layer.ffn_out),
+        )
+        for name, linear in linears:
+            yield f"{name}.weight", linear, "weight"
+            yield f"{name}.bias", linear, "bias"
+        norms = (
+            (f"layers.{index}.attention_norm", layer.attention_norm),
+            (f"layers.{index}.output_norm", layer.output_norm),
+        )
+        for name, norm in norms:
+            yield f"{name}.gamma", norm, "gamma"
+            yield f"{name}.beta", norm, "beta"
+    yield "pooler.weight", model.pooler, "weight"
+    yield "pooler.bias", model.pooler, "bias"
+
+
+def export_weight_state(model: EncoderModel) -> Dict[str, np.ndarray]:
+    """Every master weight array of ``model``, keyed by a stable flat name.
+
+    The returned arrays are the model's own (no copies); pair with
+    :func:`attach_weight_state` to move a frozen encoder's parameters into
+    externally-managed storage (e.g. shared memory) or into a freshly-built
+    model of the same architecture.
+    """
+    return {name: getattr(owner, attr) for name, owner, attr in _weight_slots(model)}
+
+
+def attach_weight_state(
+    model: EncoderModel, arrays: Mapping[str, np.ndarray]
+) -> None:
+    """Rebind ``model``'s master arrays to ``arrays`` (same names/shapes).
+
+    ``arrays`` must cover exactly the names :func:`export_weight_state`
+    produces for this architecture, with matching shapes and dtypes — a
+    partial or mismatched set raises before anything is rebound.  Read-only
+    arrays (shared-memory mappings) are fine: the engine never writes master
+    arrays in place.  Rebinding invalidates the derived caches automatically
+    (``Linear`` prepared operands and norm-parameter casts key on array
+    identity), so callers that want the prepare-once discipline should call
+    ``prepare()`` on the linears afterwards.
+    """
+    slots = list(_weight_slots(model))
+    expected = {name for name, _, _ in slots}
+    missing = sorted(expected - set(arrays))
+    extra = sorted(set(arrays) - expected)
+    if missing or extra:
+        raise ValueError(
+            f"weight state does not match the model's architecture "
+            f"(missing: {missing}, unexpected: {extra})"
+        )
+    for name, owner, attr in slots:
+        current = getattr(owner, attr)
+        replacement = np.asarray(arrays[name])
+        if replacement.shape != current.shape or replacement.dtype != current.dtype:
+            raise ValueError(
+                f"weight {name!r} must have shape {current.shape} and dtype "
+                f"{current.dtype}, got {replacement.shape} / {replacement.dtype}"
+            )
+    for name, owner, attr in slots:
+        setattr(owner, attr, np.asarray(arrays[name]))
+
 
 #: (family, size) -> TransformerConfig factory.
 MODEL_FAMILIES: Dict[str, Dict[str, object]] = {
@@ -224,6 +312,29 @@ class SessionConfig:
         return cls(**values)
 
 
+def adopted_model_config(
+    model: EncoderModel,
+    max_batch_size: int = 32,
+    bucket_size: int = 1,
+    seed: int = 0,
+) -> SessionConfig:
+    """The ``"custom"`` :class:`SessionConfig` describing an adopted model.
+
+    The single definition of the config every ``from_model``-style
+    constructor (session, thread pool, sharded pool, worker replica) builds:
+    engine settings copied from the model, batching knobs from the caller,
+    deliberately unable to rebuild the model itself.
+    """
+    return SessionConfig(
+        model_family="custom",
+        seed=seed,
+        compute_dtype=model.config.compute_dtype,
+        matmul_precision=model.config.matmul_precision,
+        max_batch_size=max_batch_size,
+        bucket_size=bucket_size,
+    )
+
+
 class InferenceSession:
     """A prepared (model, backend) pair serving ragged request lists.
 
@@ -252,11 +363,7 @@ class InferenceSession:
             # An adopted model must be described honestly: a named-family
             # config alongside it would log/replay a different model.
             if config is None:
-                config = SessionConfig(
-                    model_family="custom",
-                    compute_dtype=model.config.compute_dtype,
-                    matmul_precision=model.config.matmul_precision,
-                )
+                config = adopted_model_config(model)
             elif config.model_family != "custom":
                 raise ValueError(
                     "when adopting an existing model, pass a SessionConfig with "
@@ -305,12 +412,8 @@ class InferenceSession:
         records the engine/batching knobs but deliberately cannot rebuild
         the adopted model (replaying it would reconstruct the wrong one).
         """
-        config = SessionConfig(
-            model_family="custom",
-            compute_dtype=model.config.compute_dtype,
-            matmul_precision=model.config.matmul_precision,
-            max_batch_size=max_batch_size,
-            bucket_size=bucket_size,
+        config = adopted_model_config(
+            model, max_batch_size=max_batch_size, bucket_size=bucket_size
         )
         return cls(config=config, spec=spec, registry=registry, model=model)
 

@@ -1,0 +1,702 @@
+"""Multi-process sharded serving: replica sessions in worker processes.
+
+:class:`~repro.api.server.SessionPool` parallelises replicas with *threads*,
+which only helps where numpy's BLAS releases the GIL — the Python half of a
+forward (operator dispatch, LUT bookkeeping, batch packing) still serialises.
+This module lifts that ceiling: :class:`ShardedPool` serves the same replica
+protocol from **worker processes**, each running its own interpreter, so the
+whole forward parallelises across cores.
+
+The construction honours the repo's prepare-once discipline and the PR-2
+serializability contract:
+
+* the parent builds (or adopts) the frozen encoder once, copies every master
+  weight array into :class:`multiprocessing.shared_memory` blocks via
+  :class:`SharedWeightStore`, and rebinds its *own* model onto those blocks —
+  one copy of the weights per machine, no matter how many replicas
+  (:meth:`ShardedPool.close` hands the model private writable arrays back);
+* each worker reconstructs its :class:`~repro.api.session.InferenceSession`
+  from the serializable ``SessionConfig.to_dict()`` / ``BackendSpec.to_dict()``
+  payloads (the round-trip PR 2 built for exactly this), maps the weight
+  blocks **read-only**, and receives the parent's already-fitted LUT tables
+  (plus any calibrated overrides) by pickle — no worker ever re-fits a
+  primitive or re-initialises weights it then throws away;
+* :class:`ShardedPool` extends the :class:`~repro.api.server.ReplicaPool`
+  protocol, so ``forward``/``pooled``/``classify`` shard micro-batches with
+  the same deterministic ``j % N`` rule as the threaded pool and
+  :class:`~repro.api.server.ServingQueue` runs on top of it unchanged.
+
+Parity: a worker's model is rebuilt from bit-identical weight bytes and its
+backend from the very same fitted tables, so under ``compute_dtype="float64"``
+with exact-length bucketing, sharded serving is **bitwise-equal** to
+single-session serving — the same gate the threaded pool carries.
+
+Failure behaviour: a worker that dies mid-request surfaces as
+:class:`WorkerDiedError` on the caller (through a :class:`ServingQueue`, the
+affected futures fail with a descriptive per-future error); the remaining
+replicas keep serving direct per-replica traffic, and :meth:`ShardedPool.close`
+always unlinks the shared-memory blocks — including when construction itself
+fails halfway.
+
+The ``int8`` engine keeps its documented caveat (one activation scale per
+packed tensor), and gains a sharding-specific one: which *process* serves a
+batch never changes its numerics, but batch composition still does.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import traceback
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.lut import LookupTable
+from ..core.registry import LutRegistry
+from ..transformer.config import TransformerConfig
+from ..transformer.models import EncoderModel
+from .server import ReplicaPool
+from .session import (
+    InferenceSession,
+    SessionConfig,
+    adopted_model_config,
+    attach_weight_state,
+    export_weight_state,
+)
+from .spec import OPERATOR_PRIMITIVES, BackendSpec
+
+__all__ = [
+    "WorkerDiedError",
+    "SharedWeightStore",
+    "ShardedPool",
+]
+
+
+class WorkerDiedError(RuntimeError):
+    """A shard worker process exited while (or before) serving a request."""
+
+
+#: Manifest row: (array name, shm block name, shape, dtype string).
+_ManifestRow = Tuple[str, str, Tuple[int, ...], str]
+
+
+def _close_handles(handles: Sequence[shared_memory.SharedMemory]) -> None:
+    """Close attached block handles, tolerating still-exported buffers."""
+    for handle in handles:
+        try:
+            handle.close()
+        except BufferError:
+            pass
+
+
+class SharedWeightStore:
+    """Frozen weight arrays in named ``multiprocessing.shared_memory`` blocks.
+
+    The creating process copies each array into its own block exactly once;
+    any process holding the :meth:`manifest` can :meth:`attach` and get
+    read-only numpy views onto the same physical pages.  N worker replicas
+    therefore share *one* copy of the weights per machine.
+
+    :meth:`unlink` is idempotent and safe to call with views still alive:
+    the block names are removed immediately (no new process can attach), and
+    the memory itself is released once the last mapping goes away.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
+        self._blocks: Dict[str, shared_memory.SharedMemory] = {}
+        self._manifest: List[_ManifestRow] = []
+        self._unlinked = False
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                block = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+                view[...] = array
+                self._blocks[name] = block
+                self._manifest.append(
+                    (name, block.name, tuple(array.shape), array.dtype.str)
+                )
+        except BaseException:
+            self.unlink()
+            raise
+
+    def manifest(self) -> List[_ManifestRow]:
+        """The attachment recipe: picklable, no array data."""
+        return list(self._manifest)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of weight data shared through the blocks."""
+        return sum(
+            int(np.prod(shape)) * np.dtype(dtype).itemsize
+            for _, _, shape, dtype in self._manifest
+        )
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Read-only views onto the blocks in the *creating* process."""
+        out: Dict[str, np.ndarray] = {}
+        for name, _, shape, dtype in self._manifest:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=self._blocks[name].buf
+            )
+            view.flags.writeable = False
+            out[name] = view
+        return out
+
+    @staticmethod
+    def attach(
+        manifest: Sequence[_ManifestRow],
+    ) -> Tuple[Dict[str, np.ndarray], List[shared_memory.SharedMemory]]:
+        """Map the manifest's blocks read-only in this (worker) process.
+
+        Returns the arrays plus the open block handles — the caller must
+        keep the handles alive as long as the arrays are in use and
+        ``close()`` them on shutdown.  Attaching registers the name with the
+        resource tracker again (CPython registers attachments and creations
+        alike), which is harmless here: shard workers are spawned children
+        of the creating process, so they share its tracker and the
+        registration set just re-adds an existing entry — the owner's
+        ``unlink`` remains the single cleanup point.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        handles: List[shared_memory.SharedMemory] = []
+        try:
+            for name, shm_name, shape, dtype in manifest:
+                block = shared_memory.SharedMemory(name=shm_name)
+                handles.append(block)
+                view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
+                view.flags.writeable = False
+                arrays[name] = view
+        except BaseException:
+            _close_handles(handles)
+            raise
+        return arrays, handles
+
+    def unlink(self) -> None:
+        """Remove every block name (idempotent; safe with live views).
+
+        Mappings still held by this or other processes stay valid until
+        they are closed; ``BufferError`` from closing a block whose views
+        are still exported is tolerated — the OS reclaims the memory when
+        the last mapping disappears.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for block in self._blocks.values():
+            try:
+                block.unlink()
+            except FileNotFoundError:
+                pass
+            try:
+                block.close()
+            except BufferError:
+                # The creating process still holds views (e.g. the parent
+                # model was rebound onto the blocks); the mapping stays open
+                # but the name is gone, which is what unlink guarantees.
+                pass
+
+    @property
+    def unlinked(self) -> bool:
+        return self._unlinked
+
+
+@dataclass
+class _WorkerInit:
+    """Everything a worker needs to reconstruct its replica, all picklable."""
+
+    transformer_config: TransformerConfig
+    session_config: Dict[str, object]  # SessionConfig.to_dict()
+    spec: Dict[str, object]  # BackendSpec.to_dict()
+    manifest: List[_ManifestRow]
+    #: (primitive name, num_entries) -> fitted table, shipped so workers
+    #: never re-fit registry primitives.
+    tables: Dict[Tuple[str, int], LookupTable]
+    lut_overrides: Dict[str, LookupTable]
+
+
+class _ShippedRegistry:
+    """A read-only stand-in for :class:`LutRegistry` inside a worker.
+
+    Serves exactly the fitted tables the parent shipped; anything else is a
+    deployment bug (a worker silently re-fitting tables would both stall the
+    replica and break bitwise parity with the parent's tables).
+    """
+
+    def __init__(self, tables: Mapping[Tuple[str, int], LookupTable]) -> None:
+        self._tables = dict(tables)
+
+    def lut(self, function_name: str, num_entries: int = 16) -> LookupTable:
+        try:
+            return self._tables[(function_name, int(num_entries))]
+        except KeyError:
+            raise RuntimeError(
+                f"primitive {function_name!r} with {num_entries} entries was "
+                "not shipped to this shard worker; workers never fit tables"
+            ) from None
+
+    def get(self, function_name: str, num_entries: int = 16):
+        raise RuntimeError(
+            "shard workers hold LUT tables only (no fitted networks); run "
+            "calibration on the ShardedPool itself — it re-fits on the parent "
+            "and broadcasts the calibrated tables to every worker"
+        )
+
+
+def _build_worker_session(
+    init: _WorkerInit,
+) -> Tuple[InferenceSession, List[shared_memory.SharedMemory]]:
+    """Reconstruct one replica session from the shipped description."""
+    arrays, handles = SharedWeightStore.attach(init.manifest)
+    try:
+        model = EncoderModel.skeleton(init.transformer_config)
+        attach_weight_state(model, arrays)
+        session = InferenceSession(
+            config=SessionConfig.from_dict(init.session_config),
+            spec=BackendSpec.from_dict(init.spec),
+            registry=_ShippedRegistry(init.tables),
+            model=model,
+        )
+        if init.lut_overrides:
+            session.apply_lut_overrides(init.lut_overrides)
+        # Warm every lazy per-dtype cache before serving, like SessionPool.
+        session.forward([np.zeros(1, dtype=np.int64)])
+    except BaseException:
+        _close_handles(handles)
+        raise
+    return session, handles
+
+
+def _worker_main(conn, init: _WorkerInit) -> None:
+    """Entry point of one shard worker process (spawn-safe, module level)."""
+    try:
+        session, handles = _build_worker_session(init)
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+        return
+    conn.send(("ready", None))
+    try:
+        while True:
+            try:
+                op, payload = conn.recv()
+            except (EOFError, OSError):
+                return  # parent went away; nothing left to serve
+            if op == "close":
+                conn.send(("ok", None))
+                return
+            try:
+                if op == "forward":
+                    result = session.forward(payload)
+                elif op == "pooled":
+                    result = session.pooled(payload)
+                elif op == "apply_lut_overrides":
+                    session.apply_lut_overrides(payload)
+                    result = None
+                elif op == "ping":
+                    result = "pong"
+                else:
+                    raise ValueError(f"unknown shard worker op {op!r}")
+                conn.send(("ok", result))
+            except BaseException:
+                conn.send(("error", traceback.format_exc()))
+    finally:
+        _close_handles(handles)
+
+
+class _ShardClient:
+    """Parent-side handle to one worker replica.
+
+    Duck-types the serving half of :class:`InferenceSession` (``forward`` /
+    ``pooled`` / ``apply_lut_overrides``), which is exactly what
+    :class:`~repro.api.server.ReplicaPool` and
+    :class:`~repro.api.server.ServingQueue` call on a pool's ``sessions``.
+    One request is in flight per worker at a time (guarded by a lock); the
+    pipe wait releases the GIL, which is where the cross-process parallelism
+    comes from.
+    """
+
+    def __init__(
+        self, index: int, process, conn, request_timeout_s: float
+    ) -> None:
+        self.index = index
+        self.process = process
+        self._conn = conn
+        self._request_timeout_s = request_timeout_s
+        self._lock = threading.Lock()
+        #: Set when the pipe can no longer be trusted (a request timed out
+        #: with the worker still computing: its eventual reply would be
+        #: returned to the *next* request).  A broken client never serves
+        #: again.
+        self._broken = False
+
+    @property
+    def defunct(self) -> bool:
+        """True once this replica can never serve again (dead or poisoned)."""
+        return self._broken or not self.process.is_alive()
+
+    # ------------------------------------------------------------------ #
+    # Wire protocol
+    # ------------------------------------------------------------------ #
+    def _death_message(self, context: str) -> str:
+        return (
+            f"shard worker {self.index} (pid {self.process.pid}) died "
+            f"{context} (exitcode {self.process.exitcode}); its shard of the "
+            "request cannot be served"
+        )
+
+    def _recv(self, timeout_s: float, context: str):
+        deadline = time.monotonic() + timeout_s
+        while True:
+            if self._conn.poll(0.05):
+                return self._conn.recv()
+            if not self.process.is_alive():
+                if self._conn.poll(0):  # drain a reply sent just before death
+                    return self._conn.recv()
+                raise WorkerDiedError(self._death_message(context))
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"shard worker {self.index} did not answer within "
+                    f"{timeout_s:.1f} s"
+                )
+
+    def _call(self, op: str, payload, timeout_s: float | None = None):
+        timeout_s = self._request_timeout_s if timeout_s is None else timeout_s
+        with self._lock:
+            if self._broken:
+                raise WorkerDiedError(
+                    f"shard worker {self.index} was terminated after a "
+                    "timed-out request; it can no longer serve"
+                )
+            if not self.process.is_alive():
+                raise WorkerDiedError(self._death_message(f"before {op!r}"))
+            try:
+                self._conn.send((op, payload))
+                status, value = self._recv(timeout_s, f"while serving {op!r}")
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                raise WorkerDiedError(
+                    self._death_message(f"while serving {op!r}")
+                ) from exc
+            except TimeoutError:
+                # The worker may still answer this request later; reusing
+                # the pipe would hand that stale reply to the next caller.
+                # Poison the client and put the worker down.
+                self._broken = True
+                self.process.terminate()
+                raise
+        if status == "ok":
+            return value
+        raise RuntimeError(
+            f"shard worker {self.index} raised while serving {op!r}:\n{value}"
+        )
+
+    def wait_ready(self, timeout_s: float) -> None:
+        with self._lock:
+            try:
+                status, value = self._recv(timeout_s, "during initialisation")
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                # A hard death (segfault, OOM kill) surfaces as pipe EOF —
+                # poll() reports EOF as readable, so recv() raises before
+                # _recv's liveness branch can.  Map it to the descriptive
+                # error like every other pipe interaction.
+                raise WorkerDiedError(
+                    self._death_message("during initialisation")
+                ) from exc
+        if status == "ready":
+            return
+        raise RuntimeError(
+            f"shard worker {self.index} failed to initialise:\n{value}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # InferenceSession serving surface
+    # ------------------------------------------------------------------ #
+    def forward(self, requests: Sequence[np.ndarray]) -> List[np.ndarray]:
+        return self._call("forward", [np.asarray(r) for r in requests])
+
+    def pooled(self, requests: Sequence[np.ndarray]) -> np.ndarray:
+        return self._call("pooled", [np.asarray(r) for r in requests])
+
+    def apply_lut_overrides(self, overrides: Mapping[str, LookupTable]) -> None:
+        self._call("apply_lut_overrides", dict(overrides))
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self, timeout_s: float) -> None:
+        """Ask the worker to exit; escalate to terminate/kill if it won't.
+
+        The whole sequence is bounded by ``timeout_s`` per step: the client
+        lock is acquired with a timeout (an in-flight request may hold it
+        for up to ``request_timeout_s``), and if it cannot be had in time
+        the polite close handshake is skipped and the worker is terminated.
+        """
+        acquired = self._lock.acquire(timeout=timeout_s)
+        try:
+            if acquired and not self._broken and self.process.is_alive():
+                try:
+                    self._conn.send(("close", None))
+                    self._recv(timeout_s, "during shutdown")
+                except (WorkerDiedError, TimeoutError, BrokenPipeError,
+                        EOFError, OSError):
+                    pass
+        finally:
+            if acquired:
+                self._lock.release()
+        self.process.join(timeout_s)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout_s)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout_s)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+def _required_tables(
+    spec: BackendSpec, registry: LutRegistry
+) -> Dict[Tuple[str, int], LookupTable]:
+    """The fitted tables a worker's ``build_backend`` will ask a registry for.
+
+    Only ``nn_lut`` operators consult the registry (``linear_lut`` tables are
+    recomputed analytically, ``exact``/``ibert`` need none).  Every ``nn_lut``
+    primitive ships its base table even when a calibrated override exists:
+    the worker session builds the uncalibrated backend first and applies
+    overrides after, exactly like the parent did.
+    """
+    tables: Dict[Tuple[str, int], LookupTable] = {}
+    for op, op_spec in spec.operators().items():
+        if op_spec.method != "nn_lut":
+            continue
+        for primitive in OPERATOR_PRIMITIVES[op]:
+            key = (primitive, int(op_spec.num_entries))
+            if key not in tables:
+                tables[key] = registry.lut(
+                    primitive, num_entries=op_spec.num_entries
+                )
+    return tables
+
+
+def _restore_model_weights(model: EncoderModel) -> None:
+    """Give a model serving off shared-memory views private arrays back.
+
+    During a pool's life the parent model reads the shared blocks (one
+    weight copy per machine).  At teardown those blocks are unlinked, so the
+    model — possibly adopted from the caller, who may later edit weights in
+    place — is rebound onto fresh private copies of the same bytes, exactly
+    as writable as before the pool existed.
+    """
+    state = export_weight_state(model)
+    restored = {
+        name: array.copy()
+        for name, array in state.items()
+        if not array.flags.writeable
+    }
+    if restored:
+        attach_weight_state(model, {**state, **restored})
+
+
+def _release_pool_resources(store: SharedWeightStore, model: EncoderModel) -> None:
+    """Teardown shared between close() and the GC safety-net finalizer."""
+    try:
+        _restore_model_weights(model)
+    finally:
+        store.unlink()
+
+
+class ShardedPool(ReplicaPool):
+    """Replica sessions in worker *processes* over shared-memory weights.
+
+    Drop-in for :class:`~repro.api.server.SessionPool` (same construction
+    signature, same ``forward``/``pooled``/``classify``/``calibrate`` surface,
+    same deterministic ``j % N`` sharding), with replicas that run in their
+    own interpreters — the multi-core story the GIL denies the threaded pool.
+
+    Cost model: weights are shipped once per machine (shared memory blocks;
+    the parent's own model is rebound onto them, so there is exactly one
+    copy), while request/response token and hidden-state arrays cross the
+    process boundary by pickle per call.  Sharding therefore pays off when
+    forward compute dominates — many rows, real depth — and the threaded
+    pool stays preferable for tiny single-request traffic.
+
+    ``mp_context`` defaults to ``"spawn"``: it is the strictest start method
+    (nothing is inherited, so it proves the replica truly reconstructs from
+    the serializable spec — the same recipe a cross-machine shard would use)
+    and the only one that is safe regardless of parent threads.
+
+    Use as a context manager or call :meth:`close`, which shuts workers down
+    and always unlinks the shared-memory blocks.
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig | None = None,
+        spec: BackendSpec | None = None,
+        registry: LutRegistry | None = None,
+        num_replicas: int = 2,
+        model: EncoderModel | None = None,
+        mp_context: str = "spawn",
+        start_timeout_s: float = 120.0,
+        request_timeout_s: float = 600.0,
+    ) -> None:
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        template = InferenceSession(
+            config=config, spec=spec, registry=registry, model=model
+        )
+        self._template = template
+        self.config = template.config
+        self.spec = template.spec
+        self.sessions: List[_ShardClient] = []
+        self._closed = False
+        store = SharedWeightStore(export_weight_state(template.model))
+        self._store = store
+        # Restore the model's private weights and unlink the blocks even if
+        # the pool is never closed (GC / interpreter exit).
+        self._finalizer = weakref.finalize(
+            self, _release_pool_resources, store, template.model
+        )
+        try:
+            # One copy of the weights per machine: the parent's model reads
+            # the same blocks the workers map.
+            attach_weight_state(template.model, store.arrays())
+            for linear in template.model.iter_linears():
+                linear.prepare()
+            template.forward([np.zeros(1, dtype=np.int64)])
+            worker_config = adopted_model_config(
+                template.model,
+                max_batch_size=template.config.max_batch_size,
+                bucket_size=template.config.bucket_size,
+                seed=template.config.seed,
+            )
+            init = _WorkerInit(
+                transformer_config=template.model.config,
+                session_config=worker_config.to_dict(),
+                spec=template.spec.to_dict(),
+                manifest=store.manifest(),
+                tables=_required_tables(template.spec, template.registry),
+                lut_overrides=dict(template.lut_overrides),
+            )
+            context = multiprocessing.get_context(mp_context)
+            for index in range(num_replicas):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, init),
+                    name=f"shard-worker-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                client = _ShardClient(
+                    index, process, parent_conn, request_timeout_s
+                )
+                # Track before waiting so close() reaps it on any failure.
+                self.sessions.append(client)
+            # One shared deadline across the fleet (not per worker): N slow
+            # workers must not stack N full start timeouts.
+            start_deadline = time.monotonic() + start_timeout_s
+            for client in self.sessions:
+                client.wait_ready(max(0.0, start_deadline - time.monotonic()))
+        except BaseException:
+            self.close()
+            raise
+
+    @classmethod
+    def from_model(
+        cls,
+        model: EncoderModel,
+        spec: BackendSpec | None = None,
+        registry: LutRegistry | None = None,
+        num_replicas: int = 2,
+        max_batch_size: int = 32,
+        bucket_size: int = 1,
+        **kwargs,
+    ) -> "ShardedPool":
+        """Sharded pool over an already-built encoder (its engine wins)."""
+        config = adopted_model_config(
+            model, max_batch_size=max_batch_size, bucket_size=bucket_size
+        )
+        return cls(config=config, spec=spec, registry=registry,
+                   num_replicas=num_replicas, model=model, **kwargs)
+
+    def _serve_sharded(self, requests: Sequence[np.ndarray], serve) -> List:
+        if self._closed:
+            raise RuntimeError(
+                "ShardedPool is closed; its workers and shared-memory "
+                "weights are gone"
+            )
+        return super()._serve_sharded(requests, serve)
+
+    # ------------------------------------------------------------------ #
+    # Calibration: re-fit on the parent, broadcast to every worker
+    # ------------------------------------------------------------------ #
+    def calibrate(
+        self, samples: Sequence[np.ndarray], config=None, operators=None
+    ) -> Dict[str, LookupTable]:
+        """Dataset-free calibration for the whole sharded fleet.
+
+        The parent template session records/re-fits (it holds the fitted
+        networks; workers hold tables only), then the calibrated tables are
+        installed into every worker so the fleet keeps serving one
+        consistent backend.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "ShardedPool is closed; there are no workers to calibrate"
+            )
+        calibrated = self._template.calibrate(
+            samples, config=config, operators=operators
+        )
+        for client in self.sessions:
+            client.apply_lut_overrides(calibrated)
+        return calibrated
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the workers and release the shared-memory weights.
+
+        Idempotent.  The blocks are unlinked even when a worker is already
+        dead, refuses to exit (it gets terminated), or construction failed
+        halfway — shared memory must never outlive the pool — and the
+        template/adopted model gets private writable weight arrays back
+        (see :func:`_restore_model_weights`).  Dropping the pool without
+        closing triggers the same teardown from a GC finalizer.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            for client in self.sessions:
+                client.shutdown(timeout)
+        finally:
+            self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def shared_weight_bytes(self) -> int:
+        """Bytes of frozen-encoder weights held in the shared-memory blocks."""
+        return self._store.total_bytes
+
+    def __enter__(self) -> "ShardedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

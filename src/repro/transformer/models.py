@@ -29,6 +29,18 @@ from .nonlinear_backend import NonlinearBackend, _exact_backend
 __all__ = ["EncoderModel", "RobertaLikeModel", "MobileBertLikeModel"]
 
 
+class _ZeroFillGenerator:
+    """Duck-typed ``Generator`` whose draws are all zeros.
+
+    Lets :meth:`EncoderModel.skeleton` reuse the exact ``initialize``
+    construction path (same layers, same shapes, same engine settings)
+    without paying for random fills that are about to be overwritten.
+    """
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None) -> np.ndarray:
+        return np.zeros(() if size is None else size)
+
+
 @dataclass
 class EncoderModel:
     """Embeddings + encoder stack + pooler.
@@ -47,6 +59,21 @@ class EncoderModel:
     @classmethod
     def initialize(cls, config: TransformerConfig, seed: int = 0) -> "EncoderModel":
         rng = np.random.default_rng(seed)
+        return cls._build(config, rng)
+
+    @classmethod
+    def skeleton(cls, config: TransformerConfig) -> "EncoderModel":
+        """Structure-only model: every weight array zero-filled.
+
+        For flows that immediately overwrite the parameters with real ones
+        (``repro.api.session.attach_weight_state`` — e.g. a shard worker
+        mapping shared-memory weights): allocating zeros costs calloc pages
+        instead of a full random fill per array.
+        """
+        return cls._build(config, _ZeroFillGenerator())
+
+    @classmethod
+    def _build(cls, config: TransformerConfig, rng) -> "EncoderModel":
         return cls(
             config=config,
             embedding=Embedding.initialize(

@@ -304,6 +304,186 @@ class TestOverloadAndDeadlines:
             queue.close()
 
 
+class TestQueueContract:
+    """Regression tests for the documented ServingQueue behaviours."""
+
+    def test_serve_timeout_is_one_shared_deadline(
+        self, pool64, fast_registry
+    ):
+        # Regression: serve() applied `timeout` to each future sequentially,
+        # so a burst whose requests each complete just under the timeout
+        # could block for up to N x timeout.  One shared deadline must cover
+        # the whole burst.
+        pool = SessionPool.from_model(
+            pool64.model, spec=pool64.spec, registry=fast_registry,
+            num_replicas=1, max_batch_size=8,
+        )
+        gate = threading.Semaphore(0)
+        inner = pool.sessions[0].forward
+
+        def gated_forward(requests):
+            gate.acquire()
+            return inner(requests)
+
+        pool.sessions[0].forward = gated_forward  # type: ignore[method-assign]
+        # Strictly increasing lengths: each request is its own batch AND the
+        # (length-sorted) dispatch order matches the submission order, so
+        # under the old per-future rule every wait stays just under the
+        # timeout and serve() blocks for the full N x timeout.
+        rng = np.random.default_rng(5)
+        burst = [rng.integers(0, 100, size=length) for length in (5, 9, 12, 30)]
+        queue = ServingQueue(pool, max_wait_ms=0.0, max_batch_size=1)
+        stop = threading.Event()
+
+        def driver() -> None:  # completes one batch every 0.2 s
+            while not stop.is_set():
+                time.sleep(0.2)
+                gate.release()
+
+        thread = threading.Thread(target=driver, daemon=True)
+        thread.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(TimeoutError):
+                queue.serve(burst, timeout=0.35)
+            elapsed = time.monotonic() - start
+            assert elapsed < 0.75, (
+                f"serve() blocked {elapsed:.2f}s — the timeout stacked "
+                "per future instead of being one shared deadline"
+            )
+        finally:
+            stop.set()
+            for _ in range(8):
+                gate.release()
+            queue.close()
+
+    def test_drain_raises_when_closed_mid_drain(
+        self, pool64, fast_registry, mixed_requests
+    ):
+        # Regression: drain() returned silently when the queue was closed
+        # mid-drain with backlog still present — reporting "drained" for a
+        # backlog that will never be served.
+        pool, gate = _gated_single_replica_pool(pool64, fast_registry)
+        queue = ServingQueue(pool, max_wait_ms=0.0, max_queue_depth=8)
+        try:
+            queue.submit(mixed_requests[0])
+            _wait_for_inflight(queue)
+            closer = threading.Timer(0.05, lambda: queue.close(timeout=0.2))
+            closer.start()
+            with pytest.raises(ServerClosedError, match="drain"):
+                queue.drain(timeout=30)
+            closer.join()
+        finally:
+            gate.set()
+            queue.close()
+
+    def test_drain_after_fully_served_close_is_silent(
+        self, pool64, mixed_requests
+    ):
+        # The closed-mid-drain error must not fire when close() raced in
+        # after every request was genuinely served: nothing was discarded,
+        # so the backlog really did drain.
+        queue = ServingQueue(pool64, max_wait_ms=1.0)
+        queue.serve(mixed_requests[:2], timeout=60)
+        queue.drain(timeout=30)
+        queue.close()
+        queue.drain(timeout=5)  # closed, but nothing was ever dropped
+
+    def test_batch_failure_gives_each_future_its_own_error(
+        self, pool64, fast_registry
+    ):
+        # Regression: every future in a failed batch re-raised the *same*
+        # exception instance, so concurrent result() calls raced on its
+        # shared mutable __traceback__.
+        pool = SessionPool.from_model(
+            pool64.model, spec=pool64.spec, registry=fast_registry,
+            num_replicas=1, max_batch_size=8,
+        )
+
+        def exploding_forward(requests):
+            raise RuntimeError("boom")
+
+        pool.sessions[0].forward = exploding_forward  # type: ignore[method-assign]
+        queue = ServingQueue(pool, max_wait_ms=50.0)
+        try:
+            rng = np.random.default_rng(3)
+            futures = [
+                queue.submit(rng.integers(0, 100, size=6)) for _ in range(2)
+            ]
+            errors: list = []
+
+            def probe(future) -> None:
+                try:
+                    future.result(timeout=30)
+                except RuntimeError as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=probe, args=(future,))
+                for future in futures
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(errors) == 2
+            first, second = errors
+            assert first is not second  # each future owns its instance
+            assert type(first) is RuntimeError and first.args == ("boom",)
+            assert second.args == ("boom",)
+            # The original failure stays attached for debugging.
+            assert first.__cause__ is second.__cause__
+            assert first.__cause__ is not None
+            assert queue.stats().failed == 2
+        finally:
+            queue.close()
+
+    def test_reset_stats_starts_a_new_window(self, pool64, mixed_requests):
+        queue = ServingQueue(pool64, max_wait_ms=1.0)
+        try:
+            queue.serve(mixed_requests[:4], timeout=60)
+            queue.drain(timeout=30)
+            before = queue.stats()
+            assert before.submitted == before.completed == 4
+            assert before.p50_latency_ms > 0
+            queue.reset_stats()
+            zeroed = queue.stats()
+            assert zeroed.submitted == zeroed.completed == 0
+            assert zeroed.batches == 0 and zeroed.mean_batch_size == 0.0
+            assert zeroed.p50_latency_ms == zeroed.p99_latency_ms == 0.0
+            assert zeroed.throughput_rps == 0.0
+            assert zeroed.queue_depth == 0
+            queue.serve(mixed_requests[4:6], timeout=60)
+            queue.drain(timeout=30)
+            window = queue.stats()
+            assert window.submitted == window.completed == 2
+            assert window.p50_latency_ms > 0 and window.throughput_rps > 0
+        finally:
+            queue.close()
+
+    def test_reset_stats_leaves_backlog_accounting_untouched(
+        self, pool64, fast_registry, mixed_requests
+    ):
+        pool, gate = _gated_single_replica_pool(pool64, fast_registry)
+        queue = ServingQueue(pool, max_wait_ms=0.0, max_queue_depth=2)
+        try:
+            first = queue.submit(mixed_requests[0])
+            _wait_for_inflight(queue)
+            queue.reset_stats()
+            stats = queue.stats()
+            assert stats.queue_depth == 1  # the in-flight request survives
+            assert stats.max_queue_depth_seen == 1
+            second = queue.submit(mixed_requests[1])
+            with pytest.raises(QueueFullError):  # admission control intact
+                queue.submit(mixed_requests[2])
+            gate.set()
+            assert first.result(timeout=60).shape[0] == mixed_requests[0].size
+            assert second.result(timeout=60).shape[0] == mixed_requests[1].size
+        finally:
+            gate.set()
+            queue.close()
+
+
 class TestCalibratedServing:
     def test_wrapped_session_keeps_calibrated_tables(self, fast_registry):
         # Regression: wrapping a calibrated InferenceSession rebuilt the

@@ -1,0 +1,379 @@
+"""Multi-process sharded serving: parity, failure modes, shared-memory hygiene.
+
+The tier-1 gate mirrors tests/api/test_server.py: a tiny float64 model, two
+worker *processes*, mixed-length traffic, bitwise parity against
+single-session serving.  The failure-mode tests cover the ISSUE's checklist:
+a worker dying mid-service surfaces as a descriptive error (and the pool
+still closes cleanly), and the shared-memory blocks are unlinked on
+``close()`` even when construction itself fails halfway.
+"""
+
+import gc
+import threading
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BackendSpec,
+    InferenceSession,
+    ServerClosedError,
+    ServingQueue,
+    SessionConfig,
+    ShardedPool,
+    SharedWeightStore,
+    WorkerDiedError,
+    attach_weight_state,
+    export_weight_state,
+)
+from repro.api import sharding
+from repro.transformer.config import tiny_test_config
+from repro.transformer.models import EncoderModel
+
+
+@pytest.fixture(scope="module")
+def sharded64(fast_registry):
+    config = SessionConfig(
+        model_family="tiny", compute_dtype="float64", max_batch_size=3
+    )
+    pool = ShardedPool(
+        config, spec=BackendSpec.nn_lut(), registry=fast_registry, num_replicas=2
+    )
+    yield pool
+    pool.close()
+
+
+@pytest.fixture(scope="module")
+def single64(sharded64, fast_registry):
+    """Single-session serving over the same frozen model (the parity oracle)."""
+    return InferenceSession.from_model(
+        sharded64.model, spec=sharded64.spec, registry=fast_registry,
+        max_batch_size=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_requests():
+    rng = np.random.default_rng(7)
+    lengths = (5, 12, 5, 9, 30, 12, 7, 5, 9, 5)
+    return [rng.integers(0, 100, size=length) for length in lengths]
+
+
+class TestWeightState:
+    def test_export_covers_every_parameter(self):
+        model = EncoderModel.initialize(tiny_test_config(), seed=3)
+        state = export_weight_state(model)
+        assert sum(a.size for a in state.values()) == model.num_parameters()
+        assert len(set(state)) == len(state)
+
+    def test_attach_reproduces_outputs_bitwise(self, fast_registry):
+        config = tiny_test_config(compute_dtype="float64")
+        source = EncoderModel.initialize(config, seed=3)
+        target = EncoderModel.initialize(config, seed=9)  # different weights
+        tokens = np.random.default_rng(0).integers(0, 100, size=(2, 8))
+        assert not np.array_equal(source.forward(tokens), target.forward(tokens))
+        attach_weight_state(target, export_weight_state(source))
+        assert np.array_equal(source.forward(tokens), target.forward(tokens))
+
+    def test_attach_rejects_missing_and_mismatched(self):
+        model = EncoderModel.initialize(tiny_test_config(), seed=3)
+        state = export_weight_state(model)
+        partial = dict(state)
+        partial.pop("pooler.weight")
+        with pytest.raises(ValueError, match="missing"):
+            attach_weight_state(model, partial)
+        bad_shape = dict(state)
+        bad_shape["pooler.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            attach_weight_state(model, bad_shape)
+
+    def test_store_roundtrip_and_readonly(self):
+        model = EncoderModel.initialize(tiny_test_config(), seed=3)
+        state = export_weight_state(model)
+        store = SharedWeightStore(state)
+        try:
+            views = store.arrays()
+            assert set(views) == set(state)
+            for name, array in state.items():
+                assert np.array_equal(views[name], array)
+                with pytest.raises(ValueError):
+                    views[name][...] = 0.0
+            attached, handles = SharedWeightStore.attach(store.manifest())
+            assert all(
+                np.array_equal(attached[name], state[name]) for name in state
+            )
+            for handle in handles:
+                handle.close()
+        finally:
+            store.unlink()
+        assert store.unlinked
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=store.manifest()[0][1])
+
+
+class TestShardedParity:
+    def test_forward_bitwise_matches_single_session(
+        self, sharded64, single64, mixed_requests
+    ):
+        """The acceptance gate: sharded worker processes == single session."""
+        sharded = sharded64.forward(mixed_requests)
+        oracle = single64.forward(mixed_requests)
+        for i, (a, b) in enumerate(zip(sharded, oracle)):
+            assert np.array_equal(a, b), f"request {i}"
+
+    def test_pooled_bitwise_matches_single_session(
+        self, sharded64, single64, mixed_requests
+    ):
+        assert np.array_equal(
+            sharded64.pooled(mixed_requests), single64.pooled(mixed_requests)
+        )
+
+    def test_parent_model_reads_the_shared_blocks(self, sharded64):
+        """One copy of the weights per machine: parent rebound onto shm."""
+        shared = sharded64._store.arrays()
+        state = export_weight_state(sharded64.model)
+        for name, array in state.items():
+            assert np.shares_memory(array, shared[name]), name
+            assert not array.flags.writeable
+
+    def test_dispatch_is_deterministic(self, sharded64, mixed_requests):
+        shards = sharded64._shard(mixed_requests)
+        assert shards == sharded64._shard(mixed_requests)
+        served = sorted(i for shard in shards for batch in shard for i in batch)
+        assert served == list(range(len(mixed_requests)))
+
+    def test_serving_queue_runs_unchanged_on_top(
+        self, sharded64, single64, mixed_requests
+    ):
+        """ServingQueue treats the sharded pool exactly like SessionPool."""
+        oracle = single64.forward(mixed_requests)
+        with ServingQueue(sharded64, max_wait_ms=5.0) as queue:
+            results: list = [None] * len(mixed_requests)
+
+            def client(i: int) -> None:
+                results[i] = queue.serve_one(mixed_requests[i], timeout=120)
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(mixed_requests))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = queue.stats()
+        for i, result in enumerate(results):
+            assert np.array_equal(result, oracle[i]), f"request {i}"
+        assert stats.completed == len(mixed_requests)
+        assert stats.failed == 0
+
+    def test_calibrate_broadcasts_to_workers(self, fast_registry):
+        spec = BackendSpec.nn_lut().with_calibration("layernorm")
+        config = SessionConfig(model_family="tiny", compute_dtype="float64")
+        rng = np.random.default_rng(6)
+        samples = [rng.integers(0, 100, size=length) for length in (8, 12, 8, 16)]
+        with ShardedPool(
+            config, spec=spec, registry=fast_registry, num_replicas=1
+        ) as pool:
+            calibrated = pool.calibrate(samples)
+            assert "rsqrt" in calibrated
+            # The parent template serves the calibrated backend; the worker
+            # must serve the exact same tables, bit for bit.
+            expected = pool._template.forward(samples)
+            served = pool.forward(samples)
+        for i, (a, b) in enumerate(zip(served, expected)):
+            assert np.array_equal(a, b), f"sample {i}"
+
+
+class TestShardedFailureModes:
+    def test_rejects_bad_replica_count(self, fast_registry):
+        with pytest.raises(ValueError, match="num_replicas"):
+            ShardedPool(
+                SessionConfig(model_family="tiny"),
+                registry=fast_registry,
+                num_replicas=0,
+            )
+
+    def test_worker_death_mid_service(self, fast_registry, mixed_requests):
+        config = SessionConfig(
+            model_family="tiny", compute_dtype="float64", max_batch_size=3
+        )
+        pool = ShardedPool(
+            config, spec=BackendSpec.nn_lut(), registry=fast_registry,
+            num_replicas=2,
+        )
+        try:
+            victim = pool.sessions[1]
+            victim.process.kill()
+            victim.process.join(10)
+            with pytest.raises(WorkerDiedError, match="shard worker 1"):
+                pool.forward(mixed_requests)
+            # The surviving replica keeps serving direct traffic.
+            survivor = pool.sessions[0]
+            result = survivor.forward(mixed_requests[:2])
+            assert [r.shape[0] for r in result] == [
+                r.size for r in mixed_requests[:2]
+            ]
+            manifest = pool._store.manifest()
+        finally:
+            pool.close()
+        # close() after a worker death still unlinks every block.
+        for _, shm_name, _, _ in manifest:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=shm_name)
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.forward(mixed_requests[:1])
+
+    def test_healthy_replica_keeps_serving_the_queue_after_a_death(
+        self, fast_registry, mixed_requests
+    ):
+        # Regression: the queue worker thread bound to a dead replica kept
+        # popping batches from the shared queue and failing them instantly,
+        # outracing (and starving) the healthy replica.  It must stop
+        # consuming once its replica is defunct.
+        config = SessionConfig(
+            model_family="tiny", compute_dtype="float64", max_batch_size=3
+        )
+        pool = ShardedPool(
+            config, spec=BackendSpec.nn_lut(), registry=fast_registry,
+            num_replicas=2,
+        )
+        try:
+            pool.sessions[1].process.kill()
+            pool.sessions[1].process.join(10)
+            assert pool.sessions[1].defunct
+            failures = successes = 0
+            with ServingQueue(pool, max_wait_ms=0.0) as queue:
+                for _ in range(4):
+                    try:
+                        queue.serve_one(mixed_requests[0], timeout=60)
+                        successes += 1
+                    except WorkerDiedError:
+                        failures += 1
+            # The dead replica's thread fails at most the one batch it pops
+            # before exiting; everything after is served by the survivor.
+            assert failures <= 1 and successes >= 3
+        finally:
+            pool.close()
+
+    def test_queue_futures_fail_descriptively_on_worker_death(
+        self, fast_registry, mixed_requests
+    ):
+        config = SessionConfig(
+            model_family="tiny", compute_dtype="float64", max_batch_size=3
+        )
+        pool = ShardedPool(
+            config, spec=BackendSpec.nn_lut(), registry=fast_registry,
+            num_replicas=1,
+        )
+        try:
+            pool.sessions[0].process.kill()
+            pool.sessions[0].process.join(10)
+            with ServingQueue(pool, max_wait_ms=0.0) as queue:
+                future = queue.submit(mixed_requests[0])
+                with pytest.raises(WorkerDiedError, match="shard worker 0"):
+                    future.result(timeout=30)
+                assert queue.stats().failed == 1
+                # With its whole fleet dead, the queue must fail fast rather
+                # than silently accept requests nothing will ever serve.
+                deadline = time.monotonic() + 10
+                while True:
+                    try:
+                        late = queue.submit(mixed_requests[0])
+                    except ServerClosedError:
+                        break  # queue closed itself
+                    with pytest.raises((WorkerDiedError, ServerClosedError)):
+                        late.result(timeout=30)
+                    assert time.monotonic() < deadline, (
+                        "queue never closed itself after its last replica died"
+                    )
+        finally:
+            pool.close()
+
+    def test_close_restores_private_writable_weights(self, fast_registry):
+        # Regression: close() left an adopted model rebound onto read-only
+        # (and by then unlinked) shared-memory views, breaking later
+        # in-place weight edits the caller is entitled to make.
+        model = EncoderModel.initialize(
+            tiny_test_config(compute_dtype="float64"), seed=3
+        )
+        before = {
+            name: array.copy()
+            for name, array in export_weight_state(model).items()
+        }
+        pool = ShardedPool.from_model(
+            model, spec=BackendSpec.nn_lut(), registry=fast_registry,
+            num_replicas=1,
+        )
+        assert not model.pooler.weight.flags.writeable  # serving off shm
+        pool.close()
+        after = export_weight_state(model)
+        for name, array in after.items():
+            assert array.flags.writeable, name
+            assert np.array_equal(array, before[name]), name
+        model.pooler.weight[0, 0] += 1.0  # in-place edits work again
+
+    def test_gc_without_close_restores_weights_and_unlinks(self, fast_registry):
+        # The GC safety net must do everything close() does to the shared
+        # resources: a caller who drops the pool still gets their model's
+        # private writable weights back, and the shm names must not leak.
+        model = EncoderModel.initialize(
+            tiny_test_config(compute_dtype="float64"), seed=3
+        )
+        pool = ShardedPool.from_model(
+            model, spec=BackendSpec.nn_lut(), registry=fast_registry,
+            num_replicas=1,
+        )
+        manifest = pool._store.manifest()
+        process = pool.sessions[0].process
+        assert not model.pooler.weight.flags.writeable
+        del pool
+        gc.collect()
+        assert model.pooler.weight.flags.writeable
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=manifest[0][1])
+        process.join(10)  # the worker exits on pipe EOF
+        assert not process.is_alive()
+
+    def test_calibrate_on_closed_pool_raises_before_refitting(
+        self, fast_registry
+    ):
+        spec = BackendSpec.nn_lut().with_calibration("layernorm")
+        pool = ShardedPool(
+            SessionConfig(model_family="tiny", compute_dtype="float64"),
+            spec=spec, registry=fast_registry, num_replicas=1,
+        )
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.calibrate([np.arange(4)])
+
+    def test_construction_failure_unlinks_shared_memory(
+        self, fast_registry, monkeypatch
+    ):
+        stores = []
+        real_store = sharding.SharedWeightStore
+
+        class SpyStore(real_store):
+            def __init__(self, arrays):
+                super().__init__(arrays)
+                stores.append(self)
+
+        def exploding_wait_ready(self, timeout_s):
+            raise RuntimeError("boom: simulated worker init failure")
+
+        monkeypatch.setattr(sharding, "SharedWeightStore", SpyStore)
+        monkeypatch.setattr(sharding._ShardClient, "wait_ready", exploding_wait_ready)
+        with pytest.raises(RuntimeError, match="boom"):
+            ShardedPool(
+                SessionConfig(model_family="tiny", compute_dtype="float64"),
+                spec=BackendSpec.nn_lut(),
+                registry=fast_registry,
+                num_replicas=1,
+            )
+        (store,) = stores
+        assert store.unlinked
+        for _, shm_name, _, _ in store.manifest():
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=shm_name)

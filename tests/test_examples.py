@@ -31,6 +31,7 @@ def test_example_suite_is_complete():
         "operator_accuracy.py",
         "quickstart.py",
         "serving_demo.py",
+        "sharded_serving_demo.py",
     } <= names
 
 
