@@ -58,11 +58,15 @@ def test_report_schema(engine_report):
         "session_ragged_fp32",
         "server_concurrent_fp32",
         "server_sharded_fp32",
+        "server_sharded_shm_fp32",
     }
     for row in engine_report["ops"].values():
         assert row["seed_s"] > 0 and row["fast_s"] > 0 and row["speedup"] > 0
     for row in engine_report["end_to_end"].values():
         assert row["tokens_per_s_fast"] > 0 and row["tokens_per_s_seed"] > 0
+    ipc = engine_report["ipc"]
+    assert ipc["pipe_per_request_s"] > 0 and ipc["shm_ring_per_request_s"] > 0
+    assert ipc["overhead_ratio"] > 0 and ipc["shm_ring_hot_path_hits"] >= 1
 
 
 def test_cached_engine_is_bit_compatible(engine_report):
@@ -91,10 +95,15 @@ def test_full_mode_speedups(engine_report):
     assert end_to_end["server_concurrent_fp32"]["speedup"] >= 1.3
     # Sharded serving's multi-core win needs real cores; on a single-core
     # machine the gate only bounds the IPC overhead the process boundary adds
-    # (batch density still offsets most of it).
-    sharded = end_to_end["server_sharded_fp32"]
-    sharded_floor = 1.2 if (sharded["cpu_count"] or 1) >= 2 else 0.5
-    assert sharded["speedup"] >= sharded_floor, sharded
+    # (batch density still offsets most of it).  The shm-ring row carries the
+    # same floor — it must never serve *worse* than the pickle pipe setup.
+    for name in ("server_sharded_fp32", "server_sharded_shm_fp32"):
+        sharded = end_to_end[name]
+        sharded_floor = 1.2 if (sharded["cpu_count"] or 1) >= 2 else 0.5
+        assert sharded["speedup"] >= sharded_floor, (name, sharded)
+    # Acceptance gate: the shm ring must cut per-request transport overhead
+    # at least in half vs pickle-over-pipe at the serving workload's shapes.
+    assert engine_report["ipc"]["overhead_ratio"] >= 2.0, engine_report["ipc"]
     for name, row in engine_report["ops"].items():
         assert row["speedup"] >= 1.0, f"op {name} regressed: {row}"
 
@@ -155,6 +164,7 @@ def test_server_sharded_row(engine_report):
     shared-memory weights — cannot silently rot.
     """
     row = engine_report["end_to_end"]["server_sharded_fp32"]
+    assert row["transport"] == "pipe"
     assert row["num_replicas"] >= 2 and row["num_clients"] >= 1
     assert row["num_requests"] >= 1 and row["total_tokens"] > 0
     assert row["cpu_count"] >= 1
@@ -164,6 +174,28 @@ def test_server_sharded_row(engine_report):
     assert queue["rejected"] == 0 and queue["expired"] == 0
     assert queue["mean_batch_size"] >= 1.0
     assert 0.0 < queue["p50_latency_ms"] <= queue["p99_latency_ms"]
+
+
+def test_server_sharded_shm_row(engine_report):
+    """The shm-ring sharded row: zero-copy IPC matches single-session serving.
+
+    Runs in tier-1 smoke mode too, so the ShmRingTransport path — packed
+    token batches through the request ring, hidden-state rows written into
+    the response ring — cannot silently rot, and stays bitwise-equal to
+    single-session serving.
+    """
+    row = engine_report["end_to_end"]["server_sharded_shm_fp32"]
+    assert row["transport"] == "shm_ring"
+    assert row["num_replicas"] >= 2 and row["num_clients"] >= 1
+    assert row["num_requests"] >= 1 and row["total_tokens"] > 0
+    assert row["cpu_count"] >= 1
+    assert row["cached_float64_bitwise_equal"]
+    queue = row["queue"]
+    assert queue["completed"] >= row["num_requests"]
+    assert queue["rejected"] == 0 and queue["expired"] == 0
+    assert queue["mean_batch_size"] >= 1.0
+    assert 0.0 < queue["p50_latency_ms"] <= queue["p99_latency_ms"]
+    assert queue["mean_service_ms"] > 0.0 and queue["mean_queue_wait_ms"] >= 0.0
 
 
 @pytest.mark.benchmark(group="engine")

@@ -31,7 +31,15 @@ The ``server_sharded_fp32`` row (schema v4) swaps the threaded pool for a
 shared-memory weights — measuring what multi-process sharding buys over the
 same per-call baseline (the row records ``cpu_count``: on a single-core
 machine the number isolates IPC overhead vs batch density; the multi-core
-speedup the subsystem exists for needs real cores).
+speedup the subsystem exists for needs real cores).  Schema v5 adds
+``server_sharded_shm_fp32`` — the same sharded harness with
+``transport="shm_ring"``, i.e. requests/results through shared-memory rings
+instead of pickle-over-pipe (rows now record ``transport``, and the queue
+digest splits latency into ``mean_queue_wait_ms``/``mean_service_ms``) —
+plus an ``ipc`` section from the pickle-vs-ring transport microbenchmark
+(``--ipc`` runs it standalone): echo round trips at the 48-short-request
+serving workload's batch shapes, isolating per-request transport overhead
+with zero compute.
 
 Run directly to regenerate the report (or use ``scripts/bench.sh``)::
 
@@ -46,6 +54,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import platform
 import threading
@@ -59,10 +68,16 @@ import numpy as np
 from repro.api import (
     BackendSpec,
     InferenceSession,
+    RequestBatcher,
     ServingQueue,
     SessionPool,
     ShardedPool,
     build_backend,
+)
+from repro.api.transport import (
+    _shutdown_echo_worker,
+    _spawn_echo_worker,
+    serving_ring_bytes,
 )
 from repro.core.lut import LookupTable
 from repro.core.registry import LutRegistry
@@ -74,7 +89,7 @@ from repro.transformer import (
     backend_from_luts,
 )
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Default report location: the repository root (next to ROADMAP.md).
 DEFAULT_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -600,6 +615,8 @@ def _benchmark_pool_serving(
                 "mean_batch_size": stats.mean_batch_size,
                 "p50_latency_ms": stats.p50_latency_ms,
                 "p99_latency_ms": stats.p99_latency_ms,
+                "mean_queue_wait_ms": stats.mean_queue_wait_ms,
+                "mean_service_ms": stats.mean_service_ms,
                 "completed": stats.completed,
                 "rejected": stats.rejected,
                 "expired": stats.expired,
@@ -674,6 +691,7 @@ def benchmark_server_sharded(
     num_requests: int = 48,
     num_replicas: int = 2,
     check_equivalence: bool = True,
+    transport: str = "pipe",
 ) -> Dict[str, object]:
     """Multi-process sharded serving: per-call loop vs ShardedPool + queue.
 
@@ -682,19 +700,101 @@ def benchmark_server_sharded(
     worker *processes* over shared-memory weights, so on a multi-core machine
     the forwards themselves (not just the BLAS inner loops) run in parallel.
     The row records ``cpu_count`` so the speedup can be read in context: on
-    one core it isolates the IPC/pickling overhead the process boundary adds.
+    one core it isolates the IPC overhead the process boundary adds — and
+    ``transport`` selects how requests/results cross that boundary
+    (``"pipe"`` = pickle, ``"shm_ring"`` = shared-memory rings; the
+    ``server_sharded_shm_fp32`` row is this benchmark at ``"shm_ring"``).
     """
     row = _benchmark_pool_serving(
         shapes,
         lambda model: ShardedPool.from_model(
             model, spec=BackendSpec.nn_lut(), registry=registry,
-            num_replicas=num_replicas, max_batch_size=16,
+            num_replicas=num_replicas, max_batch_size=16, transport=transport,
         ),
         num_requests=num_requests,
         num_replicas=num_replicas,
         check_equivalence=check_equivalence,
     )
     row["cpu_count"] = os.cpu_count()
+    row["transport"] = transport
+    return row
+
+
+def benchmark_ipc_transports(
+    shapes: EngineShapes,
+    num_requests: int = 48,
+    max_batch_size: int = 16,
+    repeats: int | None = None,
+    response_dtype: str = "float32",
+) -> Dict[str, object]:
+    """Pickle-pipe vs shm-ring transport cost at serving batch shapes.
+
+    Round-trips the exact batches the 48-short-request serving workload
+    dispatches — ragged int64 token batches out, serving-shaped
+    ``(length, hidden)`` result blocks back — against an echo worker that
+    does *no* compute, so the per-request time is pure transport: request
+    packing/pickling, the pipe write (or ring doorbell), and the
+    parent-side result copy-out.  ``overhead_ratio`` is how many times
+    cheaper the shm ring makes one request's boundary crossing.
+    """
+    rng = np.random.default_rng(15)
+    lengths = server_request_lengths(shapes, num_requests)
+    requests = [rng.integers(0, shapes.vocab_size, size=length) for length in lengths]
+    plan = RequestBatcher(max_batch_size=max_batch_size).plan(
+        lengths, shapes.sequence_length
+    )
+    batches = [[requests[i] for i in indices] for _, indices in plan]
+    dtype = np.dtype(response_dtype)
+    # Rings sized exactly like ShardedPool's default: one full batch of
+    # maximum-length sequences per direction (the shared formula).
+    request_bytes, response_bytes = serving_ring_bytes(
+        rows=max_batch_size,
+        seq_len=shapes.sequence_length,
+        hidden=shapes.hidden_size,
+        itemsize=dtype.itemsize,
+    )
+    repeats = shapes.repeats if repeats is None else repeats
+    context = multiprocessing.get_context("spawn")
+
+    row: Dict[str, object] = {
+        "shape": asdict(shapes),
+        "num_requests": num_requests,
+        "num_batches": len(batches),
+        "mean_batch_size": num_requests / len(batches),
+        "response_dtype": response_dtype,
+        "request_ring_bytes": request_bytes,
+        "response_ring_bytes": response_bytes,
+    }
+    per_request: Dict[str, float] = {}
+    for kind in ("pipe", "shm_ring"):
+        transport, process = _spawn_echo_worker(
+            kind, context, shapes.hidden_size, dtype, request_bytes, response_bytes
+        )
+        try:
+
+            def roundtrip_all() -> None:
+                for batch in batches:
+                    transport.send("echo", batch)
+                    if not transport.poll(600):
+                        raise TimeoutError(f"{kind} echo round trip stalled")
+                    status, value = transport.recv()
+                    if status != "ok":
+                        raise RuntimeError(f"{kind} echo failed: {value}")
+
+            per_request[kind] = time_call(roundtrip_all, repeats) / num_requests
+            if kind == "shm_ring":
+                stats = transport.stats
+                row["shm_ring_hot_path_hits"] = stats["ring_requests"]
+                if not stats["ring_requests"]:
+                    raise RuntimeError(
+                        "shm ring benchmark never used the ring; the "
+                        "measurement would compare pipe against pipe"
+                    )
+        finally:
+            _shutdown_echo_worker(transport, process)
+    row["pipe_per_request_s"] = per_request["pipe"]
+    row["shm_ring_per_request_s"] = per_request["shm_ring"]
+    row["overhead_ratio"] = per_request["pipe"] / per_request["shm_ring"]
     return row
 
 
@@ -734,7 +834,14 @@ def run_engine_benchmark(mode: str = "smoke", registry: LutRegistry | None = Non
             "server_sharded_fp32": benchmark_server_sharded(
                 registry, shapes, num_requests=48 if mode == "full" else 8
             ),
+            "server_sharded_shm_fp32": benchmark_server_sharded(
+                registry, shapes, num_requests=48 if mode == "full" else 8,
+                transport="shm_ring",
+            ),
         },
+        "ipc": benchmark_ipc_transports(
+            shapes, num_requests=48 if mode == "full" else 8
+        ),
         "equivalence": {"fused_lut_fp32_max_abs_diff": fused_lut_equivalence(registry)},
         "environment": {
             "python": platform.python_version(),
@@ -751,18 +858,39 @@ def write_report(report: Dict[str, object], path: Path = DEFAULT_REPORT_PATH) ->
     return path
 
 
+def print_ipc_row(row: Dict[str, object]) -> None:
+    print(
+        f"ipc transport: pickle pipe {1e6 * row['pipe_per_request_s']:.0f} us/req "
+        f"vs shm ring {1e6 * row['shm_ring_per_request_s']:.0f} us/req "
+        f"-> {row['overhead_ratio']:.2f}x lower overhead "
+        f"({row['num_requests']} requests in {row['num_batches']} batches, "
+        f"{row['response_dtype']} results)"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode", choices=("smoke", "full"), default="full")
     parser.add_argument("--output", type=Path, default=DEFAULT_REPORT_PATH)
+    parser.add_argument(
+        "--ipc", action="store_true",
+        help="run only the pickle-vs-ring IPC microbenchmark (no report write)",
+    )
     args = parser.parse_args(argv)
+    if args.ipc:
+        shapes = FULL_SHAPES if args.mode == "full" else SMOKE_SHAPES
+        print_ipc_row(
+            benchmark_ipc_transports(
+                shapes, num_requests=48 if args.mode == "full" else 8
+            )
+        )
+        return 0
     report = run_engine_benchmark(mode=args.mode)
     path = write_report(report, args.output)
     fp32 = report["end_to_end"]["encoder_forward_fp32"]
     int8 = report["end_to_end"]["encoder_forward_int8"]
     session = report["end_to_end"]["session_ragged_fp32"]
     server = report["end_to_end"]["server_concurrent_fp32"]
-    sharded = report["end_to_end"]["server_sharded_fp32"]
     print(f"wrote {path}")
     print(
         f"encoder forward fp32: {fp32['speedup']:.2f}x "
@@ -786,15 +914,20 @@ def main(argv: list[str] | None = None) -> int:
         f"p50 {server['queue']['p50_latency_ms']:.0f} ms / "
         f"p99 {server['queue']['p99_latency_ms']:.0f} ms)"
     )
-    print(
-        f"server sharded fp32: {sharded['speedup']:.2f}x "
-        f"({sharded['tokens_per_s_seed']:.0f} -> {sharded['tokens_per_s_fast']:.0f} tokens/s, "
-        f"{sharded['num_replicas']} worker processes on {sharded['cpu_count']} cores, "
-        f"{sharded['num_clients']} clients, {sharded['num_requests']} requests, "
-        f"mean batch {sharded['queue']['mean_batch_size']:.1f}, "
-        f"p50 {sharded['queue']['p50_latency_ms']:.0f} ms / "
-        f"p99 {sharded['queue']['p99_latency_ms']:.0f} ms)"
-    )
+    for name in ("server_sharded_fp32", "server_sharded_shm_fp32"):
+        sharded = report["end_to_end"][name]
+        print(
+            f"{name}: {sharded['speedup']:.2f}x "
+            f"({sharded['tokens_per_s_seed']:.0f} -> {sharded['tokens_per_s_fast']:.0f} tokens/s, "
+            f"{sharded['num_replicas']} worker processes ({sharded['transport']}) "
+            f"on {sharded['cpu_count']} cores, "
+            f"{sharded['num_clients']} clients, {sharded['num_requests']} requests, "
+            f"mean batch {sharded['queue']['mean_batch_size']:.1f}, "
+            f"p50 {sharded['queue']['p50_latency_ms']:.0f} ms / "
+            f"p99 {sharded['queue']['p99_latency_ms']:.0f} ms, "
+            f"mean service {sharded['queue']['mean_service_ms']:.0f} ms)"
+        )
+    print_ipc_row(report["ipc"])
     return 0
 
 

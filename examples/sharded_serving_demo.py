@@ -4,9 +4,13 @@ Builds a pool whose replicas run in worker *processes* — each reconstructs
 its InferenceSession from the serializable SessionConfig/BackendSpec payloads
 and maps the frozen encoder's weights read-only out of shared memory, so the
 weight bytes are paid once per machine no matter how many replicas serve.
-The ServingQueue then runs on top of it completely unchanged, and the demo
-verifies that sharded serving reproduces single-session serving bit for bit
-(float64 engine, exact-length bucketing).
+Requests and results cross the process boundary through the zero-copy
+``shm_ring`` transport: packed token batches ride a preallocated
+shared-memory request ring, hidden-state rows are written straight into the
+response ring, and the pipe is only a doorbell (plus the fallback for
+anything the rings cannot hold).  The ServingQueue then runs on top of it
+completely unchanged, and the demo verifies that sharded serving reproduces
+single-session serving bit for bit (float64 engine, exact-length bucketing).
 
 Run with:  python examples/sharded_serving_demo.py
 """
@@ -32,14 +36,18 @@ def main() -> None:
     )
     spec = BackendSpec.nn_lut()
 
-    # 1. Spin up worker-process replicas.  The parent fits the LUT tables and
-    # builds the frozen model once; workers get the weights through shared
-    # memory and the backend recipe through the serializable spec.
-    pool = ShardedPool(config, spec=spec, registry=registry, num_replicas=2)
+    # 1. Spin up worker-process replicas on the zero-copy transport.  The
+    # parent fits the LUT tables and builds the frozen model once; workers
+    # get the weights through shared memory, the backend recipe through the
+    # serializable spec, and hot-path traffic through shared-memory rings.
+    pool = ShardedPool(
+        config, spec=spec, registry=registry, num_replicas=2,
+        transport="shm_ring",
+    )
     print(
-        f"ShardedPool: {pool.num_replicas} worker processes "
-        f"(pids {[client.process.pid for client in pool.sessions]}) over one "
-        f"{pool.model.config.name!r} model — "
+        f"ShardedPool[{pool.transport_name}]: {pool.num_replicas} worker "
+        f"processes (pids {[client.process.pid for client in pool.sessions]}) "
+        f"over one {pool.model.config.name!r} model — "
         f"{pool.shared_weight_bytes:,} bytes of weights in shared memory"
     )
 
@@ -54,19 +62,32 @@ def main() -> None:
         sharded = pool.forward(requests)
 
         # 3. The batch-coalescing scheduler runs unchanged on the sharded
-        # pool — same knobs, same deadlines/overload behaviour.
+        # pool — same knobs, same deadlines/overload behaviour.  Its stats
+        # split latency into queue-wait vs service time, so the IPC cost of
+        # the process boundary reads directly off the service number.
         with ServingQueue(pool, max_wait_ms=5.0, max_queue_depth=256) as queue:
             queued = queue.serve(requests, timeout=300)
             stats = queue.stats()
         print(
             f"ServingQueue over ShardedPool: {stats.completed} served, "
             f"mean batch {stats.mean_batch_size:.1f}, "
-            f"p50 {stats.p50_latency_ms:.1f} ms / p99 {stats.p99_latency_ms:.1f} ms"
+            f"p50 {stats.p50_latency_ms:.1f} ms / p99 {stats.p99_latency_ms:.1f} ms "
+            f"(queue-wait {stats.mean_queue_wait_ms:.1f} ms + "
+            f"service {stats.mean_service_ms:.1f} ms)"
         )
 
-    # 4. Parity: a fresh single session from the same config/spec/registry
+        # 4. How the traffic actually routed: forward batches and their
+        # results ride the rings; only control messages took the pipe.
+        for client in pool.sessions:
+            print(
+                f"  worker {client.index} transport: "
+                f"{client.transport.stats['ring_requests']} ring / "
+                f"{client.transport.stats['pipe_requests']} pipe requests"
+            )
+
+    # 5. Parity: a fresh single session from the same config/spec/registry
     # builds the same frozen model (same seed) — sharded serving must match
-    # it bit for bit on the float64 engine.
+    # it bit for bit on the float64 engine, whatever the transport.
     single = InferenceSession(config, spec=spec, registry=registry)
     oracle = single.forward(requests)
     mismatches = sum(

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_engine.json: the full BERT-base-shaped inference-engine
-# benchmark (seed path vs vectorized fast path, plus the concurrent-serving
-# row), and run the speed gates.
+# benchmark (seed path vs vectorized fast path, plus the concurrent/sharded
+# serving rows and the IPC transport microbenchmark), and run the speed
+# gates.
 #
 #   ./scripts/bench.sh            # regenerate BENCH_engine.json + run gates
 #   ./scripts/bench.sh --cli      # CLI-only regeneration (no pytest)
+#   ./scripts/bench.sh --ipc      # pickle-vs-shm-ring IPC microbenchmark only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 if [[ "${1:-}" == "--cli" ]]; then
     exec python benchmarks/regression.py --mode full
+fi
+
+if [[ "${1:-}" == "--ipc" ]]; then
+    exec python benchmarks/regression.py --ipc
 fi
 
 BENCH_ENGINE_FULL=1 python -m pytest benchmarks/ -q -s --benchmark-disable
@@ -20,7 +26,12 @@ python - <<'PY'
 import json
 
 report = json.load(open("BENCH_engine.json"))
-for name in ("session_ragged_fp32", "server_concurrent_fp32", "server_sharded_fp32"):
+for name in (
+    "session_ragged_fp32",
+    "server_concurrent_fp32",
+    "server_sharded_fp32",
+    "server_sharded_shm_fp32",
+):
     row = report["end_to_end"][name]
     extra = ""
     if "queue" in row:
@@ -30,7 +41,10 @@ for name in ("session_ragged_fp32", "server_concurrent_fp32", "server_sharded_fp
             f", {row['num_replicas']} {kind}, mean batch "
             f"{queue['mean_batch_size']:.1f}, p50 {queue['p50_latency_ms']:.0f} ms"
             f" / p99 {queue['p99_latency_ms']:.0f} ms"
+            f", mean service {queue['mean_service_ms']:.0f} ms"
         )
+        if "transport" in row:
+            extra += f", transport={row['transport']}"
         if "cpu_count" in row:
             extra += f", {row['cpu_count']} cores"
     print(
@@ -38,4 +52,10 @@ for name in ("session_ragged_fp32", "server_concurrent_fp32", "server_sharded_fp
         f"({row['tokens_per_s_seed']:.0f} -> {row['tokens_per_s_fast']:.0f} tokens/s"
         f"{extra})"
     )
+ipc = report["ipc"]
+print(
+    f"ipc transport: pipe {1e6 * ipc['pipe_per_request_s']:.0f} us/req vs "
+    f"shm ring {1e6 * ipc['shm_ring_per_request_s']:.0f} us/req -> "
+    f"{ipc['overhead_ratio']:.2f}x lower overhead"
+)
 PY

@@ -15,7 +15,9 @@ The two halves of the API:
   statistics (see :mod:`repro.api.server`).
 * :class:`ShardedPool` — the same :class:`ReplicaPool` protocol served from
   worker *processes* over shared-memory weights, lifting the GIL ceiling on
-  multi-core machines (see :mod:`repro.api.sharding`).
+  multi-core machines (see :mod:`repro.api.sharding`), with a pluggable
+  :class:`WorkerTransport` for the request/response channel — pickle over a
+  pipe, or zero-copy shared-memory rings (see :mod:`repro.api.transport`).
 
 Every experiment, example and benchmark in the repo goes through this
 surface; the legacy ``*_backend()`` constructors in
@@ -42,6 +44,14 @@ from .session import (
     export_weight_state,
 )
 from .sharding import ShardedPool, SharedWeightStore, WorkerDiedError
+from .transport import (
+    TRANSPORTS,
+    PipeTransport,
+    ShmRingTransport,
+    TransportError,
+    WorkerTransport,
+    create_transport,
+)
 from .spec import (
     METHODS,
     OPERATOR_PRIMITIVES,
@@ -75,6 +85,12 @@ __all__ = [
     "ShardedPool",
     "SharedWeightStore",
     "WorkerDiedError",
+    "TRANSPORTS",
+    "WorkerTransport",
+    "PipeTransport",
+    "ShmRingTransport",
+    "TransportError",
+    "create_transport",
     "ServingQueue",
     "ServingFuture",
     "ServingStats",

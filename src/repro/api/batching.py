@@ -74,7 +74,16 @@ def _normalise_requests(
 
 
 class RequestBatcher:
-    """Length-bucketing micro-batch planner with reusable input buffers."""
+    """Length-bucketing micro-batch planner with reusable input buffers.
+
+    Besides the padded-batch planning, this class owns the repo's *packed*
+    ragged layout — ``int64[n]`` lengths plus the items concatenated along
+    their first axis — which is how request batches and result rows travel
+    through the shared-memory transport rings
+    (:mod:`repro.api.transport`): :meth:`pack_ragged` writes a ragged list
+    straight into a caller-provided (ring) buffer, :meth:`unpack_ragged`
+    rebuilds the list as zero-copy views.
+    """
 
     def __init__(self, max_batch_size: int = 32, bucket_size: int = 1) -> None:
         if max_batch_size < 1:
@@ -127,6 +136,59 @@ class RequestBatcher:
             batches.append((padded, tuple(order[start:end])))
             start = end
         return batches
+
+    # ------------------------------------------------------------------ #
+    # Packed ragged layout (lengths + first-axis concatenation)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def pack_ragged(items: Sequence[np.ndarray], out: np.ndarray) -> np.ndarray:
+        """Concatenate ``items`` along axis 0 directly into ``out``.
+
+        ``out`` must already have the stacked shape — ``(total,)`` for 1-D
+        items, ``(total, trailing)`` for row blocks — and a dtype the items
+        can be copied into exactly.  Writing into a caller-provided buffer
+        is the point: the shared-memory transport passes a ring view here,
+        so packing a batch *is* shipping it (no pickle, no staging copy).
+        """
+        offset = 0
+        for i, item in enumerate(items):
+            rows = item.shape[0]
+            if offset + rows > out.shape[0]:
+                raise ValueError(
+                    f"packed items hold more than the buffer's {out.shape[0]} "
+                    f"rows (overflow at item {i})"
+                )
+            out[offset : offset + rows] = item
+            offset += rows
+        if offset != out.shape[0]:
+            raise ValueError(
+                f"packed items fill only {offset} of the buffer's "
+                f"{out.shape[0]} rows"
+            )
+        return out
+
+    @staticmethod
+    def unpack_ragged(
+        flat: np.ndarray, lengths: Sequence[int]
+    ) -> List[np.ndarray]:
+        """Split a first-axis concatenation back into per-item views.
+
+        The inverse of :meth:`pack_ragged`: zero-copy slices of ``flat``,
+        one per length.  Callers that outlive the buffer (ring reuse!) must
+        copy; callers that consume immediately need not.
+        """
+        total = int(sum(lengths))
+        if total != flat.shape[0]:
+            raise ValueError(
+                f"lengths sum to {total} rows but the flat buffer holds "
+                f"{flat.shape[0]}"
+            )
+        items: List[np.ndarray] = []
+        offset = 0
+        for length in lengths:
+            items.append(flat[offset : offset + int(length)])
+            offset += int(length)
+        return items
 
     def iter_batches(
         self,

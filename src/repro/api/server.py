@@ -17,7 +17,9 @@ supplies it, one layer above :class:`~repro.api.session.InferenceSession`
   length-bucketed batches of at most ``max_batch_size`` rows, and dispatches
   them to the pool's replica workers.  Per-request deadlines and a bounded
   queue give overload behaviour a server can rely on; :meth:`ServingQueue.stats`
-  reports p50/p99 latency, throughput and queue/batch shape.
+  reports p50/p99 latency — split into queue-wait vs service (dispatch to
+  result) time, so scheduling pressure and per-call cost such as sharded
+  IPC overhead read separately — plus throughput and queue/batch shape.
 
 Determinism and parity: every replica serves the *same* frozen model object
 through an identically-built backend, and with exact-length bucketing
@@ -110,13 +112,20 @@ class ServingFuture:
 class ServingStats:
     """Aggregate queue statistics since construction (or the last reset).
 
-    Latency is submit-to-fulfilment wall time per completed request;
-    ``throughput_rps`` divides completions by the span between the first
-    submit and the last fulfilment.  ``mean_batch_size`` measures how much
-    cross-caller coalescing actually happened (1.0 = no coalescing).
-    ``queue_depth`` (and its high-water mark) counts the whole backlog —
-    pending, formed into batches, and in flight — the same quantity
-    ``max_queue_depth`` admission control bounds.
+    Latency is submit-to-fulfilment wall time per completed request, split
+    into its two phases: **queue wait** (submit until a worker picked the
+    request's batch up for dispatch) and **service** (dispatch until the
+    result was ready — the replica forward plus, for sharded pools, the
+    request/response transport).  ``*_latency_ms`` digests the total;
+    ``*_queue_wait_ms`` / ``*_service_ms`` digest the phases, so scheduling
+    pressure and per-call serving cost (e.g. IPC overhead) are visible
+    separately per measurement window.  ``throughput_rps`` divides
+    completions by the span between the first submit and the last
+    fulfilment.  ``mean_batch_size`` measures how much cross-caller
+    coalescing actually happened (1.0 = no coalescing).  ``queue_depth``
+    (and its high-water mark) counts the whole backlog — pending, formed
+    into batches, and in flight — the same quantity ``max_queue_depth``
+    admission control bounds.
     """
 
     submitted: int
@@ -131,6 +140,12 @@ class ServingStats:
     p50_latency_ms: float
     p99_latency_ms: float
     mean_latency_ms: float
+    p50_queue_wait_ms: float
+    p99_queue_wait_ms: float
+    mean_queue_wait_ms: float
+    p50_service_ms: float
+    p99_service_ms: float
+    mean_service_ms: float
     throughput_rps: float
 
 
@@ -500,6 +515,8 @@ class ServingQueue:
         self._batches = 0
         self._batched_rows = 0
         self._latencies_ms: Deque[float] = deque(maxlen=8192)
+        self._queue_waits_ms: Deque[float] = deque(maxlen=8192)
+        self._services_ms: Deque[float] = deque(maxlen=8192)
         self._first_submit_at: float | None = None
         self._last_done_at: float | None = None
 
@@ -703,6 +720,8 @@ class ServingQueue:
             self._batches = 0
             self._batched_rows = 0
             self._latencies_ms.clear()
+            self._queue_waits_ms.clear()
+            self._services_ms.clear()
             # Anchor the span at the reset when requests are still in the
             # system — their completions land in this window and must not
             # report as zero throughput.
@@ -710,10 +729,24 @@ class ServingQueue:
             self._last_done_at = None
             self._max_depth_seen = self._backlog
 
+    @staticmethod
+    def _digest(values_ms: Deque[float]) -> tuple[float, float, float]:
+        """``(p50, p99, mean)`` of a bounded latency deque (0s when empty)."""
+        if not values_ms:
+            return 0.0, 0.0, 0.0
+        values = np.asarray(values_ms, dtype=np.float64)
+        return (
+            float(np.percentile(values, 50)),
+            float(np.percentile(values, 99)),
+            float(np.mean(values)),
+        )
+
     def stats(self) -> ServingStats:
         """A consistent snapshot of the queue's counters and latency digest."""
         with self._lock:
-            latencies = np.asarray(self._latencies_ms, dtype=np.float64)
+            p50, p99, mean = self._digest(self._latencies_ms)
+            wait_p50, wait_p99, wait_mean = self._digest(self._queue_waits_ms)
+            service_p50, service_p99, service_mean = self._digest(self._services_ms)
             span = None
             if self._first_submit_at is not None and self._last_done_at is not None:
                 span = self._last_done_at - self._first_submit_at
@@ -729,15 +762,15 @@ class ServingQueue:
                 mean_batch_size=(
                     self._batched_rows / self._batches if self._batches else 0.0
                 ),
-                p50_latency_ms=(
-                    float(np.percentile(latencies, 50)) if latencies.size else 0.0
-                ),
-                p99_latency_ms=(
-                    float(np.percentile(latencies, 99)) if latencies.size else 0.0
-                ),
-                mean_latency_ms=(
-                    float(np.mean(latencies)) if latencies.size else 0.0
-                ),
+                p50_latency_ms=p50,
+                p99_latency_ms=p99,
+                mean_latency_ms=mean,
+                p50_queue_wait_ms=wait_p50,
+                p99_queue_wait_ms=wait_p99,
+                mean_queue_wait_ms=wait_mean,
+                p50_service_ms=service_p50,
+                p99_service_ms=service_p99,
+                mean_service_ms=service_mean,
                 throughput_rps=(
                     self._completed / span if span and span > 0 else 0.0
                 ),
@@ -862,6 +895,9 @@ class ServingQueue:
                 if not live:
                     continue
                 batch = live
+            # The queue-wait / service boundary for every request in the
+            # batch: the moment this worker committed to serving it.
+            dispatched_at = time.monotonic()
             try:
                 results = session.forward([pending.tokens for pending in batch])
             except BaseException as exc:
@@ -901,6 +937,10 @@ class ServingQueue:
                     self._latencies_ms.append(
                         1000.0 * (done_at - pending.submitted_at)
                     )
+                    self._queue_waits_ms.append(
+                        1000.0 * (dispatched_at - pending.submitted_at)
+                    )
+                    self._services_ms.append(1000.0 * (done_at - dispatched_at))
                 self._inflight_batches -= 1
                 self._work.notify_all()
             for pending, result in zip(batch, results):

@@ -22,7 +22,7 @@ re-fit the flagged NN-LUT primitives, swap the refreshed tables in.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -425,10 +425,11 @@ class InferenceSession:
         return self.model.config.max_sequence_length
 
     def _serve(self, requests: Sequence[np.ndarray], consume) -> List[np.ndarray]:
-        """One micro-batched serving loop shared by ``forward`` and ``pooled``.
+        """One micro-batched serving loop shared by the serving surfaces.
 
-        ``consume(hidden, row, length)`` extracts one request's result from a
-        batch's hidden states; results come back in request order.
+        ``consume(hidden, row, length, index)`` extracts request ``index``'s
+        result from a batch's hidden states; results come back in request
+        order.
         """
         outputs: List[np.ndarray | None] = [None] * len(requests)
         for batch in self._batcher.iter_batches(
@@ -438,7 +439,7 @@ class InferenceSession:
                 batch.tokens, backend=self.backend, attention_mask=batch.mask
             )
             for row, index in enumerate(batch.indices):
-                outputs[index] = consume(hidden, row, batch.lengths[row])
+                outputs[index] = consume(hidden, row, batch.lengths[row], index)
         return outputs  # type: ignore[return-value]
 
     def forward(self, requests: Sequence[np.ndarray]) -> List[np.ndarray]:
@@ -448,8 +449,47 @@ class InferenceSession:
         back in request order, trimmed to each request's true length.
         """
         return self._serve(
-            requests, lambda hidden, row, length: hidden[row, :length].copy()
+            requests, lambda hidden, row, length, index: hidden[row, :length].copy()
         )
+
+    def forward_packed(
+        self, requests: Sequence[np.ndarray], out: np.ndarray | None = None
+    ) -> Tuple[List[int], np.ndarray]:
+        """Hidden states for ``requests`` packed into one flat row buffer.
+
+        The packed layout — per-request lengths plus all result rows
+        concatenated along axis 0 (``RequestBatcher.pack_ragged``'s shape) —
+        is what the shared-memory response rings ship, and ``out=`` is the
+        point of this method: a shard worker passes the ring's own memory,
+        so each request's rows are written *into the ring* as they come out
+        of the encoder instead of being materialised and then serialised.
+        Returns ``(lengths, flat)`` with ``flat`` of shape
+        ``(sum(lengths), hidden)`` in the engine's compute dtype; row block
+        ``i`` is bitwise-identical to ``forward(requests)[i]``.
+        """
+        lengths = [int(np.asarray(request).shape[0]) for request in requests]
+        offsets = [0] * len(lengths)
+        total = 0
+        for i, length in enumerate(lengths):
+            offsets[i] = total
+            total += length
+        hidden_size = self.model.config.hidden_size
+        dtype = np.dtype(self.model.config.compute_dtype)
+        if out is None:
+            out = np.empty((total, hidden_size), dtype=dtype)
+        elif out.shape != (total, hidden_size) or out.dtype != dtype:
+            raise ValueError(
+                f"out must have shape {(total, hidden_size)} and dtype "
+                f"{dtype}, got {out.shape} / {out.dtype}"
+            )
+
+        def consume(hidden, row, length, index):
+            start = offsets[index]
+            out[start : start + length] = hidden[row, :length]
+            return None
+
+        self._serve(requests, consume)
+        return lengths, out
 
     def pooled(self, requests: Sequence[np.ndarray]) -> np.ndarray:
         """First-token (``[CLS]``) representations, shape ``(n, hidden)``.
@@ -461,7 +501,9 @@ class InferenceSession:
         """
         rows = self._serve(
             requests,
-            lambda hidden, row, length: self.model.pool_hidden(hidden[row : row + 1])[0],
+            lambda hidden, row, length, index: self.model.pool_hidden(
+                hidden[row : row + 1]
+            )[0],
         )
         if not rows:
             hidden_size = self.model.config.hidden_size

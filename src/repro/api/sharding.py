@@ -24,7 +24,13 @@ serializability contract:
 * :class:`ShardedPool` extends the :class:`~repro.api.server.ReplicaPool`
   protocol, so ``forward``/``pooled``/``classify`` shard micro-batches with
   the same deterministic ``j % N`` rule as the threaded pool and
-  :class:`~repro.api.server.ServingQueue` runs on top of it unchanged.
+  :class:`~repro.api.server.ServingQueue` runs on top of it unchanged;
+* requests and results cross the process boundary through a pluggable
+  :class:`~repro.api.transport.WorkerTransport` (``transport=`` knob):
+  ``"pipe"`` pickles everything over a ``multiprocessing.Pipe``;
+  ``"shm_ring"`` moves the hot-path payloads — packed token batches in,
+  hidden-state rows out — through preallocated shared-memory rings and uses
+  the pipe only as a doorbell/control channel and variable-shape fallback.
 
 Parity: a worker's model is rebuilt from bit-identical weight bytes and its
 backend from the very same fitted tables, so under ``compute_dtype="float64"``
@@ -50,6 +56,7 @@ import threading
 import time
 import traceback
 import weakref
+from multiprocessing import connection as mp_connection
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, List, Mapping, Sequence, Tuple
@@ -69,6 +76,13 @@ from .session import (
     export_weight_state,
 )
 from .spec import OPERATOR_PRIMITIVES, BackendSpec
+from .transport import (
+    TRANSPORTS,
+    WorkerEndpoint,
+    WorkerTransport,
+    create_transport,
+    serving_ring_bytes,
+)
 
 __all__ = [
     "WorkerDiedError",
@@ -274,28 +288,44 @@ def _build_worker_session(
     return session, handles
 
 
-def _worker_main(conn, init: _WorkerInit) -> None:
+def _worker_main(endpoint: WorkerEndpoint, init: _WorkerInit) -> None:
     """Entry point of one shard worker process (spawn-safe, module level)."""
     try:
         session, handles = _build_worker_session(init)
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            endpoint.send("error", traceback.format_exc())
         except (BrokenPipeError, OSError):
             pass
+        endpoint.close()
         return
-    conn.send(("ready", None))
+    endpoint.send("ready", None)
+    hidden_size = session.model.config.hidden_size
+    result_dtype = np.dtype(session.model.config.compute_dtype)
     try:
         while True:
             try:
-                op, payload = conn.recv()
+                op, payload = endpoint.recv()
             except (EOFError, OSError):
                 return  # parent went away; nothing left to serve
             if op == "close":
-                conn.send(("ok", None))
+                endpoint.send("ok", None)
                 return
             try:
                 if op == "forward":
+                    # Zero-copy result path: reserve the response ring and
+                    # let the session write each request's rows straight
+                    # into it (``forward_packed``) — the packing *is* the
+                    # shipping.  Transports without a ring (or a batch too
+                    # big for it) return None and take the generic path.
+                    lengths = [int(np.asarray(r).shape[0]) for r in payload]
+                    flat = endpoint.begin_packed_response(
+                        lengths, hidden_size, result_dtype
+                    )
+                    if flat is not None:
+                        session.forward_packed(payload, out=flat)
+                        endpoint.commit_packed_response()
+                        continue
                     result = session.forward(payload)
                 elif op == "pooled":
                     result = session.pooled(payload)
@@ -306,11 +336,12 @@ def _worker_main(conn, init: _WorkerInit) -> None:
                     result = "pong"
                 else:
                     raise ValueError(f"unknown shard worker op {op!r}")
-                conn.send(("ok", result))
+                endpoint.send("ok", result)
             except BaseException:
-                conn.send(("error", traceback.format_exc()))
+                endpoint.send("error", traceback.format_exc())
     finally:
         _close_handles(handles)
+        endpoint.close()
 
 
 class _ShardClient:
@@ -321,20 +352,24 @@ class _ShardClient:
     :class:`~repro.api.server.ReplicaPool` and
     :class:`~repro.api.server.ServingQueue` call on a pool's ``sessions``.
     One request is in flight per worker at a time (guarded by a lock); the
-    pipe wait releases the GIL, which is where the cross-process parallelism
-    comes from.
+    transport wait releases the GIL, which is where the cross-process
+    parallelism comes from.
     """
 
     def __init__(
-        self, index: int, process, conn, request_timeout_s: float
+        self,
+        index: int,
+        process,
+        transport: WorkerTransport,
+        request_timeout_s: float,
     ) -> None:
         self.index = index
         self.process = process
-        self._conn = conn
+        self.transport = transport
         self._request_timeout_s = request_timeout_s
         self._lock = threading.Lock()
-        #: Set when the pipe can no longer be trusted (a request timed out
-        #: with the worker still computing: its eventual reply would be
+        #: Set when the channel can no longer be trusted (a request timed
+        #: out with the worker still computing: its eventual reply would be
         #: returned to the *next* request).  A broken client never serves
         #: again.
         self._broken = False
@@ -355,19 +390,26 @@ class _ShardClient:
         )
 
     def _recv(self, timeout_s: float, context: str):
-        deadline = time.monotonic() + timeout_s
-        while True:
-            if self._conn.poll(0.05):
-                return self._conn.recv()
-            if not self.process.is_alive():
-                if self._conn.poll(0):  # drain a reply sent just before death
-                    return self._conn.recv()
-                raise WorkerDiedError(self._death_message(context))
-            if time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"shard worker {self.index} did not answer within "
-                    f"{timeout_s:.1f} s"
-                )
+        # One blocking wait on {response channel, process sentinel} bounded
+        # by the deadline — no repeated short polls, so a parent thread
+        # waiting on a busy worker sleeps instead of burning CPU.  The
+        # sentinel covers every death, including one so early the worker
+        # never collected its end of the pipe (where no EOF would ever
+        # arrive); a reply sent just before death is still drained first.
+        ready = mp_connection.wait(
+            [self.transport.wait_handle, self.process.sentinel],
+            timeout=max(0.0, timeout_s),
+        )
+        if self.transport.wait_handle in ready or (
+            ready and self.transport.poll(0)
+        ):
+            return self.transport.recv()
+        if ready:  # only the sentinel fired: the worker is gone
+            raise WorkerDiedError(self._death_message(context))
+        raise TimeoutError(
+            f"shard worker {self.index} did not answer within "
+            f"{timeout_s:.1f} s"
+        )
 
     def _call(self, op: str, payload, timeout_s: float | None = None):
         timeout_s = self._request_timeout_s if timeout_s is None else timeout_s
@@ -380,17 +422,24 @@ class _ShardClient:
             if not self.process.is_alive():
                 raise WorkerDiedError(self._death_message(f"before {op!r}"))
             try:
-                self._conn.send((op, payload))
+                self.transport.send(op, payload)
                 status, value = self._recv(timeout_s, f"while serving {op!r}")
+            except WorkerDiedError:
+                # Whatever the request occupied in the rings is abandoned;
+                # release the slots so the accounting never wedges.
+                self.transport.release()
+                raise
             except (BrokenPipeError, EOFError, OSError) as exc:
+                self.transport.release()
                 raise WorkerDiedError(
                     self._death_message(f"while serving {op!r}")
                 ) from exc
             except TimeoutError:
                 # The worker may still answer this request later; reusing
-                # the pipe would hand that stale reply to the next caller.
-                # Poison the client and put the worker down.
+                # the channel would hand that stale reply to the next
+                # caller.  Poison the client and put the worker down.
                 self._broken = True
+                self.transport.release()
                 self.process.terminate()
                 raise
         if status == "ok":
@@ -407,7 +456,7 @@ class _ShardClient:
                 # A hard death (segfault, OOM kill) surfaces as pipe EOF —
                 # poll() reports EOF as readable, so recv() raises before
                 # _recv's liveness branch can.  Map it to the descriptive
-                # error like every other pipe interaction.
+                # error like every other channel interaction.
                 raise WorkerDiedError(
                     self._death_message("during initialisation")
                 ) from exc
@@ -444,7 +493,7 @@ class _ShardClient:
         try:
             if acquired and not self._broken and self.process.is_alive():
                 try:
-                    self._conn.send(("close", None))
+                    self.transport.send("close", None)
                     self._recv(timeout_s, "during shutdown")
                 except (WorkerDiedError, TimeoutError, BrokenPipeError,
                         EOFError, OSError):
@@ -459,10 +508,10 @@ class _ShardClient:
         if self.process.is_alive():
             self.process.kill()
             self.process.join(timeout_s)
-        try:
-            self._conn.close()
-        except OSError:
-            pass
+        # Closes the pipe ends and unlinks any shared-memory rings — the
+        # transport's resources must never outlive the pool, dead worker
+        # or not.
+        self.transport.close()
 
 
 def _required_tables(
@@ -508,12 +557,23 @@ def _restore_model_weights(model: EncoderModel) -> None:
         attach_weight_state(model, {**state, **restored})
 
 
-def _release_pool_resources(store: SharedWeightStore, model: EncoderModel) -> None:
-    """Teardown shared between close() and the GC safety-net finalizer."""
+def _release_pool_resources(
+    store: SharedWeightStore,
+    model: EncoderModel,
+    transports: Sequence[WorkerTransport],
+) -> None:
+    """Teardown shared between close() and the GC safety-net finalizer.
+
+    Closing the transports is idempotent (a normal ``close()`` already shut
+    them down via the client shutdowns); on the GC path it is what unlinks
+    the ring blocks and drops the pipe ends so orphaned workers see EOF.
+    """
     try:
         _restore_model_weights(model)
     finally:
         store.unlink()
+        for transport in transports:
+            transport.close()
 
 
 class ShardedPool(ReplicaPool):
@@ -526,10 +586,20 @@ class ShardedPool(ReplicaPool):
 
     Cost model: weights are shipped once per machine (shared memory blocks;
     the parent's own model is rebound onto them, so there is exactly one
-    copy), while request/response token and hidden-state arrays cross the
-    process boundary by pickle per call.  Sharding therefore pays off when
-    forward compute dominates — many rows, real depth — and the threaded
-    pool stays preferable for tiny single-request traffic.
+    copy), while request/response arrays cross the process boundary through
+    the chosen ``transport`` — ``"pipe"`` pickles them per call,
+    ``"shm_ring"`` moves the hot-path payloads through preallocated
+    shared-memory rings (see :mod:`repro.api.transport`) and keeps the pipe
+    as doorbell/control channel and variable-shape fallback.  Sharding pays
+    off when forward compute dominates — many rows, real depth — and the
+    threaded pool stays preferable for tiny single-request traffic; the ring
+    transport shrinks the boundary tax that trade-off prices.
+
+    ``ring_bytes`` overrides the per-ring payload capacity (default: sized
+    for a full ``max_batch_size`` batch of maximum-length sequences, so the
+    fallback only fires for payloads the serving path never produces).
+    Batches beyond the capacity still serve correctly — they fall back to
+    the pickle pipe, visible in each client's ``transport.stats``.
 
     ``mp_context`` defaults to ``"spawn"``: it is the strictest start method
     (nothing is inherited, so it proves the replica truly reconstructs from
@@ -537,7 +607,7 @@ class ShardedPool(ReplicaPool):
     and the only one that is safe regardless of parent threads.
 
     Use as a context manager or call :meth:`close`, which shuts workers down
-    and always unlinks the shared-memory blocks.
+    and always unlinks the shared-memory blocks (weights and rings alike).
     """
 
     def __init__(
@@ -550,9 +620,19 @@ class ShardedPool(ReplicaPool):
         mp_context: str = "spawn",
         start_timeout_s: float = 120.0,
         request_timeout_s: float = 600.0,
+        transport: str = "pipe",
+        ring_bytes: int | None = None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown worker transport {transport!r}; available "
+                f"transports: {', '.join(TRANSPORTS)}"
+            )
+        if ring_bytes is not None and ring_bytes < 0:
+            raise ValueError(f"ring_bytes must be >= 0, got {ring_bytes}")
+        self.transport_name = transport
         template = InferenceSession(
             config=config, spec=spec, registry=registry, model=model
         )
@@ -563,10 +643,12 @@ class ShardedPool(ReplicaPool):
         self._closed = False
         store = SharedWeightStore(export_weight_state(template.model))
         self._store = store
-        # Restore the model's private weights and unlink the blocks even if
-        # the pool is never closed (GC / interpreter exit).
+        self._transports: List[WorkerTransport] = []
+        # Restore the model's private weights and unlink the blocks — weight
+        # store and transport rings alike — even if the pool is never closed
+        # (GC / interpreter exit).
         self._finalizer = weakref.finalize(
-            self, _release_pool_resources, store, template.model
+            self, _release_pool_resources, store, template.model, self._transports
         )
         try:
             # One copy of the weights per machine: the parent's model reads
@@ -590,18 +672,32 @@ class ShardedPool(ReplicaPool):
                 lut_overrides=dict(template.lut_overrides),
             )
             context = multiprocessing.get_context(mp_context)
+            request_bytes, response_bytes = self._ring_sizes(
+                template, ring_bytes
+            )
             for index in range(num_replicas):
-                parent_conn, child_conn = context.Pipe(duplex=True)
-                process = context.Process(
-                    target=_worker_main,
-                    args=(child_conn, init),
-                    name=f"shard-worker-{index}",
-                    daemon=True,
+                worker_transport = create_transport(
+                    transport,
+                    context,
+                    request_bytes=request_bytes,
+                    response_bytes=response_bytes,
                 )
-                process.start()
-                child_conn.close()
+                self._transports.append(worker_transport)
+                try:
+                    process = context.Process(
+                        target=_worker_main,
+                        args=(worker_transport.endpoint(), init),
+                        name=f"shard-worker-{index}",
+                        daemon=True,
+                    )
+                    process.start()
+                except BaseException:
+                    # Not yet tracked by a client; close() cannot reap it.
+                    worker_transport.close()
+                    raise
+                worker_transport.on_worker_started()
                 client = _ShardClient(
-                    index, process, parent_conn, request_timeout_s
+                    index, process, worker_transport, request_timeout_s
                 )
                 # Track before waiting so close() reaps it on any failure.
                 self.sessions.append(client)
@@ -631,6 +727,28 @@ class ShardedPool(ReplicaPool):
         )
         return cls(config=config, spec=spec, registry=registry,
                    num_replicas=num_replicas, model=model, **kwargs)
+
+    @staticmethod
+    def _ring_sizes(
+        template: InferenceSession, ring_bytes: int | None
+    ) -> Tuple[int, int]:
+        """Per-worker ring payload capacities (request, response) in bytes.
+
+        The default holds the largest payload the serving path produces: a
+        full ``max_batch_size`` batch of maximum-length sequences — int64
+        token ids on the request side, compute-dtype hidden-state rows on
+        the response side — plus the per-item length table.  An explicit
+        ``ring_bytes`` caps both (undersized rings degrade to the pipe
+        fallback, they never fail).
+        """
+        if ring_bytes is not None:
+            return ring_bytes, ring_bytes
+        return serving_ring_bytes(
+            rows=template.config.max_batch_size,
+            seq_len=template.max_sequence_length,
+            hidden=template.model.config.hidden_size,
+            itemsize=np.dtype(template.model.config.compute_dtype).itemsize,
+        )
 
     def _serve_sharded(self, requests: Sequence[np.ndarray], serve) -> List:
         if self._closed:

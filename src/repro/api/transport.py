@@ -1,0 +1,846 @@
+"""Pluggable parent<->worker transports for multi-process sharded serving.
+
+PR 4's :class:`~repro.api.sharding.ShardedPool` moved replicas into worker
+processes, but every request batch and every result still crossed the process
+boundary by pickle over a ``multiprocessing.Pipe``.  In the paper's
+integer-deployment setting the per-token compute is cheap, so that
+serialization is a first-order tax on sharded throughput.  This module makes
+the channel a seam instead of an implementation detail:
+
+* :class:`WorkerTransport` — the parent-side protocol the pool's shard
+  clients program against (``send``/``poll``/``recv``/``release``/``close``),
+  paired with a picklable :class:`WorkerEndpoint` the worker process serves
+  from.  Control traffic (init handshake, calibration broadcast, close) and
+  hot-path traffic (``forward``/``pooled`` batches and their results) both
+  flow through it.
+* :class:`PipeTransport` — the original pickle-over-Pipe channel, extracted
+  verbatim from ``sharding.py``.  Every message is pickled; simple, shape-
+  agnostic, and the baseline the ring is benchmarked against.
+* :class:`ShmRingTransport` — zero-copy hot path.  Payloads that match the
+  serving shapes (ragged token-id batches in, ragged hidden-state rows or a
+  pooled matrix out) are packed into preallocated
+  ``multiprocessing.shared_memory`` rings with a fixed int64 dtype/shape
+  header; the pipe carries only a tiny doorbell per message.  Anything the
+  rings cannot describe — control dicts, oversized batches — falls back to
+  the pickle pipe transparently (counted in :attr:`WorkerTransport.stats`).
+
+The wire discipline is strictly one request in flight per worker (the shard
+client serialises calls under a lock), so each direction needs exactly one
+message slot: a request ring and a response ring per worker, with doorbell
+sequence numbers guarding against stale messages.  The pipe also doubles as
+the liveness signal — a dead worker's end-of-file wakes any blocking
+``poll`` — which is what lets the client wait without a busy loop.
+
+This seam is the deliberate stepping stone to the ROADMAP's cross-*machine*
+sharding: a socket transport implements the same two halves and slots into
+``ShardedPool(transport=...)`` unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .batching import RequestBatcher
+
+__all__ = [
+    "TransportError",
+    "WorkerTransport",
+    "WorkerEndpoint",
+    "PipeTransport",
+    "ShmRingTransport",
+    "TRANSPORTS",
+    "create_transport",
+]
+
+
+class TransportError(RuntimeError):
+    """A transport-level protocol violation (stale doorbell, bad reserve)."""
+
+
+#: Transport kinds accepted by :func:`create_transport` (and the
+#: ``ShardedPool(transport=...)`` knob).
+TRANSPORTS: Tuple[str, ...] = ("pipe", "shm_ring")
+
+#: Doorbell tag: a pipe message ``(_SHM_TAG, seq, op_or_status)`` means "the
+#: payload is in the shared-memory ring, stamped with ``seq``".
+_SHM_TAG = "__shm__"
+
+#: Ring header: int64[16] at the start of each block.
+#: [0] seq  [1] kind  [2] n (ragged items / array ndim)  [3] dtype code
+#: [4] trailing dim (ragged rows; 0 = 1-D items)  [5..12] array shape.
+_HEADER_SLOTS = 16
+_HEADER_BYTES = _HEADER_SLOTS * 8
+_MAX_ARRAY_NDIM = 8
+
+_KIND_RAGGED = 1
+_KIND_ARRAY = 2
+
+#: numpy dtypes the fixed-shape header can describe; anything else falls
+#: back to the pickle pipe.
+_DTYPE_CODES: Dict[str, int] = {
+    "<i8": 1,
+    "<i4": 2,
+    "<f2": 3,
+    "<f4": 4,
+    "<f8": 5,
+}
+_CODE_DTYPES: Dict[int, np.dtype] = {
+    code: np.dtype(s) for s, code in _DTYPE_CODES.items()
+}
+
+
+def _ragged_spec(
+    payload: object,
+) -> Optional[Tuple[np.dtype, int, List[int]]]:
+    """``(dtype, trailing, lengths)`` if ``payload`` is a ring-packable ragged
+    batch — a non-empty list of uniform-dtype 1-D arrays (``trailing == 0``)
+    or 2-D row blocks sharing their trailing dimension — else ``None``.
+    """
+    if not isinstance(payload, (list, tuple)) or not payload:
+        return None
+    first = payload[0]
+    if not isinstance(first, np.ndarray) or first.dtype.str not in _DTYPE_CODES:
+        return None
+    ndim = first.ndim
+    if ndim not in (1, 2):
+        return None
+    trailing = int(first.shape[1]) if ndim == 2 else 0
+    if ndim == 2 and trailing == 0:
+        # A (n, 0) block would be indistinguishable from 1-D items in the
+        # header (trailing == 0 marks 1-D); route it through the pipe.
+        return None
+    lengths: List[int] = []
+    for item in payload:
+        if (
+            not isinstance(item, np.ndarray)
+            or item.dtype != first.dtype
+            or item.ndim != ndim
+            or (ndim == 2 and int(item.shape[1]) != trailing)
+        ):
+            return None
+        lengths.append(int(item.shape[0]))
+    return first.dtype, trailing, lengths
+
+
+class _ShmRing:
+    """One direction of the zero-copy channel: a single-message shm buffer.
+
+    The serving protocol keeps at most one request in flight per worker, so
+    each direction needs exactly one slot; the request/response ring pair
+    plus doorbell sequence numbers over the pipe make the buffers safe to
+    reuse call after call.  Layout: an int64[16] header (see module
+    constants), then for ragged messages ``int64[n]`` lengths, then the
+    concatenated payload elements.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+
+    @classmethod
+    def create(cls, payload_bytes: int) -> "_ShmRing":
+        size = _HEADER_BYTES + max(0, int(payload_bytes))
+        return cls(shared_memory.SharedMemory(create=True, size=size), owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "_ShmRing":
+        return cls(shared_memory.SharedMemory(name=name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def payload_capacity(self) -> int:
+        """Bytes available for one message's lengths + elements."""
+        return self._shm.size - _HEADER_BYTES
+
+    def _header(self) -> np.ndarray:
+        return np.ndarray((_HEADER_SLOTS,), dtype=np.int64, buffer=self._shm.buf)
+
+    def _view(self, count: int, dtype: np.dtype, byte_offset: int) -> np.ndarray:
+        return np.ndarray(
+            (count,), dtype=dtype, buffer=self._shm.buf,
+            offset=_HEADER_BYTES + byte_offset,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Encode
+    # ------------------------------------------------------------------ #
+    def try_encode(self, payload: object, seq: int) -> bool:
+        """Pack ``payload`` into the ring if its shape/dtype/size allow.
+
+        Returns ``False`` (ring untouched as far as the reader is concerned)
+        when the payload is not one of the supported message kinds or does
+        not fit the preallocated capacity — the caller then falls back to
+        the pickle pipe.
+        """
+        spec = _ragged_spec(payload)
+        if spec is not None:
+            dtype, trailing, lengths = spec
+            flat = self.reserve_ragged(lengths, trailing, dtype, seq)
+            if flat is None:
+                return False
+            RequestBatcher.pack_ragged(payload, flat)  # type: ignore[arg-type]
+            return True
+        if isinstance(payload, np.ndarray):
+            if (
+                payload.dtype.str not in _DTYPE_CODES
+                or payload.ndim > _MAX_ARRAY_NDIM
+                or payload.nbytes > self.payload_capacity
+            ):
+                return False
+            header = self._header()
+            header[0] = seq
+            header[1] = _KIND_ARRAY
+            header[2] = payload.ndim
+            header[3] = _DTYPE_CODES[payload.dtype.str]
+            header[4] = 0
+            for axis in range(payload.ndim):
+                header[5 + axis] = payload.shape[axis]
+            flat = self._view(payload.size, payload.dtype, 0)
+            flat.reshape(payload.shape if payload.ndim else (1,))[...] = payload
+            return True
+        return False
+
+    def reserve_ragged(
+        self,
+        lengths: Sequence[int],
+        trailing: int,
+        dtype: np.dtype,
+        seq: int,
+    ) -> Optional[np.ndarray]:
+        """Write a ragged-message header + lengths; return the flat view.
+
+        The returned array — ``(total,)`` for 1-D items, ``(total,
+        trailing)`` for row blocks — is the ring's own memory: writing
+        results into it *is* the packing step (no intermediate buffer, no
+        pickle).  Returns ``None`` if the message would not fit.
+        """
+        dtype = np.dtype(dtype)
+        if dtype.str not in _DTYPE_CODES or not lengths:
+            return None
+        n = len(lengths)
+        total = int(sum(lengths))
+        elements = total * max(1, trailing)
+        needed = n * 8 + elements * dtype.itemsize
+        if needed > self.payload_capacity:
+            return None
+        header = self._header()
+        header[0] = seq
+        header[1] = _KIND_RAGGED
+        header[2] = n
+        header[3] = _DTYPE_CODES[dtype.str]
+        header[4] = trailing
+        self._view(n, np.dtype(np.int64), 0)[...] = lengths
+        flat = self._view(elements, dtype, n * 8)
+        return flat.reshape((total, trailing)) if trailing else flat
+
+    # ------------------------------------------------------------------ #
+    # Decode
+    # ------------------------------------------------------------------ #
+    def decode(self, expected_seq: int, copy: bool) -> object:
+        """The ring's current message; views when ``copy=False``.
+
+        Views are only valid until the next message lands; the worker (which
+        consumes a request fully before its response is produced) reads
+        views, the parent (which hands results to callers) copies.
+        """
+        header = self._header()
+        if int(header[0]) != expected_seq:
+            raise TransportError(
+                f"shared-memory ring message is stamped seq {int(header[0])}, "
+                f"expected {expected_seq}; the channel is out of sync"
+            )
+        kind = int(header[1])
+        dtype = _CODE_DTYPES.get(int(header[3]))
+        if dtype is None:
+            raise TransportError(f"unknown ring dtype code {int(header[3])}")
+        if kind == _KIND_RAGGED:
+            n = int(header[2])
+            trailing = int(header[4])
+            lengths = [int(v) for v in self._view(n, np.dtype(np.int64), 0)]
+            elements = sum(lengths) * max(1, trailing)
+            flat = self._view(elements, dtype, n * 8)
+            if trailing:
+                flat = flat.reshape((sum(lengths), trailing))
+            items = RequestBatcher.unpack_ragged(flat, lengths)
+            if copy:
+                return [item.copy() for item in items]
+            for item in items:
+                item.flags.writeable = False
+            return items
+        if kind == _KIND_ARRAY:
+            ndim = int(header[2])
+            shape = tuple(int(header[5 + axis]) for axis in range(ndim))
+            count = int(np.prod(shape)) if ndim else 1
+            view = self._view(count, dtype, 0).reshape(shape)
+            if copy:
+                return view.copy()
+            view.flags.writeable = False
+            return view
+        raise TransportError(f"unknown ring message kind {kind}")
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close this process's mapping (idempotent, view-tolerant)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:
+            # Views handed out by decode()/reserve_ragged() may still be
+            # alive; the mapping is released when they go away.
+            pass
+
+    def unlink(self) -> None:
+        """Remove the block name (owner only; idempotent)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class WorkerEndpoint(ABC):
+    """Worker-process half of a transport: picklable, serve-loop facing."""
+
+    @abstractmethod
+    def recv(self) -> Tuple[str, object]:
+        """Block for the next ``(op, payload)`` request from the parent."""
+
+    @abstractmethod
+    def send(self, status: str, value: object) -> None:
+        """Ship ``(status, value)`` back to the parent."""
+
+    def begin_packed_response(
+        self, lengths: Sequence[int], trailing: int, dtype: np.dtype
+    ) -> Optional[np.ndarray]:
+        """Reserve the response ring and return the flat array to write into.
+
+        Transports without a zero-copy path return ``None``; the caller then
+        materialises its result normally and uses :meth:`send`.
+        """
+        return None
+
+    def commit_packed_response(self, status: str = "ok") -> None:
+        """Publish a response written via :meth:`begin_packed_response`."""
+        raise TransportError("no packed response was reserved on this endpoint")
+
+    def close(self) -> None:
+        """Release the endpoint's handles (pipe end, ring mappings)."""
+
+
+class WorkerTransport(ABC):
+    """Parent-side half of one worker's message channel.
+
+    One transport instance serves exactly one worker; the shard client holds
+    it for the worker's lifetime and serialises calls, so implementations
+    may assume at most one request is outstanding.  ``poll`` must wake on
+    worker death (pipe end-of-file), which is what lets callers block on a
+    single deadline instead of spinning.
+    """
+
+    #: Kind string (``"pipe"`` / ``"shm_ring"``), mirrors :data:`TRANSPORTS`.
+    name: str
+
+    def __init__(self) -> None:
+        #: Message-routing counters: how many requests/responses used the
+        #: zero-copy rings vs the pickle-pipe fallback.
+        self.stats: Dict[str, int] = {
+            "ring_requests": 0,
+            "pipe_requests": 0,
+            "ring_responses": 0,
+            "pipe_responses": 0,
+        }
+
+    @abstractmethod
+    def endpoint(self) -> WorkerEndpoint:
+        """The picklable worker half (pass as a ``Process`` argument)."""
+
+    def on_worker_started(self) -> None:
+        """Drop parent copies of worker-only handles after ``start()``."""
+
+    @abstractmethod
+    def send(self, op: str, payload: object) -> None:
+        """Ship ``(op, payload)`` to the worker (ring when possible)."""
+
+    @property
+    @abstractmethod
+    def wait_handle(self):
+        """The parent-side readable ``Connection`` a response arrives on.
+
+        Exposed so callers can block on ``multiprocessing.connection.wait``
+        over *several* wakeup sources at once — typically this handle plus
+        the worker's process sentinel — instead of polling in a loop.
+        """
+
+    def poll(self, timeout_s: float) -> bool:
+        """Block up to ``timeout_s`` for a response (or worker EOF)."""
+        return self.wait_handle.poll(max(0.0, timeout_s))
+
+    @abstractmethod
+    def recv(self) -> Tuple[str, object]:
+        """The worker's ``(status, value)`` response; raises ``EOFError`` on
+        a dead worker's closed pipe."""
+
+    def release(self) -> None:
+        """Free any hot-path resources tied to an abandoned request.
+
+        Called after a failed or timed-out call so ring slots never stay
+        marked in-use once their request can no longer complete.
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Close (and for owned shared memory, unlink) everything parent-side."""
+
+    @property
+    def slots_in_use(self) -> int:
+        """Ring slots currently tied to an outstanding request (0 for pipe)."""
+        return 0
+
+    def shm_names(self) -> List[str]:
+        """Names of the shared-memory blocks this transport owns (if any)."""
+        return []
+
+
+class _PipeBackedTransport(WorkerTransport):
+    """Shared lifecycle for transports whose parent channel is a duplex Pipe.
+
+    Owns the pipe pair: the child end is handed to the endpoint and the
+    parent's copy dropped once the worker holds its own
+    (:meth:`on_worker_started`), responses are awaited on the parent end
+    (:attr:`wait_handle`), and :meth:`close` is idempotent.
+    """
+
+    def __init__(self, context) -> None:
+        super().__init__()
+        self._parent_conn, self._child_conn = context.Pipe(duplex=True)
+        self._child_closed = False
+        self._closed = False
+
+    def on_worker_started(self) -> None:
+        if not self._child_closed:
+            self._child_closed = True
+            self._child_conn.close()
+
+    @property
+    def wait_handle(self):
+        return self._parent_conn
+
+    def _close_pipes(self) -> None:
+        for conn, already_closed in (
+            (self._parent_conn, False),
+            (self._child_conn, self._child_closed),
+        ):
+            if already_closed:
+                continue
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._child_closed = True
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._close_pipes()
+
+
+# --------------------------------------------------------------------------- #
+# Pipe transport: the original pickle-everything channel
+# --------------------------------------------------------------------------- #
+class _PipeEndpoint(WorkerEndpoint):
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def recv(self) -> Tuple[str, object]:
+        return self._conn.recv()
+
+    def send(self, status: str, value: object) -> None:
+        self._conn.send((status, value))
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class PipeTransport(_PipeBackedTransport):
+    """Pickle over a duplex ``multiprocessing.Pipe`` — the PR-4 channel.
+
+    Every message is pickled whole.  Shape-agnostic and allocation-free to
+    set up, but each request/result pays serialise + kernel copies +
+    deserialise; see :class:`ShmRingTransport` for the zero-copy hot path.
+    """
+
+    name = "pipe"
+
+    def endpoint(self) -> _PipeEndpoint:
+        return _PipeEndpoint(self._child_conn)
+
+    def send(self, op: str, payload: object) -> None:
+        self.stats["pipe_requests"] += 1
+        self._parent_conn.send((op, payload))
+
+    def recv(self) -> Tuple[str, object]:
+        self.stats["pipe_responses"] += 1
+        return self._parent_conn.recv()
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory ring transport: zero-copy hot path, pipe doorbell + fallback
+# --------------------------------------------------------------------------- #
+class _ShmRingEndpoint(WorkerEndpoint):
+    """Worker half: attaches the rings by name on first use."""
+
+    def __init__(self, conn, request_name: str, response_name: str) -> None:
+        self._conn = conn
+        self._request_name = request_name
+        self._response_name = response_name
+        self._request_ring: Optional[_ShmRing] = None
+        self._response_ring: Optional[_ShmRing] = None
+        #: Sequence number of the in-hand ring request (None once answered,
+        #: or when the request arrived by pipe fallback — responses then
+        #: have no seq to stamp and use the pipe too).
+        self._seq: Optional[int] = None
+        self._reserved_seq: Optional[int] = None
+
+    def _rings(self) -> Tuple[_ShmRing, _ShmRing]:
+        if self._request_ring is None:
+            self._request_ring = _ShmRing.attach(self._request_name)
+            self._response_ring = _ShmRing.attach(self._response_name)
+        return self._request_ring, self._response_ring  # type: ignore[return-value]
+
+    def recv(self) -> Tuple[str, object]:
+        msg = self._conn.recv()
+        self._reserved_seq = None  # any stale reservation is now abandoned
+        if isinstance(msg, tuple) and len(msg) == 3 and msg[0] == _SHM_TAG:
+            _, seq, op = msg
+            request_ring, _ = self._rings()
+            payload = request_ring.decode(seq, copy=False)
+            self._seq = seq
+            return op, payload
+        self._seq = None
+        return msg
+
+    def send(self, status: str, value: object) -> None:
+        self._reserved_seq = None  # a generic reply abandons any reservation
+        if self._seq is not None:
+            _, response_ring = self._rings()
+            if response_ring.try_encode(value, self._seq):
+                seq, self._seq = self._seq, None
+                self._conn.send((_SHM_TAG, seq, status))
+                return
+        self._seq = None
+        self._conn.send((status, value))
+
+    def begin_packed_response(
+        self, lengths: Sequence[int], trailing: int, dtype: np.dtype
+    ) -> Optional[np.ndarray]:
+        if self._seq is None:
+            return None
+        _, response_ring = self._rings()
+        flat = response_ring.reserve_ragged(lengths, trailing, dtype, self._seq)
+        if flat is None:
+            return None
+        self._reserved_seq = self._seq
+        return flat
+
+    def commit_packed_response(self, status: str = "ok") -> None:
+        if self._reserved_seq is None:
+            raise TransportError(
+                "no packed response was reserved on this endpoint"
+            )
+        seq, self._reserved_seq, self._seq = self._reserved_seq, None, None
+        self._conn.send((_SHM_TAG, seq, status))
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        for ring in (self._request_ring, self._response_ring):
+            if ring is not None:
+                ring.close()
+
+
+class ShmRingTransport(_PipeBackedTransport):
+    """Zero-copy hot path over preallocated shared-memory rings.
+
+    Serving-shaped payloads (ragged token batches in; ragged hidden-state
+    rows or one pooled matrix out) are written straight into a
+    request/response ring pair — a fixed int64 header describing dtype and
+    shape, then the elements — and announced with a tiny doorbell over the
+    pipe.  The pipe remains the control channel and the transparent
+    fallback for anything the rings cannot hold: unsupported payloads
+    (calibration dicts) or batches beyond the preallocated capacity (sized
+    at construction for ``max_batch_size`` full-length sequences; see
+    :attr:`stats` for how traffic actually routed).
+
+    Worker death is detected exactly like the pipe transport: the doorbell
+    pipe reports end-of-file, so a blocking ``poll`` wakes immediately.
+    """
+
+    name = "shm_ring"
+
+    def __init__(
+        self, context, request_bytes: int, response_bytes: int
+    ) -> None:
+        if request_bytes < 0 or response_bytes < 0:
+            raise ValueError(
+                f"ring sizes must be >= 0 bytes, got request={request_bytes}, "
+                f"response={response_bytes}"
+            )
+        self._request_ring: Optional[_ShmRing] = None
+        self._response_ring: Optional[_ShmRing] = None
+        self._seq = 0
+        self._slot_busy = False
+        super().__init__(context)
+        try:
+            self._request_ring = _ShmRing.create(request_bytes)
+            self._response_ring = _ShmRing.create(response_bytes)
+        except BaseException:
+            self.close()
+            raise
+
+    def endpoint(self) -> _ShmRingEndpoint:
+        assert self._request_ring is not None and self._response_ring is not None
+        return _ShmRingEndpoint(
+            self._child_conn, self._request_ring.name, self._response_ring.name
+        )
+
+    def on_worker_started(self) -> None:
+        if not self._child_closed:
+            self._child_closed = True
+            self._child_conn.close()
+
+    def send(self, op: str, payload: object) -> None:
+        self._seq += 1
+        assert self._request_ring is not None
+        if self._request_ring.try_encode(payload, self._seq):
+            self._slot_busy = True
+            self.stats["ring_requests"] += 1
+            self._parent_conn.send((_SHM_TAG, self._seq, op))
+        else:
+            self.stats["pipe_requests"] += 1
+            self._parent_conn.send((op, payload))
+
+    def recv(self) -> Tuple[str, object]:
+        msg = self._parent_conn.recv()
+        if isinstance(msg, tuple) and len(msg) == 3 and msg[0] == _SHM_TAG:
+            _, seq, status = msg
+            if seq != self._seq:
+                raise TransportError(
+                    f"response doorbell carries seq {seq}, expected "
+                    f"{self._seq}; the channel is out of sync"
+                )
+            assert self._response_ring is not None
+            value = self._response_ring.decode(seq, copy=True)
+            self._slot_busy = False
+            self.stats["ring_responses"] += 1
+            return status, value
+        self._slot_busy = False
+        self.stats["pipe_responses"] += 1
+        return msg
+
+    def release(self) -> None:
+        self._slot_busy = False
+
+    @property
+    def slots_in_use(self) -> int:
+        return int(self._slot_busy)
+
+    def shm_names(self) -> List[str]:
+        return [
+            ring.name
+            for ring in (self._request_ring, self._response_ring)
+            if ring is not None
+        ]
+
+    def close(self) -> None:
+        """Close pipe ends; close and unlink both rings (idempotent).
+
+        The rings must never outlive the transport — unlink happens here
+        even when the worker died or never started; mappings still held by
+        a straggler worker stay valid until it exits.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._slot_busy = False
+        self._close_pipes()
+        for ring in (self._request_ring, self._response_ring):
+            if ring is not None:
+                ring.unlink()
+                ring.close()
+
+
+# --------------------------------------------------------------------------- #
+# Factory
+# --------------------------------------------------------------------------- #
+#: Payload bytes per ring when the caller supplies no sizing (1 MiB covers
+#: the tiny/small scenarios comfortably; ShardedPool computes a model-shaped
+#: default instead of relying on this).
+DEFAULT_RING_BYTES = 1 << 20
+
+
+def serving_ring_bytes(
+    rows: int, seq_len: int, hidden: int, itemsize: int
+) -> Tuple[int, int]:
+    """``(request_bytes, response_bytes)`` holding one full serving batch.
+
+    The single definition of the ring-capacity formula: ``rows`` requests of
+    up to ``seq_len`` int64 token ids in (plus the per-item length table),
+    and the same batch's ``(token, hidden)`` result rows out at the engine's
+    ``itemsize``.  ``ShardedPool`` sizes its default rings with this, and
+    the IPC microbenchmark uses it so its measurement reflects the rings
+    serving actually allocates.
+    """
+    lengths_bytes = rows * 8
+    request = lengths_bytes + rows * seq_len * 8
+    response = lengths_bytes + rows * seq_len * hidden * itemsize
+    return request, response
+
+
+def create_transport(
+    kind: str,
+    context,
+    request_bytes: Optional[int] = None,
+    response_bytes: Optional[int] = None,
+) -> WorkerTransport:
+    """One worker's transport of the requested ``kind``.
+
+    ``request_bytes`` / ``response_bytes`` size the shared-memory rings
+    (ignored by ``"pipe"``); ``context`` is the ``multiprocessing`` start
+    context whose ``Pipe`` the channel uses.
+    """
+    if kind == "pipe":
+        return PipeTransport(context)
+    if kind == "shm_ring":
+        return ShmRingTransport(
+            context,
+            request_bytes=DEFAULT_RING_BYTES if request_bytes is None else request_bytes,
+            response_bytes=(
+                DEFAULT_RING_BYTES if response_bytes is None else response_bytes
+            ),
+        )
+    raise ValueError(
+        f"unknown worker transport {kind!r}; available transports: "
+        f"{', '.join(TRANSPORTS)}"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Echo worker: transport cost in isolation (IPC microbenchmark + tests)
+# --------------------------------------------------------------------------- #
+def _echo_worker_main(
+    endpoint: WorkerEndpoint, hidden_size: int, dtype_str: str
+) -> None:
+    """Serve transport round trips with zero compute.
+
+    For an ``"echo"`` request (a ragged token batch) the reply is a
+    serving-shaped result — one ``(length, hidden_size)`` block per request,
+    from a preallocated scratch buffer — so a round trip measures exactly
+    what the transport adds to a ``forward``: request packing/pickling, the
+    doorbell or pipe write, and the parent-side copy-out.  ``"echo_slow"``
+    sleeps first (timeout/poisoning tests); ``"close"`` exits.
+    """
+    dtype = np.dtype(dtype_str)
+    scratch = np.zeros(0, dtype=dtype)
+    try:
+        endpoint.send("ready", None)
+        while True:
+            try:
+                op, payload = endpoint.recv()
+            except (EOFError, OSError):
+                return
+            if op == "close":
+                endpoint.send("ok", None)
+                return
+            if op == "ping":
+                endpoint.send("ok", "pong")
+                continue
+            if op == "echo_slow":
+                time.sleep(0.5)
+            lengths = [int(np.asarray(item).shape[0]) for item in payload]
+            out = endpoint.begin_packed_response(lengths, hidden_size, dtype)
+            if out is not None:
+                # Write-into-ring path: the "result" bytes are whatever the
+                # scratch reservation holds — the compute that would fill
+                # them is exactly what this worker leaves out.
+                endpoint.commit_packed_response()
+                continue
+            total = sum(lengths)
+            if scratch.size < total * hidden_size:
+                scratch = np.zeros(total * hidden_size, dtype=dtype)
+            flat = scratch[: total * hidden_size].reshape(total, hidden_size)
+            endpoint.send("ok", RequestBatcher.unpack_ragged(flat, lengths))
+    finally:
+        endpoint.close()
+
+
+def _spawn_echo_worker(
+    kind: str,
+    context,
+    hidden_size: int,
+    dtype: np.dtype,
+    request_bytes: int,
+    response_bytes: int,
+):
+    """``(transport, process)`` for a ready echo worker of ``kind``.
+
+    Shared by the IPC microbenchmark and the transport tests; the worker is
+    reaped (and the transport closed) on any start failure.
+    """
+    transport = create_transport(
+        kind, context, request_bytes=request_bytes, response_bytes=response_bytes
+    )
+    process = None
+    try:
+        process = context.Process(
+            target=_echo_worker_main,
+            args=(transport.endpoint(), hidden_size, np.dtype(dtype).str),
+            name=f"echo-worker-{kind}",
+            daemon=True,
+        )
+        process.start()
+        transport.on_worker_started()
+        if not transport.poll(120):
+            raise TimeoutError(f"{kind} echo worker never became ready")
+        status, value = transport.recv()
+        if status != "ready":
+            raise RuntimeError(f"{kind} echo worker failed to start: {value}")
+    except BaseException:
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(10)
+        transport.close()
+        raise
+    return transport, process
+
+
+def _shutdown_echo_worker(transport: WorkerTransport, process) -> None:
+    """Polite close handshake, then escalate; always closes the transport."""
+    try:
+        if process.is_alive():
+            transport.send("close", None)
+            if transport.poll(10):
+                transport.recv()
+        process.join(10)
+        if process.is_alive():
+            process.terminate()
+            process.join(10)
+    finally:
+        transport.close()

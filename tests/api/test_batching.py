@@ -92,3 +92,36 @@ class TestPlanCapping:
         )
         assert batch.tokens.shape == (2, 10)
         assert np.array_equal(batch.mask, [[1] * 9 + [0], [1] * 10])
+
+
+class TestPackedRagged:
+    """The lengths-plus-concatenation layout the transport rings ship."""
+
+    def test_roundtrip_1d(self):
+        items = [np.arange(5, dtype=np.int64), np.arange(50, 53, dtype=np.int64)]
+        out = np.empty(8, dtype=np.int64)
+        packed = RequestBatcher.pack_ragged(items, out)
+        assert packed is out
+        unpacked = RequestBatcher.unpack_ragged(out, [5, 3])
+        assert all(np.array_equal(a, b) for a, b in zip(unpacked, items))
+        # Views, not copies: the caller decides whether to detach.
+        assert np.shares_memory(unpacked[0], out)
+
+    def test_roundtrip_rows(self):
+        rng = np.random.default_rng(0)
+        items = [rng.normal(size=(4, 3)), rng.normal(size=(2, 3))]
+        out = np.empty((6, 3))
+        RequestBatcher.pack_ragged(items, out)
+        unpacked = RequestBatcher.unpack_ragged(out, [4, 2])
+        assert all(np.array_equal(a, b) for a, b in zip(unpacked, items))
+
+    def test_pack_rejects_overflow_and_underfill(self):
+        items = [np.arange(5, dtype=np.int64)]
+        with pytest.raises(ValueError, match="overflow"):
+            RequestBatcher.pack_ragged(items, np.empty(4, dtype=np.int64))
+        with pytest.raises(ValueError, match="fill only"):
+            RequestBatcher.pack_ragged(items, np.empty(9, dtype=np.int64))
+
+    def test_unpack_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths sum"):
+            RequestBatcher.unpack_ragged(np.empty(4, dtype=np.int64), [5])

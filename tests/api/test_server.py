@@ -451,6 +451,8 @@ class TestQueueContract:
             assert zeroed.submitted == zeroed.completed == 0
             assert zeroed.batches == 0 and zeroed.mean_batch_size == 0.0
             assert zeroed.p50_latency_ms == zeroed.p99_latency_ms == 0.0
+            assert zeroed.mean_queue_wait_ms == zeroed.p99_queue_wait_ms == 0.0
+            assert zeroed.mean_service_ms == zeroed.p99_service_ms == 0.0
             assert zeroed.throughput_rps == 0.0
             assert zeroed.queue_depth == 0
             queue.serve(mixed_requests[4:6], timeout=60)
@@ -527,3 +529,50 @@ class TestCalibratedServing:
         assert all(
             np.array_equal(a, b) for a, b in zip(pooled_out, primary_out)
         )
+
+
+class TestLatencySplit:
+    """stats() separates queue-wait from service (dispatch -> result) time."""
+
+    def test_phases_partition_the_total_latency(self, pool64, mixed_requests):
+        queue = ServingQueue(pool64, max_wait_ms=1.0)
+        try:
+            queue.serve(mixed_requests, timeout=60)
+            queue.drain(timeout=30)
+            stats = queue.stats()
+            assert stats.mean_service_ms > 0.0
+            assert stats.mean_queue_wait_ms >= 0.0
+            assert stats.p50_service_ms <= stats.p99_service_ms
+            assert stats.p50_queue_wait_ms <= stats.p99_queue_wait_ms
+            # Every request's latency is exactly queue-wait + service (same
+            # timestamps), so the means partition the mean latency.
+            assert stats.mean_latency_ms == pytest.approx(
+                stats.mean_queue_wait_ms + stats.mean_service_ms, rel=1e-9
+            )
+        finally:
+            queue.close()
+
+    def test_backlog_shows_up_as_queue_wait_not_service(
+        self, pool64, fast_registry, mixed_requests
+    ):
+        # One gated replica: the in-flight request accrues *service* time
+        # (its forward is blocked), while the request queued behind it
+        # accrues *queue-wait* time.  The split must attribute each side
+        # correctly — that is what makes IPC/serving cost visible per
+        # window instead of being smeared into one latency number.
+        pool, gate = _gated_single_replica_pool(pool64, fast_registry)
+        queue = ServingQueue(pool, max_wait_ms=0.0, max_queue_depth=8)
+        try:
+            first = queue.submit(mixed_requests[0])
+            _wait_for_inflight(queue)
+            second = queue.submit(mixed_requests[1])
+            time.sleep(0.15)  # both requests age behind the gate
+            gate.set()
+            assert first.result(timeout=60).shape[0] == mixed_requests[0].size
+            assert second.result(timeout=60).shape[0] == mixed_requests[1].size
+            stats = queue.stats()
+            assert stats.p99_service_ms >= 100.0  # the gated forward
+            assert stats.p99_queue_wait_ms >= 100.0  # the request behind it
+        finally:
+            gate.set()
+            queue.close()

@@ -33,13 +33,20 @@ from repro.transformer.config import tiny_test_config
 from repro.transformer.models import EncoderModel
 
 
-@pytest.fixture(scope="module")
-def sharded64(fast_registry):
+@pytest.fixture(scope="module", params=["pipe", "shm_ring"])
+def sharded64(request, fast_registry):
+    """Two worker processes, parametrised over both worker transports.
+
+    Every parity/dispatch/queue test in this module therefore gates the
+    shared-memory ring transport bitwise against single-session serving,
+    exactly like the pickle pipe.
+    """
     config = SessionConfig(
         model_family="tiny", compute_dtype="float64", max_batch_size=3
     )
     pool = ShardedPool(
-        config, spec=BackendSpec.nn_lut(), registry=fast_registry, num_replicas=2
+        config, spec=BackendSpec.nn_lut(), registry=fast_registry,
+        num_replicas=2, transport=request.param,
     )
     yield pool
     pool.close()
@@ -377,3 +384,117 @@ class TestShardedFailureModes:
         for _, shm_name, _, _ in store.manifest():
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=shm_name)
+
+
+class TestWorkerTransports:
+    """The transport seam: knob validation, ring routing, degradation."""
+
+    def test_unknown_transport_rejected_before_spawning(self, fast_registry):
+        with pytest.raises(ValueError, match="carrier_pigeon"):
+            ShardedPool(
+                SessionConfig(model_family="tiny"),
+                registry=fast_registry,
+                transport="carrier_pigeon",
+            )
+
+    def test_negative_ring_bytes_rejected(self, fast_registry):
+        with pytest.raises(ValueError, match="ring_bytes"):
+            ShardedPool(
+                SessionConfig(model_family="tiny"),
+                registry=fast_registry,
+                transport="shm_ring",
+                ring_bytes=-1,
+            )
+
+    def test_hot_path_routes_through_the_rings(self, sharded64, mixed_requests):
+        if sharded64.transport_name != "shm_ring":
+            pytest.skip("ring-routing stats only exist on the shm transport")
+        before = [dict(c.transport.stats) for c in sharded64.sessions]
+        sharded64.forward(mixed_requests)
+        for client, b in zip(sharded64.sessions, before):
+            stats = client.transport.stats
+            sent = stats["ring_requests"] - b["ring_requests"]
+            answered = stats["ring_responses"] - b["ring_responses"]
+            assert sent >= 1, "forward batches should ride the request ring"
+            assert answered == sent, "every ring request got a ring response"
+            assert stats["pipe_requests"] == b["pipe_requests"]
+            assert client.transport.slots_in_use == 0
+
+    def test_capacity_overflow_falls_back_to_pipe_bitwise(
+        self, fast_registry, mixed_requests
+    ):
+        # Rings too small for any batch: the transport must degrade to the
+        # pickle pipe — same results, no error, routing visible in stats.
+        config = SessionConfig(
+            model_family="tiny", compute_dtype="float64", max_batch_size=3
+        )
+        with ShardedPool(
+            config, spec=BackendSpec.nn_lut(), registry=fast_registry,
+            num_replicas=1, transport="shm_ring", ring_bytes=16,
+        ) as pool:
+            single = InferenceSession.from_model(
+                pool.model, spec=pool.spec, registry=fast_registry,
+                max_batch_size=3,
+            )
+            served = pool.forward(mixed_requests)
+            oracle = single.forward(mixed_requests)
+            for i, (a, b) in enumerate(zip(served, oracle)):
+                assert np.array_equal(a, b), f"request {i}"
+            stats = pool.sessions[0].transport.stats
+            assert stats["ring_requests"] == 0
+            assert stats["pipe_requests"] >= 1
+            assert pool.sessions[0].transport.slots_in_use == 0
+
+    def test_worker_death_releases_slots_and_close_unlinks_rings(
+        self, fast_registry, mixed_requests
+    ):
+        config = SessionConfig(
+            model_family="tiny", compute_dtype="float64", max_batch_size=3
+        )
+        pool = ShardedPool(
+            config, spec=BackendSpec.nn_lut(), registry=fast_registry,
+            num_replicas=2, transport="shm_ring",
+        )
+        try:
+            ring_names = [
+                name
+                for client in pool.sessions
+                for name in client.transport.shm_names()
+            ]
+            assert len(ring_names) == 4  # request+response ring per worker
+            victim = pool.sessions[1]
+            victim.process.kill()
+            victim.process.join(10)
+            with pytest.raises(WorkerDiedError, match="shard worker 1"):
+                pool.forward(mixed_requests)
+            # Whatever the failed shard occupied in the rings is released;
+            # the healthy worker's slots drained normally.
+            for client in pool.sessions:
+                assert client.transport.slots_in_use == 0
+        finally:
+            pool.close()
+        # close() unlinks the ring blocks (alongside the weight blocks),
+        # dead worker or not.
+        for name in ring_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_gc_without_close_unlinks_rings(self, fast_registry):
+        # The GC safety net must reap the ring blocks exactly like the
+        # weight blocks: dropping a pool without close() leaks nothing.
+        model = EncoderModel.initialize(
+            tiny_test_config(compute_dtype="float64"), seed=3
+        )
+        pool = ShardedPool.from_model(
+            model, spec=BackendSpec.nn_lut(), registry=fast_registry,
+            num_replicas=1, transport="shm_ring",
+        )
+        names = pool.sessions[0].transport.shm_names()
+        process = pool.sessions[0].process
+        del pool
+        gc.collect()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        process.join(10)  # the worker exits on pipe EOF
+        assert not process.is_alive()

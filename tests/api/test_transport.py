@@ -1,0 +1,228 @@
+"""Worker-transport tests: ring codec, fallback, slot hygiene, round trips.
+
+The ring codec tests run in-process against :class:`_ShmRing` directly; the
+round-trip tests spawn the echo worker (``_echo_worker_main`` — pure
+transport, no model) so both transports are exercised over a real process
+boundary, including the degradation paths the ISSUE calls out: payloads
+beyond the preallocated ring capacity fall back to the pickle pipe, and the
+ring slot accounting is always released after a timeout or worker death.
+"""
+
+import multiprocessing
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.api.transport import (
+    TRANSPORTS,
+    PipeTransport,
+    ShmRingTransport,
+    TransportError,
+    _ShmRing,
+    _shutdown_echo_worker,
+    _spawn_echo_worker,
+    create_transport,
+)
+
+SPAWN = multiprocessing.get_context("spawn")
+
+
+class TestShmRingCodec:
+    def _ring(self, payload_bytes=4096):
+        return _ShmRing.create(payload_bytes)
+
+    def test_ragged_1d_roundtrip(self):
+        ring = self._ring()
+        try:
+            items = [np.arange(5, dtype=np.int64), np.arange(9, dtype=np.int64)]
+            assert ring.try_encode(items, seq=3)
+            decoded = ring.decode(3, copy=True)
+            assert all(np.array_equal(a, b) for a, b in zip(decoded, items))
+            views = ring.decode(3, copy=False)
+            assert not views[0].flags.writeable
+        finally:
+            ring.unlink()
+            ring.close()
+
+    def test_ragged_rows_roundtrip(self):
+        ring = self._ring()
+        try:
+            rng = np.random.default_rng(0)
+            items = [
+                rng.normal(size=(4, 3)).astype(np.float32),
+                rng.normal(size=(2, 3)).astype(np.float32),
+            ]
+            assert ring.try_encode(items, seq=1)
+            decoded = ring.decode(1, copy=True)
+            assert all(np.array_equal(a, b) for a, b in zip(decoded, items))
+        finally:
+            ring.unlink()
+            ring.close()
+
+    def test_single_array_roundtrip(self):
+        ring = self._ring()
+        try:
+            array = np.random.default_rng(1).normal(size=(3, 2, 4))
+            assert ring.try_encode(array, seq=7)
+            assert np.array_equal(ring.decode(7, copy=True), array)
+        finally:
+            ring.unlink()
+            ring.close()
+
+    def test_write_into_ring_reservation(self):
+        # reserve_ragged hands out the ring's own memory: filling the view
+        # IS the packing step the response path uses.
+        ring = self._ring()
+        try:
+            flat = ring.reserve_ragged([2, 3], trailing=4, dtype=np.float64, seq=9)
+            assert flat.shape == (5, 4)
+            flat[...] = np.arange(20).reshape(5, 4)
+            decoded = ring.decode(9, copy=True)
+            assert np.array_equal(decoded[0], flat[:2])
+            assert np.array_equal(decoded[1], flat[2:])
+        finally:
+            ring.unlink()
+            ring.close()
+
+    def test_rejects_unsupported_and_oversized(self):
+        ring = self._ring(payload_bytes=64)
+        try:
+            assert not ring.try_encode({"not": "packable"}, seq=1)
+            assert not ring.try_encode([], seq=1)
+            assert not ring.try_encode(
+                [np.array(["a", "b"])], seq=1
+            )  # unsupported dtype
+            # (n, 0) row blocks would be header-ambiguous with 1-D items.
+            assert not ring.try_encode([np.empty((3, 0)), np.empty((2, 0))], seq=1)
+            assert not ring.try_encode([np.arange(100, dtype=np.int64)], seq=1)
+            assert ring.reserve_ragged([100], 4, np.float64, seq=1) is None
+        finally:
+            ring.unlink()
+            ring.close()
+
+    def test_stale_seq_raises(self):
+        ring = self._ring()
+        try:
+            assert ring.try_encode([np.arange(3, dtype=np.int64)], seq=5)
+            with pytest.raises(TransportError, match="seq"):
+                ring.decode(6, copy=True)
+        finally:
+            ring.unlink()
+            ring.close()
+
+
+def test_create_transport_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="carrier_pigeon"):
+        create_transport("carrier_pigeon", SPAWN)
+    assert set(TRANSPORTS) == {"pipe", "shm_ring"}
+
+
+HIDDEN = 4
+
+
+def _spawn_echo(kind, request_bytes=1 << 16, response_bytes=1 << 16):
+    return _spawn_echo_worker(
+        kind, SPAWN, HIDDEN, np.dtype(np.float64),
+        request_bytes=request_bytes, response_bytes=response_bytes,
+    )
+
+
+def _shutdown_echo(transport, process):
+    _shutdown_echo_worker(transport, process)
+
+
+@pytest.mark.parametrize("kind", TRANSPORTS)
+def test_echo_roundtrip(kind):
+    transport, process = _spawn_echo(kind)
+    try:
+        tokens = [np.arange(6, dtype=np.int64), np.arange(11, dtype=np.int64)]
+        transport.send("echo", tokens)
+        assert transport.poll(60)
+        status, value = transport.recv()
+        assert status == "ok"
+        assert [v.shape for v in value] == [(6, HIDDEN), (11, HIDDEN)]
+        assert all(v.dtype == np.float64 for v in value)
+        assert transport.slots_in_use == 0
+        if kind == "shm_ring":
+            assert transport.stats["ring_requests"] == 1
+            assert transport.stats["ring_responses"] == 1
+    finally:
+        _shutdown_echo(transport, process)
+
+
+def test_shm_ring_capacity_fallback_still_serves():
+    # Rings too small for any payload: every message must degrade to the
+    # pickle pipe and still round-trip correctly.
+    transport, process = _spawn_echo("shm_ring", request_bytes=8, response_bytes=8)
+    try:
+        tokens = [np.arange(6, dtype=np.int64)]
+        transport.send("echo", tokens)
+        assert transport.poll(60)
+        status, value = transport.recv()
+        assert status == "ok" and value[0].shape == (6, HIDDEN)
+        assert transport.stats["ring_requests"] == 0
+        assert transport.stats["pipe_requests"] == 1
+        assert transport.slots_in_use == 0
+    finally:
+        _shutdown_echo(transport, process)
+
+
+def test_shm_ring_response_fallback_when_only_response_overflows():
+    # Request fits its ring but the serving-shaped response does not: the
+    # worker must fall back to the pipe for the reply alone.
+    transport, process = _spawn_echo(
+        "shm_ring", request_bytes=1 << 16, response_bytes=8
+    )
+    try:
+        tokens = [np.arange(6, dtype=np.int64)]
+        transport.send("echo", tokens)
+        assert transport.poll(60)
+        status, value = transport.recv()
+        assert status == "ok" and value[0].shape == (6, HIDDEN)
+        assert transport.stats["ring_requests"] == 1
+        assert transport.stats["ring_responses"] == 0
+        assert transport.slots_in_use == 0
+    finally:
+        _shutdown_echo(transport, process)
+
+
+def test_timeout_release_frees_ring_slot():
+    # A timed-out request (the caller will poison the channel) must not
+    # leave the ring slot marked in use.
+    transport, process = _spawn_echo("shm_ring")
+    try:
+        transport.send("echo_slow", [np.arange(4, dtype=np.int64)])
+        assert transport.slots_in_use == 1
+        assert not transport.poll(0.05)
+        transport.release()
+        assert transport.slots_in_use == 0
+    finally:
+        process.terminate()  # poisoned channel: put the worker down
+        process.join(10)
+        transport.close()
+
+
+def test_worker_death_surfaces_as_eof_and_slot_release():
+    transport, process = _spawn_echo("shm_ring")
+    names = transport.shm_names()
+    assert len(names) == 2
+    try:
+        process.kill()
+        process.join(10)
+        # The dead peer surfaces as EPIPE on send or EOF on recv — exactly
+        # what the shard client maps to WorkerDiedError before releasing.
+        with pytest.raises((BrokenPipeError, EOFError, OSError)):
+            transport.send("echo", [np.arange(4, dtype=np.int64)])
+            assert transport.poll(60)  # EOF wakes the poll
+            while True:  # drain anything buffered, then hit the EOF
+                transport.recv()
+        transport.release()
+        assert transport.slots_in_use == 0
+    finally:
+        transport.close()
+    # close() unlinked both rings even though the worker died.
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
