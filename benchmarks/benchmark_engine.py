@@ -62,6 +62,28 @@ def test_report_schema(engine_report):
     }
     for row in engine_report["ops"].values():
         assert row["seed_s"] > 0 and row["fast_s"] > 0 and row["speedup"] > 0
+    kernels = engine_report["kernels"]
+    assert set(kernels["ops"]) == {
+        "gemm_int8",
+        "gemm_fp32",
+        "quantize_pack",
+        "lut_gelu_bias",
+        "lut_layernorm",
+        "bias_residual",
+        "encoder_forward_int8",
+    }
+    assert isinstance(kernels["native_available"], bool)
+    for name, row in kernels["ops"].items():
+        assert row["numpy_s"] > 0, name
+        if kernels["native_available"]:
+            assert row["native_s"] > 0 and row["speedup"] > 0, name
+        else:
+            assert "native_s" not in row, name
+    if kernels["native_available"]:
+        # Per-kernel int8 encoder forwards must agree bit for bit.
+        assert kernels["ops"]["encoder_forward_int8"]["bitwise_equal_vs_numpy"]
+    else:
+        assert kernels["native_unavailable_reason"]
     for row in engine_report["end_to_end"].values():
         assert row["tokens_per_s_fast"] > 0 and row["tokens_per_s_seed"] > 0
     ipc = engine_report["ipc"]
@@ -106,6 +128,15 @@ def test_full_mode_speedups(engine_report):
     assert engine_report["ipc"]["overhead_ratio"] >= 2.0, engine_report["ipc"]
     for name, row in engine_report["ops"].items():
         assert row["speedup"] >= 1.0, f"op {name} regressed: {row}"
+    # Acceptance gates for the compiled kernel seam (only meaningful when the
+    # native kernel compiled; a machine without a C compiler skips them).
+    kernels = engine_report["kernels"]
+    if kernels["native_available"]:
+        ops = kernels["ops"]
+        # True int8 GEMM (int32 accumulation) vs the float64-carrier path.
+        assert ops["gemm_int8"]["speedup"] >= 2.0, ops["gemm_int8"]
+        # Fused bias+LUT-GELU epilogue vs the unfused numpy sequence.
+        assert ops["lut_gelu_bias"]["speedup"] >= 1.3, ops["lut_gelu_bias"]
 
 
 @pytest.mark.benchmark(group="engine")

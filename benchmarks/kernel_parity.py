@@ -1,0 +1,178 @@
+"""Compact ComputeKernel parity table: NumpyKernel vs compiled NativeKernel.
+
+Run via ``scripts/check_kernel_parity.sh`` (or directly with
+``PYTHONPATH=src python benchmarks/kernel_parity.py``).  Prints one row per
+op/path across int8/fp32 — per-op kernels first, then an end-to-end encoder
+forward and pooled output through :class:`repro.api.InferenceSession` — and
+exits non-zero if any row violates the parity contract.  The contract is
+*bitwise* everywhere: the native kernel is a drop-in replacement, not an
+approximation, so ``max_abs_diff`` must print as exactly zero.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.api import BackendSpec, InferenceSession  # noqa: E402
+from repro.core.approximators import LutGelu, LutLayerNorm, LutSoftmax  # noqa: E402
+from repro.core.kernels import (  # noqa: E402
+    NUMPY_KERNEL,
+    get_kernel,
+    native_available,
+    native_unavailable_reason,
+)
+from repro.core.registry import LutRegistry  # noqa: E402
+from repro.core.scaling import InputScaler  # noqa: E402
+from repro.transformer import tiny_test_config  # noqa: E402
+from repro.transformer.models import EncoderModel  # noqa: E402
+
+import regression  # noqa: E402  (benchmarks/ is not a package)
+
+
+def build_rows(registry: LutRegistry) -> list:
+    native = get_kernel("native")
+    rng = np.random.default_rng(3)
+    rows: list = []
+
+    def add(name: str, precision: str, a, b) -> None:
+        a, b = np.asarray(a), np.asarray(b)
+        bitwise = bool(np.array_equal(a, b, equal_nan=True))
+        diff = 0.0
+        if a.size and not bitwise:
+            diff = float(np.nanmax(np.abs(a.astype(np.float64) - b)))
+        rows.append((name, precision, diff, bitwise))
+
+    x = rng.normal(size=(96, 48)).astype(np.float32)
+    bias = rng.normal(size=32).astype(np.float32)
+
+    w_q = rng.integers(-127, 128, size=(48, 32), dtype=np.int8)
+    add(
+        "linear",
+        "int8",
+        native.linear_int8(
+            x, native.pack_weight_int8(w_q), 0.017, np.float32, bias=bias
+        ),
+        NUMPY_KERNEL.linear_int8(
+            x, NUMPY_KERNEL.pack_weight_int8(w_q), 0.017, np.float32, bias=bias
+        ),
+    )
+    w32 = rng.normal(size=(48, 32)).astype(np.float32)
+    add(
+        "linear",
+        "fp32",
+        native.matmul_fp32(x, w32, np.float32, bias=bias),
+        NUMPY_KERNEL.matmul_fp32(x, w32, np.float32, bias=bias),
+    )
+    scale = NUMPY_KERNEL.quantize_scale(x)
+    assert float(native.quantize_scale(x)) == float(scale)
+    add(
+        "quantize_pack",
+        "int8",
+        native.quantize_pack(x, scale),
+        NUMPY_KERNEL.quantize_pack(x, scale),
+    )
+
+    gelu_op = LutGelu(registry.lut("gelu", num_entries=16))
+    g = rng.uniform(-9.0, 9.0, size=(64, 40)).astype(np.float32)
+    gelu_bias = rng.normal(size=40).astype(np.float32)
+    add(
+        "lut_gelu_bias",
+        "fp32",
+        native.lut_gelu_bias(gelu_op, g.copy(), gelu_bias),
+        NUMPY_KERNEL.lut_gelu_bias(gelu_op, g.copy(), gelu_bias),
+    )
+
+    softmax_op = LutSoftmax(
+        registry.lut("exp", num_entries=16),
+        registry.lut("reciprocal", num_entries=16),
+    )
+    scores = rng.normal(scale=2.0, size=(2, 2, 12, 12)).astype(np.float32)
+    add(
+        "lut_softmax",
+        "fp32",
+        native.lut_softmax(softmax_op, scores.copy(), -1),
+        NUMPY_KERNEL.lut_softmax(softmax_op, scores.copy(), -1),
+    )
+
+    layernorm_op = LutLayerNorm(
+        registry.lut("rsqrt", num_entries=16), scaler=InputScaler()
+    )
+    hidden = rng.normal(size=(2, 9, 32)).astype(np.float32)
+    gamma = rng.normal(1.0, 0.1, size=32).astype(np.float32)
+    beta = rng.normal(0.0, 0.1, size=32).astype(np.float32)
+    add(
+        "lut_layernorm",
+        "fp32",
+        native.lut_layernorm(layernorm_op, hidden.copy(), gamma, beta),
+        NUMPY_KERNEL.lut_layernorm(layernorm_op, hidden.copy(), gamma, beta),
+    )
+
+    residual = rng.normal(size=(96, 32)).astype(np.float32)
+    pre = rng.normal(size=(96, 32)).astype(np.float32)
+    add(
+        "bias_residual",
+        "fp32",
+        native.bias_residual(pre.copy(), bias, residual),
+        NUMPY_KERNEL.bias_residual(pre.copy(), bias, residual),
+    )
+
+    for precision in ("fp32", "int8"):
+        requests = [rng.integers(0, 100, size=n) for n in (5, 11, 8)]
+        served = {}
+        for kernel in ("numpy", "native"):
+            model = EncoderModel.initialize(
+                tiny_test_config(
+                    matmul_precision=precision,
+                    compute_dtype="float32",
+                    kernel=kernel,
+                ),
+                seed=3,
+            )
+            session = InferenceSession.from_model(
+                model, spec=BackendSpec.nn_lut(), registry=registry
+            )
+            served[kernel] = (
+                np.concatenate([o.ravel() for o in session.forward(requests)]),
+                session.pooled(requests),
+            )
+        add("encoder_forward", precision, served["native"][0], served["numpy"][0])
+        add("pooled", precision, served["native"][1], served["numpy"][1])
+    return rows
+
+
+def main() -> int:
+    if not native_available():
+        print(
+            f"native kernel unavailable ({native_unavailable_reason()}); "
+            "nothing to compare — the engine runs on the numpy kernel"
+        )
+        return 0
+    registry = LutRegistry(training_config=regression.BENCH_TRAINING_CONFIG)
+    rows = build_rows(registry)
+    print(
+        "kernel parity: numpy vs native "
+        f"(gemm_impl={get_kernel('native').gemm_impl}, "
+        "2 = VNNI dot-product GEMM)"
+    )
+    header = f"{'op/path':<16} {'precision':<9} {'max_abs_diff':>12}  parity"
+    print(header)
+    print("-" * len(header))
+    failed = False
+    for name, precision, diff, bitwise in rows:
+        status = "bitwise" if bitwise else "MISMATCH"
+        failed = failed or not bitwise
+        print(f"{name:<16} {precision:<9} {diff:>12.3e}  {status}")
+    if failed:
+        print("FAIL: native kernel deviates from the numpy reference")
+        return 1
+    print("OK: every row bitwise-identical across kernels")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,7 +39,13 @@ digest splits latency into ``mean_queue_wait_ms``/``mean_service_ms``) —
 plus an ``ipc`` section from the pickle-vs-ring transport microbenchmark
 (``--ipc`` runs it standalone): echo round trips at the 48-short-request
 serving workload's batch shapes, isolating per-request transport overhead
-with zero compute.
+with zero compute.  Schema v6 adds a ``kernels`` section — per-op
+ComputeKernel rows timing the same operation through the NumpyKernel
+reference and (when the compiler seam is available) the compiled
+NativeKernel: true int8 GEMM vs the float64-carrier linear path, packed
+quantisation, the fused LUT epilogues vs their unfused numpy sequences, and
+an int8 encoder forward per kernel with a bitwise-parity check
+(``--kernels`` runs just this section, no multiprocessing involved).
 
 Run directly to regenerate the report (or use ``scripts/bench.sh``)::
 
@@ -79,8 +85,15 @@ from repro.api.transport import (
     _spawn_echo_worker,
     serving_ring_bytes,
 )
+from repro.core.approximators import LutGelu, LutLayerNorm
+from repro.core.kernels import (
+    get_kernel,
+    native_available,
+    native_unavailable_reason,
+)
 from repro.core.lut import LookupTable
 from repro.core.registry import LutRegistry
+from repro.core.scaling import InputScaler
 from repro.core.training import TrainingConfig
 from repro.transformer import (
     EncoderModel,
@@ -89,7 +102,7 @@ from repro.transformer import (
     backend_from_luts,
 )
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Default report location: the repository root (next to ROADMAP.md).
 DEFAULT_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -268,9 +281,9 @@ def seed_nn_lut_backend(registry: LutRegistry, num_entries: int = 16):
     return backend
 
 
-def build_fast_backend(registry: LutRegistry) -> object:
+def build_fast_backend(registry: LutRegistry, kernel: str = "numpy") -> object:
     """The engine's fast path, declared through the serving API."""
-    return build_backend(BackendSpec.nn_lut(), registry=registry)
+    return build_backend(BackendSpec.nn_lut(kernel=kernel), registry=registry)
 
 
 def build_engine(
@@ -279,6 +292,7 @@ def build_engine(
     compute_dtype: str = "float32",
     cache_weights: bool = True,
     seed: int = 0,
+    kernel: str = "numpy",
 ) -> EncoderModel:
     """Encoder model in the requested engine configuration.
 
@@ -294,6 +308,7 @@ def build_engine(
         vocab_size=shapes.vocab_size,
         matmul_precision=matmul_precision,
         compute_dtype=compute_dtype,
+        kernel=kernel,
         name=f"bench-{matmul_precision}-{compute_dtype}",
     )
     model = EncoderModel.initialize(config, seed=seed)
@@ -388,6 +403,135 @@ def benchmark_ops(registry: LutRegistry, shapes: EngineShapes) -> Dict[str, Dict
             time_call(lambda: fast_linear(tokens2d32), repeats),
         )
     return ops
+
+
+def benchmark_kernels(
+    registry: LutRegistry,
+    shapes: EngineShapes,
+    int8_shapes: EngineShapes | None = None,
+) -> Dict[str, object]:
+    """Per-op ComputeKernel rows: NumpyKernel vs compiled NativeKernel.
+
+    Every row times the same operation through each available kernel on
+    identical inputs.  Fused epilogues clobber their input, so those timed
+    calls include one defensive copy for *both* kernels — speedups compare
+    like with like.  Two rows carry the acceptance gates:
+
+    * ``gemm_int8`` — NativeKernel's true int8 GEMM (int32 accumulation)
+      against the NumpyKernel float64-carrier linear path, including the
+      activation quantise/pack and the dequantise+bias epilogue;
+    * ``lut_gelu_bias`` — the fused bias+LUT-GELU epilogue against the
+      engine's original unfused bias-add + LUT sequence (the numpy row *is*
+      the unfused path, so this row doubles as fused-vs-unfused).
+
+    The ``encoder_forward_int8`` row runs a full int8 encoder forward per
+    kernel and records bitwise parity between them.  No multiprocessing, no
+    pickling — safe to run standalone via ``regression.py --kernels``.
+    """
+    rng = np.random.default_rng(21)
+    repeats = shapes.repeats
+    int8_shapes = int8_shapes or shapes
+    names = ["numpy"] + (["native"] if native_available() else [])
+    kernels = {name: get_kernel(name) for name in names}
+
+    section: Dict[str, object] = {
+        "native_available": native_available(),
+        "kernels": names,
+    }
+    if not native_available():
+        section["native_unavailable_reason"] = native_unavailable_reason()
+    else:
+        native = kernels["native"]
+        section["gemm_impl"] = native.gemm_impl  # 2 = VNNI dot-product GEMM
+        section["num_threads"] = native.num_threads
+
+    tokens, hidden = shapes.tokens, shapes.hidden_size
+    inter = shapes.intermediate_size
+    x32 = rng.normal(size=(tokens, hidden)).astype(np.float32)
+    w32 = rng.normal(scale=0.02, size=(hidden, hidden)).astype(np.float32)
+    w_q = rng.integers(-127, 128, size=(hidden, hidden), dtype=np.int8)
+    weight_scale = 0.01
+    bias_h = rng.normal(scale=0.02, size=hidden).astype(np.float32)
+    bias_i = rng.normal(scale=0.02, size=inter).astype(np.float32)
+    gelu_in = rng.normal(size=(tokens, inter)).astype(np.float32)
+    residual = rng.normal(size=(tokens, hidden)).astype(np.float32)
+    hidden3d = rng.normal(
+        size=(shapes.batch_size, shapes.sequence_length, hidden)
+    ).astype(np.float32)
+    gamma = rng.normal(1.0, 0.05, size=hidden).astype(np.float32)
+    beta = rng.normal(0.0, 0.05, size=hidden).astype(np.float32)
+
+    gelu_op = LutGelu(registry.lut("gelu", num_entries=16))
+    layernorm_op = LutLayerNorm(
+        registry.lut("rsqrt", num_entries=16), scaler=InputScaler()
+    )
+    packed = {name: kernel.pack_weight_int8(w_q) for name, kernel in kernels.items()}
+
+    def per_kernel(make_call) -> Dict[str, object]:
+        row: Dict[str, object] = {}
+        for name, kernel in kernels.items():
+            row[f"{name}_s"] = time_call(make_call(name, kernel), repeats)
+        if "native_s" in row:
+            row["speedup"] = row["numpy_s"] / row["native_s"]
+        return row
+
+    ops: Dict[str, Dict[str, object]] = {}
+    ops["gemm_int8"] = per_kernel(
+        lambda name, kernel: lambda: kernel.linear_int8(
+            x32, packed[name], weight_scale, np.float32, bias=bias_h
+        )
+    )
+    ops["gemm_fp32"] = per_kernel(
+        lambda name, kernel: lambda: kernel.matmul_fp32(
+            x32, w32, np.float32, bias=bias_h
+        )
+    )
+    ops["quantize_pack"] = per_kernel(
+        lambda name, kernel: lambda: kernel.quantize_pack(
+            x32, kernel.quantize_scale(x32)
+        )
+    )
+    ops["lut_gelu_bias"] = per_kernel(
+        lambda name, kernel: lambda: kernel.lut_gelu_bias(
+            gelu_op, gelu_in.copy(), bias_i
+        )
+    )
+    ops["lut_layernorm"] = per_kernel(
+        lambda name, kernel: lambda: kernel.lut_layernorm(
+            layernorm_op, hidden3d.copy(), gamma, beta
+        )
+    )
+    ops["bias_residual"] = per_kernel(
+        lambda name, kernel: lambda: kernel.bias_residual(
+            x32.copy(), bias_h, residual
+        )
+    )
+
+    forward_tokens = np.random.default_rng(22).integers(
+        0,
+        int8_shapes.vocab_size,
+        size=(int8_shapes.batch_size, int8_shapes.sequence_length),
+    )
+    forward_row: Dict[str, object] = {}
+    outputs: Dict[str, np.ndarray] = {}
+    for name in kernels:
+        model = build_engine(
+            int8_shapes, "int8", compute_dtype="float32", kernel=name
+        )
+        backend = build_fast_backend(registry, kernel=name)
+        forward_row[f"{name}_s"] = time_call(
+            lambda m=model, b=backend: m.forward(forward_tokens, backend=b), repeats
+        )
+        outputs[name] = model.forward(forward_tokens, backend=backend)
+    if "native_s" in forward_row:
+        forward_row["speedup"] = forward_row["numpy_s"] / forward_row["native_s"]
+        forward_row["bitwise_equal_vs_numpy"] = bool(
+            np.array_equal(outputs["numpy"], outputs["native"], equal_nan=True)
+        )
+    ops["encoder_forward_int8"] = forward_row
+
+    section["ops"] = ops
+    return section
 
 
 def benchmark_end_to_end(
@@ -822,6 +966,7 @@ def run_engine_benchmark(mode: str = "smoke", registry: LutRegistry | None = Non
         "schema_version": SCHEMA_VERSION,
         "mode": mode,
         "ops": benchmark_ops(registry, shapes),
+        "kernels": benchmark_kernels(registry, shapes, int8_shapes),
         "end_to_end": {
             "encoder_forward_fp32": benchmark_end_to_end(registry, shapes, "fp32"),
             "encoder_forward_int8": benchmark_end_to_end(registry, int8_shapes, "int8"),
@@ -858,6 +1003,29 @@ def write_report(report: Dict[str, object], path: Path = DEFAULT_REPORT_PATH) ->
     return path
 
 
+def print_kernel_rows(section: Dict[str, object]) -> None:
+    if not section["native_available"]:
+        print(
+            "kernels: native unavailable "
+            f"({section.get('native_unavailable_reason')}); numpy rows only"
+        )
+    else:
+        print(
+            "kernels: numpy + native "
+            f"(gemm_impl={section['gemm_impl']}, "
+            f"{section['num_threads']} thread(s))"
+        )
+    for name, row in section["ops"].items():
+        parts = [f"numpy {1e3 * row['numpy_s']:8.2f} ms"]
+        if "native_s" in row:
+            parts.append(
+                f"native {1e3 * row['native_s']:8.2f} ms -> {row['speedup']:.2f}x"
+            )
+        if "bitwise_equal_vs_numpy" in row:
+            parts.append(f"bitwise_equal={row['bitwise_equal_vs_numpy']}")
+        print(f"  {name:<22} " + "  ".join(parts))
+
+
 def print_ipc_row(row: Dict[str, object]) -> None:
     print(
         f"ipc transport: pickle pipe {1e6 * row['pipe_per_request_s']:.0f} us/req "
@@ -876,7 +1044,18 @@ def main(argv: list[str] | None = None) -> int:
         "--ipc", action="store_true",
         help="run only the pickle-vs-ring IPC microbenchmark (no report write)",
     )
+    parser.add_argument(
+        "--kernels", action="store_true",
+        help="run only the per-op ComputeKernel microbenchmarks "
+        "(no report write, no multiprocessing)",
+    )
     args = parser.parse_args(argv)
+    if args.kernels:
+        shapes = FULL_SHAPES if args.mode == "full" else SMOKE_SHAPES
+        int8_shapes = FULL_INT8_SHAPES if args.mode == "full" else SMOKE_SHAPES
+        registry = LutRegistry(training_config=BENCH_TRAINING_CONFIG)
+        print_kernel_rows(benchmark_kernels(registry, shapes, int8_shapes))
+        return 0
     if args.ipc:
         shapes = FULL_SHAPES if args.mode == "full" else SMOKE_SHAPES
         print_ipc_row(
@@ -928,6 +1107,7 @@ def main(argv: list[str] | None = None) -> int:
             f"mean service {sharded['queue']['mean_service_ms']:.0f} ms)"
         )
     print_ipc_row(report["ipc"])
+    print_kernel_rows(report["kernels"])
     return 0
 
 

@@ -7,6 +7,7 @@
 #   ./scripts/bench.sh            # regenerate BENCH_engine.json + run gates
 #   ./scripts/bench.sh --cli      # CLI-only regeneration (no pytest)
 #   ./scripts/bench.sh --ipc      # pickle-vs-shm-ring IPC microbenchmark only
+#   ./scripts/bench.sh --kernels  # per-op ComputeKernel microbenchmarks only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -17,6 +18,10 @@ fi
 
 if [[ "${1:-}" == "--ipc" ]]; then
     exec python benchmarks/regression.py --ipc
+fi
+
+if [[ "${1:-}" == "--kernels" ]]; then
+    exec python benchmarks/regression.py --kernels
 fi
 
 BENCH_ENGINE_FULL=1 python -m pytest benchmarks/ -q -s --benchmark-disable
@@ -58,4 +63,14 @@ print(
     f"shm ring {1e6 * ipc['shm_ring_per_request_s']:.0f} us/req -> "
     f"{ipc['overhead_ratio']:.2f}x lower overhead"
 )
+kernels = report["kernels"]
+if kernels["native_available"]:
+    for name in ("gemm_int8", "lut_gelu_bias", "encoder_forward_int8"):
+        row = kernels["ops"][name]
+        print(
+            f"kernel {name}: numpy {1e3 * row['numpy_s']:.2f} ms vs "
+            f"native {1e3 * row['native_s']:.2f} ms -> {row['speedup']:.2f}x"
+        )
+else:
+    print(f"kernels: native unavailable ({kernels['native_unavailable_reason']})")
 PY

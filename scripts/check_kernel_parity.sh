@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# One-shot ComputeKernel parity check: prints a compact table comparing the
+# compiled NativeKernel against the NumpyKernel reference across int8/fp32 —
+# per-op kernels plus an end-to-end encoder forward/pooled pass — and exits
+# non-zero on any mismatch (the contract is bitwise, not approximate).
+#
+#   ./scripts/check_kernel_parity.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python benchmarks/kernel_parity.py "$@"

@@ -21,7 +21,7 @@ re-fit the flagged NN-LUT primitives, swap the refreshed tables in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -30,6 +30,7 @@ from ..core import functions
 from ..core.calibration import CalibrationConfig, calibrate_network
 from ..core.conversion import network_to_lut
 from ..core.functions import get_training_range
+from ..core.kernels import KERNEL_NAMES
 from ..core.lut import LookupTable
 from ..core.registry import LutRegistry, default_registry
 from ..core.scaling import InputScaler
@@ -221,6 +222,7 @@ class SessionConfig:
     seed: int = 0
     compute_dtype: str = "float32"
     matmul_precision: str = "fp32"
+    kernel: str = "numpy"
     max_batch_size: int = 32
     bucket_size: int = 1
     #: Accepts any mapping; stored canonically as sorted (key, value) pairs
@@ -255,6 +257,10 @@ class SessionConfig:
                     f"model_size must be one of "
                     f"{sorted(MODEL_FAMILIES[self.model_family])}, got {self.model_size!r}"
                 )
+        if self.kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_NAMES}, got {self.kernel!r}"
+            )
         if self.max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
         if self.bucket_size < 1:
@@ -276,6 +282,7 @@ class SessionConfig:
         return factory(
             matmul_precision=self.matmul_precision,
             compute_dtype=self.compute_dtype,
+            kernel=self.kernel,
             **dict(self.model_overrides),
         )
 
@@ -290,6 +297,7 @@ class SessionConfig:
             "seed": self.seed,
             "compute_dtype": self.compute_dtype,
             "matmul_precision": self.matmul_precision,
+            "kernel": self.kernel,
             "max_batch_size": self.max_batch_size,
             "bucket_size": self.bucket_size,
             "model_overrides": {
@@ -301,7 +309,8 @@ class SessionConfig:
     def from_dict(cls, payload: Mapping[str, object]) -> "SessionConfig":
         known = {
             "model_family", "model_size", "seed", "compute_dtype",
-            "matmul_precision", "max_batch_size", "bucket_size", "model_overrides",
+            "matmul_precision", "kernel", "max_batch_size", "bucket_size",
+            "model_overrides",
         }
         unknown = set(payload) - known
         if unknown:
@@ -330,6 +339,7 @@ def adopted_model_config(
         seed=seed,
         compute_dtype=model.config.compute_dtype,
         matmul_precision=model.config.matmul_precision,
+        kernel=model.config.kernel,
         max_batch_size=max_batch_size,
         bucket_size=bucket_size,
     )
@@ -376,6 +386,7 @@ class InferenceSession:
                     for name, actual in (
                         ("compute_dtype", model.config.compute_dtype),
                         ("matmul_precision", model.config.matmul_precision),
+                        ("kernel", model.config.kernel),
                     )
                     if getattr(config, name) != actual
                 ]
@@ -386,6 +397,11 @@ class InferenceSession:
                     )
         self.config = config or SessionConfig()
         self.spec = spec or BackendSpec.exact()
+        if self.config.kernel != "numpy" and self.spec.kernel == "numpy":
+            # One knob drives the whole engine: a session configured for the
+            # native kernel also routes the backend's LUT composites through
+            # it, unless the spec explicitly pinned a kernel of its own.
+            self.spec = dataclass_replace(self.spec, kernel=self.config.kernel)
         self.registry = registry or default_registry()
         self.model = model if model is not None else self.config.build_model()
         self.lut_overrides: Dict[str, LookupTable] = {}

@@ -24,7 +24,7 @@ allocating fresh temporaries at every step.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -70,6 +70,24 @@ class ExactScalar:
 # --------------------------------------------------------------------------- #
 # GELU
 # --------------------------------------------------------------------------- #
+def _gelu_forward(op: "LutGelu", x: np.ndarray) -> np.ndarray:
+    """Reference GELU composite body (``x`` already a float array).
+
+    Shared between :class:`LutGelu` and the ``NumpyKernel`` compute kernel so
+    the kernel seam has a single source of truth for the reference op order.
+    """
+    if op.clip_range is None:
+        (result,) = evaluate_many([(op.gelu_approx, x, None)])
+        return result
+    low, high = op.clip_range
+    inside = np.clip(x, low, high)
+    (approx,) = evaluate_many([(op.gelu_approx, inside, inside)])
+    # Saturated tails: GELU(x) ~ x for large x and ~0 for very negative x.
+    np.copyto(approx, x, where=x > high, casting="same_kind")
+    approx[x < low] = 0.0
+    return approx
+
+
 @dataclass
 class LutGelu:
     """Element-wise GELU through a scalar approximator.
@@ -78,23 +96,20 @@ class LutGelu:
     GELU is effectively linear/zero and the outer LUT segments extrapolate,
     but clipping to the trained range is what the fixed-width hardware
     comparator does, so we model it explicitly.
+
+    ``kernel`` optionally routes evaluation through a compute kernel (see
+    :mod:`repro.core.kernels`); ``None`` keeps the plain numpy path.
     """
 
     gelu_approx: ScalarApproximator
     clip_range: tuple[float, float] | None = (-5.0, 5.0)
+    kernel: object | None = field(default=None, compare=False)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         x = _as_float(x)
-        if self.clip_range is None:
-            (result,) = evaluate_many([(self.gelu_approx, x, None)])
-            return result
-        low, high = self.clip_range
-        inside = np.clip(x, low, high)
-        (approx,) = evaluate_many([(self.gelu_approx, inside, inside)])
-        # Saturated tails: GELU(x) ~ x for large x and ~0 for very negative x.
-        np.copyto(approx, x, where=x > high, casting="same_kind")
-        approx[x < low] = 0.0
-        return approx
+        if self.kernel is not None:
+            return self.kernel.lut_gelu(self, x)
+        return _gelu_forward(self, x)
 
 
 @dataclass
@@ -108,6 +123,39 @@ class ExactGelu:
 # --------------------------------------------------------------------------- #
 # Softmax
 # --------------------------------------------------------------------------- #
+def _softmax_forward(
+    op: "LutSoftmax",
+    x: np.ndarray,
+    axis: int,
+    exp_eval: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> np.ndarray:
+    """Reference Softmax composite body (``x`` already a float array).
+
+    ``exp_eval`` lets a compute kernel substitute its own element-wise
+    evaluation of the ``exp`` table on the shifted logits (in place); the
+    exact reductions and the small reciprocal look-up stay in numpy.
+    """
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    np.clip(shifted, op.exp_clip, 0.0, out=shifted)
+    if exp_eval is not None:
+        exps = exp_eval(shifted)
+        (inv,) = evaluate_many(
+            [(op.reciprocal_approx, op._denominator(exps, axis), None)]
+        )
+    else:
+        # exp -> row sum -> reciprocal as one fused chain: the exp look-up
+        # lands back in the ``shifted`` buffer and the reciprocal look-up in
+        # the row-sum buffer.
+        exps, inv = evaluate_many(
+            [
+                (op.exp_approx, shifted, shifted),
+                (op.reciprocal_approx, lambda done: op._denominator(done[0], axis), None),
+            ]
+        )
+    np.maximum(inv, 0.0, out=inv)
+    return np.multiply(exps, inv, out=exps)
+
+
 @dataclass
 class LutSoftmax:
     """Softmax whose transcendental steps go through scalar approximators.
@@ -131,6 +179,7 @@ class LutSoftmax:
     reciprocal_approx: ScalarApproximator
     exp_clip: float = -256.0
     axis: int = -1
+    kernel: object | None = field(default=None, compare=False)
 
     def _denominator(self, exps: np.ndarray, axis: int) -> np.ndarray:
         # The exp table can produce tiny negative values near its right edge;
@@ -143,19 +192,9 @@ class LutSoftmax:
     def __call__(self, x: np.ndarray, axis: int | None = None) -> np.ndarray:
         axis = self.axis if axis is None else axis
         x = _as_float(x)
-        shifted = x - np.max(x, axis=axis, keepdims=True)
-        np.clip(shifted, self.exp_clip, 0.0, out=shifted)
-        # exp -> row sum -> reciprocal as one fused chain: the exp look-up
-        # lands back in the ``shifted`` buffer and the reciprocal look-up in
-        # the row-sum buffer.
-        exps, inv = evaluate_many(
-            [
-                (self.exp_approx, shifted, shifted),
-                (self.reciprocal_approx, lambda done: self._denominator(done[0], axis), None),
-            ]
-        )
-        np.maximum(inv, 0.0, out=inv)
-        return np.multiply(exps, inv, out=exps)
+        if self.kernel is not None:
+            return self.kernel.lut_softmax(self, x, axis)
+        return _softmax_forward(self, x, axis)
 
 
 @dataclass
@@ -171,6 +210,36 @@ class ExactSoftmax:
 # --------------------------------------------------------------------------- #
 # LayerNorm
 # --------------------------------------------------------------------------- #
+def _layernorm_forward(
+    op: "LutLayerNorm",
+    x: np.ndarray,
+    gamma: np.ndarray | None,
+    beta: np.ndarray | None,
+    axis: int,
+    normalize: Callable[..., np.ndarray] | None = None,
+) -> np.ndarray:
+    """Reference LayerNorm composite body (``x`` already a float array).
+
+    ``normalize`` lets a compute kernel substitute the per-element
+    centre/scale/affine tail (``(centered * inv_std) * gamma + beta``); the
+    exact mean/variance reductions and the rsqrt look-up stay in numpy so
+    every kernel sees bit-identical statistics.
+    """
+    mean = np.mean(x, axis=axis, keepdims=True)
+    centered = x - mean
+    var = np.mean(np.square(centered), axis=axis, keepdims=True)
+    var += op.eps
+    inv_std = op._rsqrt(var)
+    if normalize is not None:
+        return normalize(centered, inv_std, gamma, beta)
+    normalised = np.multiply(centered, inv_std, out=centered)
+    if gamma is not None:
+        normalised *= gamma
+    if beta is not None:
+        normalised += beta
+    return normalised
+
+
 @dataclass
 class LutLayerNorm:
     """LayerNorm whose ``1/sqrt`` goes through a scalar approximator.
@@ -185,6 +254,7 @@ class LutLayerNorm:
     eps: float = 1e-5
     axis: int = -1
     clip_max: float | None = 1024.0
+    kernel: object | None = field(default=None, compare=False)
 
     def _rsqrt(self, variance: np.ndarray) -> np.ndarray:
         """Inverse square root of a variance buffer the caller owns."""
@@ -205,17 +275,9 @@ class LutLayerNorm:
     ) -> np.ndarray:
         axis = self.axis if axis is None else axis
         x = _as_float(x)
-        mean = np.mean(x, axis=axis, keepdims=True)
-        centered = x - mean
-        var = np.mean(np.square(centered), axis=axis, keepdims=True)
-        var += self.eps
-        inv_std = self._rsqrt(var)
-        normalised = np.multiply(centered, inv_std, out=centered)
-        if gamma is not None:
-            normalised *= gamma
-        if beta is not None:
-            normalised += beta
-        return normalised
+        if self.kernel is not None:
+            return self.kernel.lut_layernorm(self, x, gamma, beta, axis)
+        return _layernorm_forward(self, x, gamma, beta, axis)
 
 
 @dataclass

@@ -1,0 +1,918 @@
+"""Pluggable compute kernels for the inference engine's hot paths.
+
+This is the GEMM/epilogue sibling of the serving layer's ``WorkerTransport``
+seam: a small protocol (:class:`ComputeKernel`) behind which the engine's
+per-op inner loops live, with two interchangeable implementations:
+
+* :class:`NumpyKernel` — the reference.  Every method is the *verbatim* op
+  sequence the engine ran before the seam existed (extracted from
+  ``transformer/layers.py`` and ``core/approximators.py``), so selecting it
+  reproduces the pre-seam numerics bit for bit.
+* :class:`NativeKernel` — a compiled fast path.  A small C file
+  (``kernels_native.c``) is compiled on first use with whatever C compiler
+  the host has (``cc -O3 -march=native -ffp-contract=off``), cached by
+  source hash, and loaded through ctypes.  It provides a true
+  INT8 x INT8 -> INT32 GEMM (replacing the float64-carrier matmul trick) and
+  fused epilogues — bias + GELU-LUT with saturation tails, bias + residual,
+  and the LayerNorm centre/scale/affine tail — each a single pass over the
+  tensor instead of numpy's one-pass-per-op sequence.
+
+Parity contract
+---------------
+``NativeKernel`` is not merely "close": its C routines perform the same
+scalar operations in the same order as numpy (no FMA contraction,
+round-half-to-even, identical ``searchsorted(..., side="right")`` segment
+selection), and LayerNorm's mean/variance reductions stay in numpy, so
+float32/float64 results are bitwise equal to ``NumpyKernel``.  The int8
+path quantises with the same scale and rounding and accumulates the same
+exact integers, so it is bitwise equal as well.  Tier-1 tests gate this.
+
+Selection and fallback
+----------------------
+``resolve_kernel("native")`` returns the native kernel when a C compiler is
+available and falls back to ``NumpyKernel`` with a single ``RuntimeWarning``
+otherwise (or when ``REPRO_NATIVE_KERNEL=0`` disables it); results are
+identical either way.  ``get_kernel`` is the strict variant that raises
+instead of falling back.  The knob is threaded through
+``TransformerConfig``/``SessionConfig``/``BackendSpec`` as a plain string,
+so sharded-serving workers reconstruct the same kernel from serialized
+config alone.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .approximators import (
+    LutGelu,
+    LutLayerNorm,
+    LutSoftmax,
+    _as_float,
+    _gelu_forward,
+    _layernorm_forward,
+    _softmax_forward,
+)
+from .lut import LookupTable, UniformLookupTable, _counted_contiguous
+from ..quant.fixed_point import compute_scale
+
+__all__ = [
+    "ComputeKernel",
+    "NumpyKernel",
+    "NativeKernel",
+    "KERNEL_NAMES",
+    "get_kernel",
+    "resolve_kernel",
+    "native_available",
+    "native_unavailable_reason",
+    "reset_kernel_fallback_warning",
+    "kernel_info",
+]
+
+#: kernel names accepted by the ``kernel=`` knobs across the stack.
+KERNEL_NAMES: Tuple[str, ...] = ("numpy", "native")
+
+_INT8_LIMIT = 127
+#: contraction lengths beyond this could overflow the biased int32
+#: accumulation in the native GEMM (255 * 127 * k < 2**31); the packer falls
+#: back to the float64-carrier operand above it.
+_GEMM_K_MAX = (2**31 - 1) // (255 * 127)
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_NONFINITE_MSG = "cannot quantize non-finite values (input contains NaN or infinity)"
+
+
+def _fusible_table(table: object) -> bool:
+    """True for plain float piecewise-linear tables the C kernels understand.
+
+    Precision-simulating subclasses (FP16/INT32 tables) re-quantise inside
+    ``evaluate`` and are excluded on purpose — ``type`` check, not
+    ``isinstance``.
+    """
+    return type(table) in (LookupTable, UniformLookupTable)
+
+
+def _c_ready(x: np.ndarray) -> bool:
+    return x.dtype in _FLOAT_DTYPES and x.flags.c_contiguous
+
+
+# --------------------------------------------------------------------------- #
+# Protocol + reference implementation
+# --------------------------------------------------------------------------- #
+class ComputeKernel:
+    """Per-op compute backend for the engine's hot paths.
+
+    Conventions shared by all methods:
+
+    * ``operand`` arguments are whatever the kernel's own ``pack_weight_*``
+      returned — packed formats are kernel-private.
+    * Methods documented as fused epilogues may clobber their ``x`` argument
+      (the caller owns a freshly-allocated matmul output) and return it.
+    * ``out_dtype`` is the engine compute dtype (float32/float64).
+    """
+
+    name: str = "abstract"
+    #: whether the encoder layer may route its epilogues through the fused
+    #: entry points (bias+LUT, bias+residual, LayerNorm tail).
+    supports_fusion: bool = False
+
+    # -- GEMM / linear ---------------------------------------------------- #
+    def matmul_fp32(self, x, operand, out_dtype, bias=None):
+        raise NotImplementedError
+
+    def pack_weight_int8(self, w_q_data):
+        raise NotImplementedError
+
+    def linear_int8(self, x, operand, weight_scale, out_dtype, bias=None):
+        raise NotImplementedError
+
+    # -- packed quantisation ---------------------------------------------- #
+    def quantize_scale(self, x):
+        raise NotImplementedError
+
+    def quantize_pack(self, x, scale):
+        raise NotImplementedError
+
+    # -- LUT composites / epilogues --------------------------------------- #
+    def lut_eval(self, table, x, out=None):
+        raise NotImplementedError
+
+    def lut_gelu(self, op, x):
+        raise NotImplementedError
+
+    def lut_gelu_bias(self, op, x, bias):
+        raise NotImplementedError
+
+    def lut_softmax(self, op, x, axis):
+        raise NotImplementedError
+
+    def lut_layernorm(self, op, x, gamma, beta, axis=-1):
+        raise NotImplementedError
+
+    def bias_residual(self, x, bias, residual):
+        raise NotImplementedError
+
+    def bias_relu(self, x, bias):
+        raise NotImplementedError
+
+    def affine(self, x, gamma, beta):
+        raise NotImplementedError
+
+
+class NumpyKernel(ComputeKernel):
+    """Reference kernel: the engine's original numpy op sequences, verbatim."""
+
+    name = "numpy"
+    supports_fusion = False
+
+    def __reduce__(self):
+        return (resolve_kernel, (self.name,))
+
+    # -- GEMM / linear ---------------------------------------------------- #
+    def matmul_fp32(self, x, operand, out_dtype, bias=None):
+        x = np.asarray(x)
+        if x.dtype != out_dtype:
+            x = x.astype(out_dtype)
+        result = np.matmul(x, operand)
+        if bias is not None:
+            result += bias
+        return result
+
+    def pack_weight_int8(self, w_q_data):
+        # float64 carrier of the exact quantised integers (BLAS-fast).
+        return np.asarray(w_q_data).astype(np.float64)
+
+    def linear_int8(self, x, operand, weight_scale, out_dtype, bias=None):
+        x = np.asarray(x)
+        if x.dtype not in (np.float32, np.float64):
+            x = x.astype(np.float64)
+        act_scale = compute_scale(x, num_bits=8)
+        act = np.round(x / act_scale)
+        np.clip(act, -_INT8_LIMIT, _INT8_LIMIT, out=act)
+        if act.dtype != np.float64:
+            act = act.astype(np.float64)
+        accumulator = np.matmul(act, operand)
+        accumulator *= act_scale * weight_scale
+        result = accumulator.astype(out_dtype, copy=False)
+        if bias is not None:
+            result += bias
+        return result
+
+    # -- packed quantisation ---------------------------------------------- #
+    def quantize_scale(self, x):
+        return compute_scale(np.asarray(x), num_bits=8)
+
+    def quantize_pack(self, x, scale):
+        scale = float(scale)
+        if not (np.isfinite(scale) and scale > 0.0):
+            raise ValueError(f"scale must be finite and positive, got {scale}")
+        x = np.asarray(x)
+        if x.dtype not in (np.float32, np.float64):
+            x = x.astype(np.float64)
+        rounded = np.round(x / scale)
+        if rounded.size and not (
+            np.isfinite(np.min(rounded)) and np.isfinite(np.max(rounded))
+        ):
+            raise ValueError(_NONFINITE_MSG)
+        np.clip(rounded, -_INT8_LIMIT, _INT8_LIMIT, out=rounded)
+        return rounded.astype(np.int8)
+
+    # -- LUT composites / epilogues --------------------------------------- #
+    def lut_eval(self, table, x, out=None):
+        return table.evaluate(x, out=out)
+
+    def lut_gelu(self, op, x):
+        return _gelu_forward(op, _as_float(np.asarray(x)))
+
+    def lut_gelu_bias(self, op, x, bias):
+        x += bias
+        return _gelu_forward(op, x)
+
+    def lut_softmax(self, op, x, axis):
+        return _softmax_forward(op, _as_float(np.asarray(x)), axis)
+
+    def lut_layernorm(self, op, x, gamma, beta, axis=-1):
+        return _layernorm_forward(op, _as_float(np.asarray(x)), gamma, beta, axis)
+
+    def bias_residual(self, x, bias, residual):
+        x += bias
+        return np.add(residual, x, out=x)
+
+    def bias_relu(self, x, bias):
+        x += bias
+        return np.maximum(x, 0.0, out=x)
+
+    def affine(self, x, gamma, beta):
+        result = x * gamma
+        result += beta
+        return result
+
+
+# --------------------------------------------------------------------------- #
+# Native library: build on demand, cache by source hash, load via ctypes
+# --------------------------------------------------------------------------- #
+_SOURCE_PATH = Path(__file__).with_name("kernels_native.c")
+
+_I8 = ctypes.c_void_p  # all arrays cross the boundary as raw pointers
+_SIGNATURES: Dict[str, Tuple[Sequence, Optional[type]]] = {
+    "repro_gemm_impl": ([], ctypes.c_int),
+    "repro_gemm_s8": (
+        [_I8, _I8, _I8, _I8, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64],
+        None,
+    ),
+}
+for _suf in ("f32", "f64"):
+    _SIGNATURES.update(
+        {
+            f"repro_maxabs_{_suf}": ([_I8, ctypes.c_int64, _I8], ctypes.c_int),
+            f"repro_qpack_{_suf}": (
+                [_I8, ctypes.c_int64, ctypes.c_double, _I8],
+                ctypes.c_int,
+            ),
+            f"repro_dequant_bias_{_suf}": (
+                [_I8, ctypes.c_double, _I8, _I8, ctypes.c_int64, ctypes.c_int64],
+                None,
+            ),
+            f"repro_lut_eval_{_suf}": (
+                [_I8, _I8, ctypes.c_int64, _I8, _I8, _I8, ctypes.c_int64,
+                 _I8, _I8, ctypes.c_double, ctypes.c_double, ctypes.c_int64],
+                None,
+            ),
+            f"repro_lut_gelu_{_suf}": (
+                [_I8, _I8, _I8, ctypes.c_int64, ctypes.c_int64, _I8, _I8, _I8,
+                 ctypes.c_int64, _I8, _I8, ctypes.c_double, ctypes.c_double,
+                 ctypes.c_int64, ctypes.c_double, ctypes.c_double,
+                 ctypes.c_int],
+                None,
+            ),
+            f"repro_bias_residual_{_suf}": (
+                [_I8, _I8, _I8, _I8, ctypes.c_int64, ctypes.c_int64],
+                None,
+            ),
+            f"repro_bias_relu_{_suf}": (
+                [_I8, _I8, _I8, ctypes.c_int64, ctypes.c_int64],
+                None,
+            ),
+            f"repro_scale_affine_{_suf}": (
+                [_I8, _I8, _I8, _I8, _I8, ctypes.c_int64, ctypes.c_int64],
+                None,
+            ),
+            f"repro_affine_{_suf}": (
+                [_I8, _I8, _I8, _I8, ctypes.c_int64, ctypes.c_int64],
+                None,
+            ),
+        }
+    )
+
+_BASE_FLAGS = ("-std=c11", "-O3", "-ffp-contract=off", "-shared", "-fPIC")
+#: tried in order; the first set that compiles wins (``-march=native``
+#: unlocks the VNNI int8 GEMM where the CPU has it).
+_FLAG_ATTEMPTS = (("-march=native",), ())
+
+_native_lock = threading.Lock()
+_native_state: Dict[str, object] = {"tried": False, "lib": None, "error": None}
+_fallback_warned = False
+
+
+def _find_compiler() -> str | None:
+    override = os.environ.get("REPRO_CC")
+    if override:
+        return shutil.which(override) or None
+    for candidate in ("cc", "gcc", "clang"):
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE_DIR")
+    if override:
+        return Path(override)
+    try:
+        return Path.home() / ".cache" / "repro-kernels"
+    except (RuntimeError, KeyError):  # no resolvable home directory
+        return Path(tempfile.gettempdir()) / f"repro-kernels-{os.getuid()}"
+
+
+def _compile_library(compiler: str, source: str) -> Path:
+    """Compile (or reuse) the shared library for ``source``; atomic on disk."""
+    last_error: Exception | None = None
+    for extra in _FLAG_ATTEMPTS:
+        flags = _BASE_FLAGS + extra
+        tag = hashlib.sha256(
+            "\x00".join((compiler, " ".join(flags), source)).encode()
+        ).hexdigest()[:16]
+        cache = _cache_dir()
+        target = cache / f"kernels_{tag}.so"
+        if target.exists():
+            return target
+        try:
+            cache.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
+            os.close(fd)
+            cmd = [compiler, *flags, "-o", tmp, str(_SOURCE_PATH)]
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+            if proc.returncode != 0:
+                os.unlink(tmp)
+                raise RuntimeError(
+                    f"{' '.join(cmd)} failed:\n{proc.stderr.strip()[:2000]}"
+                )
+            os.replace(tmp, target)  # concurrent builders converge here
+            return target
+        except Exception as exc:  # try the next (more conservative) flag set
+            last_error = exc
+    raise RuntimeError(f"native kernel compilation failed: {last_error}")
+
+
+def _load_native_lib():
+    """Build/load the native library once; returns None (with reason) on failure."""
+    with _native_lock:
+        if _native_state["tried"]:
+            return _native_state["lib"]
+        _native_state["tried"] = True
+        try:
+            compiler = _find_compiler()
+            if compiler is None:
+                raise RuntimeError("no C compiler found (cc/gcc/clang)")
+            if not _SOURCE_PATH.exists():
+                raise RuntimeError(f"kernel source missing: {_SOURCE_PATH}")
+            so_path = _compile_library(compiler, _SOURCE_PATH.read_text())
+            lib = ctypes.CDLL(str(so_path))
+            for fname, (argtypes, restype) in _SIGNATURES.items():
+                fn = getattr(lib, fname)
+                fn.argtypes = list(argtypes)
+                fn.restype = restype
+            _native_state["lib"] = lib
+        except Exception as exc:
+            _native_state["lib"] = None
+            _native_state["error"] = str(exc)
+        return _native_state["lib"]
+
+
+def _native_disabled_by_env() -> bool:
+    return os.environ.get("REPRO_NATIVE_KERNEL", "").strip().lower() in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def native_available() -> bool:
+    """Whether the compiled NativeKernel can be used on this host."""
+    if _native_disabled_by_env():
+        return False
+    return _load_native_lib() is not None
+
+
+def native_unavailable_reason() -> str | None:
+    """Why the native kernel is unavailable (None when it is available)."""
+    if _native_disabled_by_env():
+        return "disabled via REPRO_NATIVE_KERNEL"
+    if _load_native_lib() is not None:
+        return None
+    return str(_native_state["error"] or "unknown failure")
+
+
+# --------------------------------------------------------------------------- #
+# NativeKernel
+# --------------------------------------------------------------------------- #
+class _PackedInt8Weight:
+    """Weight operand for the native int8 GEMM.
+
+    Holds the transposed int8 weight (``(out, in)`` row-major, so both GEMM
+    operands stream along the contraction axis) plus the int32 column sums
+    consumed by the unsigned-offset correction.  A float64 carrier for the
+    numpy fallback path is derived lazily if ever needed.
+    """
+
+    __slots__ = ("bt", "colsum", "k", "n", "_carrier")
+
+    def __init__(self, w_q_data: np.ndarray) -> None:
+        data = np.asarray(w_q_data)
+        self.k, self.n = (int(data.shape[0]), int(data.shape[1]))
+        self.bt = np.ascontiguousarray(data.T.astype(np.int8))
+        self.colsum = np.ascontiguousarray(
+            data.sum(axis=0, dtype=np.int64).astype(np.int32)
+        )
+        self._carrier: np.ndarray | None = None
+
+    def carrier(self) -> np.ndarray:
+        if self._carrier is None:
+            self._carrier = np.ascontiguousarray(self.bt.T).astype(np.float64)
+        return self._carrier
+
+
+def _ptr(arr: np.ndarray | None) -> int | None:
+    return None if arr is None else arr.ctypes.data
+
+
+class NativeKernel(ComputeKernel):
+    """Compiled C fast path: true int8 GEMM + single-pass fused epilogues.
+
+    ``num_threads > 1`` parallelises the int8 GEMM and the large fused
+    epilogues over row blocks with an in-process thread pool (the C calls
+    release the GIL); results are bitwise independent of the thread count
+    because the work is row-partitioned.
+    """
+
+    name = "native"
+    supports_fusion = True
+
+    _MIN_ROWS_PER_THREAD = 32
+
+    def __init__(self, num_threads: int | None = None) -> None:
+        if num_threads is None:
+            num_threads = int(os.environ.get("REPRO_KERNEL_THREADS", "1") or 1)
+        self.num_threads = max(1, int(num_threads))
+        lib = _load_native_lib()
+        if lib is None or _native_disabled_by_env():
+            raise RuntimeError(
+                f"native kernel unavailable: {native_unavailable_reason()}"
+            )
+        self._lib = lib
+        self._numpy = NumpyKernel()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def __reduce__(self):
+        return (resolve_kernel, (self.name,))
+
+    @property
+    def gemm_impl(self) -> int:
+        """2 when the VNNI dot-product GEMM was compiled in, 1 otherwise."""
+        return int(self._lib.repro_gemm_impl())
+
+    # -- row-block threading ---------------------------------------------- #
+    def _run_rows(self, rows: int, fn) -> None:
+        """Invoke ``fn(start, stop)`` over row blocks, threaded when asked."""
+        threads = min(self.num_threads, max(1, rows // self._MIN_ROWS_PER_THREAD))
+        if threads <= 1:
+            fn(0, rows)
+            return
+        if self._pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.num_threads,
+                        thread_name_prefix="repro-kernel",
+                    )
+        bounds = np.linspace(0, rows, threads + 1).astype(int)
+        futures = [
+            self._pool.submit(fn, int(bounds[i]), int(bounds[i + 1]))
+            for i in range(threads)
+        ]
+        for future in futures:
+            future.result()
+
+    def _suffix(self, dtype: np.dtype) -> str:
+        return "f32" if dtype == np.float32 else "f64"
+
+    # -- GEMM / linear ---------------------------------------------------- #
+    def matmul_fp32(self, x, operand, out_dtype, bias=None):
+        # BLAS already owns this one; the native value is in int8 + epilogues.
+        return self._numpy.matmul_fp32(x, operand, out_dtype, bias=bias)
+
+    def pack_weight_int8(self, w_q_data):
+        data = np.asarray(w_q_data)
+        if data.shape[0] > _GEMM_K_MAX:
+            # int32 accumulation could overflow: keep the float64 carrier.
+            return self._numpy.pack_weight_int8(data)
+        return _PackedInt8Weight(data)
+
+    def gemm_int8(self, a_q: np.ndarray, packed: _PackedInt8Weight) -> np.ndarray:
+        """Exact INT8 x INT8 -> INT32 GEMM over a packed weight operand."""
+        m = int(a_q.shape[0])
+        acc = np.empty((m, packed.n), dtype=np.int32)
+        if m == 0 or packed.n == 0:
+            return acc
+        k, n = packed.k, packed.n
+        a_ptr, bt_ptr = a_q.ctypes.data, packed.bt.ctypes.data
+        cs_ptr, acc_ptr = packed.colsum.ctypes.data, acc.ctypes.data
+
+        def run(start: int, stop: int) -> None:
+            self._lib.repro_gemm_s8(
+                a_ptr + start * k, bt_ptr, cs_ptr, acc_ptr + start * n * 4,
+                stop - start, k, n,
+            )
+
+        self._run_rows(m, run)
+        return acc
+
+    def linear_int8(self, x, operand, weight_scale, out_dtype, bias=None):
+        if isinstance(operand, np.ndarray):  # carrier fallback (huge k)
+            return self._numpy.linear_int8(
+                x, operand, weight_scale, out_dtype, bias=bias
+            )
+        x = np.asarray(x)
+        if x.dtype not in (np.float32, np.float64):
+            x = x.astype(np.float64)
+        k, n = operand.k, operand.n
+        out_shape = (*x.shape[:-1], n)
+        if x.size == 0:
+            result = np.zeros(out_shape, dtype=out_dtype)
+            if bias is not None:
+                result += bias
+            return result
+        flat = np.ascontiguousarray(x.reshape(-1, k))
+        m = flat.shape[0]
+        suf = self._suffix(flat.dtype)
+        act_scale = self._max_abs_scale(flat, suf)
+        q = np.empty((m, k), dtype=np.int8)
+        status = getattr(self._lib, f"repro_qpack_{suf}")(
+            flat.ctypes.data, flat.size, act_scale, q.ctypes.data
+        )
+        if status:
+            raise ValueError(_NONFINITE_MSG)
+        acc = self.gemm_int8(q, operand)
+        out = np.empty((m, n), dtype=out_dtype)
+        if bias is not None:
+            bias = np.ascontiguousarray(bias)
+        getattr(self._lib, f"repro_dequant_bias_{self._suffix(np.dtype(out_dtype))}")(
+            acc.ctypes.data, act_scale * weight_scale, _ptr(bias),
+            out.ctypes.data, m, n,
+        )
+        return out.reshape(out_shape)
+
+    # -- packed quantisation ---------------------------------------------- #
+    def _max_abs_scale(self, flat: np.ndarray, suf: str) -> float:
+        out = ctypes.c_double(0.0)
+        status = getattr(self._lib, f"repro_maxabs_{suf}")(
+            flat.ctypes.data, flat.size, ctypes.addressof(out)
+        )
+        if status:
+            raise ValueError(_NONFINITE_MSG)
+        max_abs = out.value if flat.size else 0.0
+        if max_abs == 0.0:
+            return 1.0
+        return max_abs / float(_INT8_LIMIT)
+
+    def quantize_scale(self, x):
+        x = np.asarray(x)
+        if x.dtype not in (np.float32, np.float64):
+            x = x.astype(np.float64)
+        if not x.flags.c_contiguous:
+            return self._numpy.quantize_scale(x)
+        return self._max_abs_scale(x, self._suffix(x.dtype))
+
+    def quantize_pack(self, x, scale):
+        scale = float(scale)
+        if not (np.isfinite(scale) and scale > 0.0):
+            raise ValueError(f"scale must be finite and positive, got {scale}")
+        x = np.asarray(x)
+        if x.dtype not in (np.float32, np.float64):
+            x = x.astype(np.float64)
+        if not x.flags.c_contiguous:
+            return self._numpy.quantize_pack(x, scale)
+        q = np.empty(x.shape, dtype=np.int8)
+        status = getattr(self._lib, f"repro_qpack_{self._suffix(x.dtype)}")(
+            x.ctypes.data, x.size, scale, q.ctypes.data
+        )
+        if status:
+            raise ValueError(_NONFINITE_MSG)
+        return q
+
+    # -- LUT composites / epilogues --------------------------------------- #
+    def _table_params(self, table, dtype):
+        bp, sl, ic = table._params(dtype)
+        return bp, sl, ic
+
+    def _bucket_params(self, table, dtype):
+        """Bucket tables for the O(1) segment search, dtype-matched.
+
+        Mirrors ``LookupTable._index``'s lazy build (including staleness on
+        breakpoint rebinding) so the C kernels see exactly the tables the
+        numpy path would use.  Returns ``None`` when the table's geometry
+        doesn't admit buckets — the C side then falls back to its branchless
+        linear scan over the breakpoints.
+        """
+        if table._buckets is None or (
+            table._buckets is not False and table._buckets[0] is not table.breakpoints
+        ):
+            table._buckets = table._build_buckets()
+        if table._buckets is False:
+            return None
+        _, lo, inv_width, nbuckets, base, thresholds, threshold_cache = table._buckets
+        if dtype == np.float64:
+            thr = thresholds
+        else:
+            thr = threshold_cache.get(dtype)
+            if thr is None:
+                thr = thresholds.astype(dtype)
+                threshold_cache[dtype] = thr
+        return base, thr, float(lo), float(inv_width), int(nbuckets)
+
+    def lut_eval(self, table, x, out=None):
+        x = np.asarray(x)
+        if not (_fusible_table(table) and x.dtype in _FLOAT_DTYPES):
+            return table.evaluate(x, out=out)
+        if not x.flags.c_contiguous:
+            if out is not None and np.may_share_memory(x, out):
+                # In-place evaluation of a strided view: the caller's buffer
+                # is the contract, so stay on the numpy gather path.
+                return table.evaluate(x, out=out)
+            x = _counted_contiguous(x)
+        if out is None:
+            out = np.empty_like(x)
+        elif out.shape != x.shape or out.dtype != x.dtype or not out.flags.c_contiguous:
+            return table.evaluate(x, out=out)
+        bp, sl, ic = self._table_params(table, x.dtype)
+        buckets = self._bucket_params(table, x.dtype)
+        if buckets is None:
+            base_ptr = thr_ptr = None
+            lo = invw = 0.0
+            nbuckets = 0
+        else:
+            base, thr, lo, invw, nbuckets = buckets
+            base_ptr, thr_ptr = base.ctypes.data, thr.ctypes.data
+        getattr(self._lib, f"repro_lut_eval_{self._suffix(x.dtype)}")(
+            x.ctypes.data, out.ctypes.data, x.size,
+            bp.ctypes.data, sl.ctypes.data, ic.ctypes.data, bp.size,
+            base_ptr, thr_ptr, lo, invw, nbuckets,
+        )
+        return out
+
+    def _lut_gelu_native(self, op, x, bias):
+        """Single C pass: (x [+ bias]) -> clip -> LUT -> saturation tails."""
+        cols = x.shape[-1] if x.ndim else 1
+        rows = x.size // cols if cols else 0
+        bp, sl, ic = self._table_params(op.gelu_approx, x.dtype)
+        buckets = self._bucket_params(op.gelu_approx, x.dtype)
+        if buckets is None:
+            base_ptr = thr_ptr = None
+            blo = binvw = 0.0
+            nbuckets = 0
+        else:
+            base, thr, blo, binvw, nbuckets = buckets
+            base_ptr, thr_ptr = base.ctypes.data, thr.ctypes.data
+        if op.clip_range is None:
+            lo, hi, has_clip = 0.0, 0.0, 0
+        else:
+            lo, hi = (float(op.clip_range[0]), float(op.clip_range[1]))
+            has_clip = 1
+        fn = getattr(self._lib, f"repro_lut_gelu_{self._suffix(x.dtype)}")
+        x_ptr, bias_ptr = x.ctypes.data, _ptr(bias)
+        itemsize = x.itemsize
+
+        def run(start: int, stop: int) -> None:
+            offset = start * cols * itemsize
+            fn(x_ptr + offset, bias_ptr, x_ptr + offset, stop - start, cols,
+               bp.ctypes.data, sl.ctypes.data, ic.ctypes.data, bp.size,
+               base_ptr, thr_ptr, blo, binvw, nbuckets,
+               lo, hi, has_clip)
+
+        self._run_rows(rows, run)
+        return x
+
+    def lut_gelu(self, op, x):
+        x = _as_float(np.asarray(x))
+        if not (_fusible_table(op.gelu_approx) and _c_ready(x)):
+            return _gelu_forward(op, x)
+        # The C pass writes in place; the reference path leaves the caller's
+        # input intact, so work on a fresh copy.
+        return self._lut_gelu_native(op, x.copy(), None)
+
+    def lut_gelu_bias(self, op, x, bias):
+        if not (
+            _fusible_table(op.gelu_approx)
+            and _c_ready(x)
+            and bias is not None
+            and bias.dtype == x.dtype
+            and bias.flags.c_contiguous
+            and x.ndim >= 1
+            and bias.shape == (x.shape[-1],)
+        ):
+            return self._numpy.lut_gelu_bias(op, x, bias)
+        return self._lut_gelu_native(op, x, bias)
+
+    def lut_softmax(self, op, x, axis):
+        x = _as_float(np.asarray(x))
+        if not _fusible_table(op.exp_approx):
+            return _softmax_forward(op, x, axis)
+
+        def exp_eval(shifted: np.ndarray) -> np.ndarray:
+            return self.lut_eval(op.exp_approx, shifted, out=shifted)
+
+        return _softmax_forward(op, x, axis, exp_eval=exp_eval)
+
+    def lut_layernorm(self, op, x, gamma, beta, axis=-1):
+        x = _as_float(np.asarray(x))
+        if not (
+            axis in (-1, x.ndim - 1)
+            and gamma is not None
+            and beta is not None
+            and np.asarray(gamma).dtype == x.dtype
+            and np.asarray(beta).dtype == x.dtype
+        ):
+            return _layernorm_forward(op, x, gamma, beta, axis)
+
+        def normalize(centered, inv_std, gamma_, beta_):
+            cols = centered.shape[-1]
+            rows = centered.size // cols if cols else 0
+            if not (
+                _c_ready(centered)
+                and cols
+                and rows
+                and gamma_.flags.c_contiguous
+                and beta_.flags.c_contiguous
+            ):
+                normalised = np.multiply(centered, inv_std, out=centered)
+                normalised *= gamma_
+                normalised += beta_
+                return normalised
+            inv = np.ascontiguousarray(inv_std.reshape(-1))
+            getattr(self._lib, f"repro_scale_affine_{self._suffix(centered.dtype)}")(
+                centered.ctypes.data, inv.ctypes.data, gamma_.ctypes.data,
+                beta_.ctypes.data, centered.ctypes.data, rows, cols,
+            )
+            return centered
+
+        return _layernorm_forward(op, x, gamma, beta, axis, normalize=normalize)
+
+    def bias_residual(self, x, bias, residual):
+        if not (
+            _c_ready(x)
+            and x.ndim >= 1
+            and residual.shape == x.shape
+            and residual.dtype == x.dtype
+            and residual.flags.c_contiguous
+            and bias.shape == (x.shape[-1],)
+            and bias.dtype == x.dtype
+            and bias.flags.c_contiguous
+        ):
+            return self._numpy.bias_residual(x, bias, residual)
+        cols = x.shape[-1]
+        rows = x.size // cols if cols else 0
+        getattr(self._lib, f"repro_bias_residual_{self._suffix(x.dtype)}")(
+            x.ctypes.data, bias.ctypes.data, residual.ctypes.data,
+            x.ctypes.data, rows, cols,
+        )
+        return x
+
+    def bias_relu(self, x, bias):
+        if not (
+            _c_ready(x)
+            and x.ndim >= 1
+            and bias.shape == (x.shape[-1],)
+            and bias.dtype == x.dtype
+            and bias.flags.c_contiguous
+        ):
+            return self._numpy.bias_relu(x, bias)
+        cols = x.shape[-1]
+        rows = x.size // cols if cols else 0
+        getattr(self._lib, f"repro_bias_relu_{self._suffix(x.dtype)}")(
+            x.ctypes.data, bias.ctypes.data, x.ctypes.data, rows, cols
+        )
+        return x
+
+    def affine(self, x, gamma, beta):
+        if not (
+            _c_ready(x)
+            and x.ndim >= 1
+            and gamma.shape == (x.shape[-1],)
+            and gamma.dtype == x.dtype
+            and beta.shape == gamma.shape
+            and beta.dtype == x.dtype
+            and gamma.flags.c_contiguous
+            and beta.flags.c_contiguous
+        ):
+            return self._numpy.affine(x, gamma, beta)
+        out = np.empty_like(x)
+        cols = x.shape[-1]
+        rows = x.size // cols if cols else 0
+        getattr(self._lib, f"repro_affine_{self._suffix(x.dtype)}")(
+            x.ctypes.data, gamma.ctypes.data, beta.ctypes.data,
+            out.ctypes.data, rows, cols,
+        )
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+NUMPY_KERNEL = NumpyKernel()
+_native_kernel_singleton: NativeKernel | None = None
+
+
+def _native_singleton() -> NativeKernel:
+    global _native_kernel_singleton
+    if _native_kernel_singleton is None:
+        _native_kernel_singleton = NativeKernel()
+    return _native_kernel_singleton
+
+
+def validate_kernel_name(name: str) -> str:
+    if name not in KERNEL_NAMES:
+        raise ValueError(f"kernel must be one of {KERNEL_NAMES}, got {name!r}")
+    return name
+
+
+def get_kernel(name: str = "numpy") -> ComputeKernel:
+    """Strict kernel lookup: raises when ``name`` cannot be provided."""
+    validate_kernel_name(name)
+    if name == "numpy":
+        return NUMPY_KERNEL
+    if not native_available():
+        raise RuntimeError(
+            f"native kernel unavailable: {native_unavailable_reason()}"
+        )
+    return _native_singleton()
+
+
+def resolve_kernel(name: str = "numpy") -> ComputeKernel:
+    """Kernel lookup with graceful fallback.
+
+    ``"native"`` on a host without a working C toolchain (or with
+    ``REPRO_NATIVE_KERNEL=0``) returns :class:`NumpyKernel` — identical
+    results, slower — and emits a single ``RuntimeWarning`` per process.
+    """
+    global _fallback_warned
+    validate_kernel_name(name)
+    if name == "numpy":
+        return NUMPY_KERNEL
+    if native_available():
+        return _native_singleton()
+    if not _fallback_warned:
+        _fallback_warned = True
+        warnings.warn(
+            "native compute kernel unavailable "
+            f"({native_unavailable_reason()}); falling back to the numpy "
+            "kernel (identical results, no compiled fast path)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return NUMPY_KERNEL
+
+
+def reset_kernel_fallback_warning() -> None:
+    """Re-arm the once-per-process fallback warning (test hook)."""
+    global _fallback_warned
+    _fallback_warned = False
+
+
+def kernel_info() -> Dict[str, object]:
+    """Diagnostics for benchmarks/reports: availability + GEMM flavour."""
+    info: Dict[str, object] = {
+        "names": list(KERNEL_NAMES),
+        "native_available": native_available(),
+        "native_unavailable_reason": native_unavailable_reason(),
+        "gemm_impl": None,
+    }
+    if info["native_available"]:
+        info["gemm_impl"] = _native_singleton().gemm_impl
+    return info

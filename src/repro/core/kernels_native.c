@@ -1,0 +1,477 @@
+/* Native compute kernels for the inference engine.
+ *
+ * Compiled on demand by repro.core.kernels (cc -O3 -march=native
+ * -ffp-contract=off -shared -fPIC) and loaded through ctypes; no Python.h
+ * involved, so any C compiler the host happens to have is enough.
+ *
+ * Numerical contract: every floating-point routine performs the *same scalar
+ * operations in the same order* as the NumpyKernel reference (multiply then
+ * add, no FMA contraction — hence -ffp-contract=off — and round-half-to-even
+ * via nearbyint, matching np.round), so float32/float64 results are bitwise
+ * equal to numpy's, not merely close.  The int8 GEMM accumulates int8 x int8
+ * products in int32 exactly; callers guard the contraction length so neither
+ * the accumulator nor the 128 * colsum offset correction can overflow.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+#if defined(__AVX512VNNI__) && defined(__AVX512VL__)
+#include <immintrin.h>
+#define REPRO_GEMM_VNNI 1
+#elif defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#define EXPORT __attribute__((visibility("default")))
+
+/* ------------------------------------------------------------------ */
+/* int8 GEMM: a (m,k) row-major int8  x  bt (n,k) row-major int8       */
+/* (the weight is packed transposed so both operands stream along k).  */
+/* c (m,n) int32 = exact integer accumulation.                         */
+/* ------------------------------------------------------------------ */
+
+#ifdef REPRO_GEMM_VNNI
+static inline int32_t hsum_epi32(__m256i v) {
+    __m128i lo = _mm256_castsi256_si128(v);
+    __m128i hi = _mm256_extracti128_si256(v, 1);
+    __m128i s = _mm_add_epi32(lo, hi);
+    s = _mm_hadd_epi32(s, s);
+    s = _mm_hadd_epi32(s, s);
+    return _mm_cvtsi128_si32(s);
+}
+#endif
+
+EXPORT int repro_gemm_impl(void) {
+#ifdef REPRO_GEMM_VNNI
+    return 2; /* vpdpbusd */
+#else
+    return 1; /* scalar/autovectorised */
+#endif
+}
+
+EXPORT void repro_gemm_s8(const int8_t *a, const int8_t *bt,
+                          const int32_t *colsum, int32_t *c, int64_t m,
+                          int64_t k, int64_t n) {
+#ifdef REPRO_GEMM_VNNI
+    /* vpdpbusd multiplies unsigned by signed bytes; biasing A by +128
+     * (a bit-flip of the sign bit, i.e. XOR 0x80) makes it unsigned and
+     * adds 128 * sum_k bt[j][k] to every dot product, which the
+     * precomputed column sums subtract back out.  All intermediate sums
+     * fit int32 for the contraction lengths the Python caller admits.
+     *
+     * The main loop is tiled 4 rows x 4 columns: each B vector loaded from
+     * L2 feeds four A rows, quartering the dominant memory traffic. */
+    const __m256i flip = _mm256_set1_epi8((char)0x80);
+    int64_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+        const int8_t *ar[4];
+        for (int ii = 0; ii < 4; ++ii)
+            ar[ii] = a + (i + ii) * k;
+        int64_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const int8_t *br[4];
+            for (int jj = 0; jj < 4; ++jj)
+                br[jj] = bt + (j + jj) * k;
+            __m512i acc[4][4];
+            for (int ii = 0; ii < 4; ++ii)
+                for (int jj = 0; jj < 4; ++jj)
+                    acc[ii][jj] = _mm512_setzero_si512();
+            const __m512i flip512 = _mm512_set1_epi8((char)0x80);
+            int64_t kk = 0;
+            for (; kk + 64 <= k; kk += 64) {
+                __m512i va[4], vb;
+                for (int ii = 0; ii < 4; ++ii)
+                    va[ii] = _mm512_xor_si512(
+                        _mm512_loadu_si512((const void *)(ar[ii] + kk)),
+                        flip512);
+                for (int jj = 0; jj < 4; ++jj) {
+                    vb = _mm512_loadu_si512((const void *)(br[jj] + kk));
+                    acc[0][jj] = _mm512_dpbusd_epi32(acc[0][jj], va[0], vb);
+                    acc[1][jj] = _mm512_dpbusd_epi32(acc[1][jj], va[1], vb);
+                    acc[2][jj] = _mm512_dpbusd_epi32(acc[2][jj], va[2], vb);
+                    acc[3][jj] = _mm512_dpbusd_epi32(acc[3][jj], va[3], vb);
+                }
+            }
+            for (int ii = 0; ii < 4; ++ii) {
+                for (int jj = 0; jj < 4; ++jj) {
+                    int32_t s = _mm512_reduce_add_epi32(acc[ii][jj]);
+                    for (int64_t kt = kk; kt < k; ++kt) {
+                        int32_t au =
+                            (int32_t)(uint8_t)(ar[ii][kt] ^ (int8_t)0x80);
+                        s += au * br[jj][kt];
+                    }
+                    c[(i + ii) * n + j + jj] = s - 128 * colsum[j + jj];
+                }
+            }
+        }
+        for (; j < n; ++j) { /* column tail: plain signed dot per row */
+            const int8_t *bj = bt + j * k;
+            for (int ii = 0; ii < 4; ++ii) {
+                int32_t acc0 = 0;
+                for (int64_t kk = 0; kk < k; ++kk)
+                    acc0 += (int32_t)ar[ii][kk] * bj[kk];
+                c[(i + ii) * n + j] = acc0;
+            }
+        }
+    }
+    for (; i < m; ++i) { /* row tail: single-row quad-column loop */
+        const int8_t *ar = a + i * k;
+        int32_t *cr = c + i * n;
+        int64_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const int8_t *b0 = bt + (j + 0) * k;
+            const int8_t *b1 = bt + (j + 1) * k;
+            const int8_t *b2 = bt + (j + 2) * k;
+            const int8_t *b3 = bt + (j + 3) * k;
+            __m256i acc0 = _mm256_setzero_si256();
+            __m256i acc1 = _mm256_setzero_si256();
+            __m256i acc2 = _mm256_setzero_si256();
+            __m256i acc3 = _mm256_setzero_si256();
+            int64_t kk = 0;
+            for (; kk + 32 <= k; kk += 32) {
+                __m256i va = _mm256_xor_si256(
+                    _mm256_loadu_si256((const __m256i *)(ar + kk)), flip);
+                acc0 = _mm256_dpbusd_epi32(
+                    acc0, va, _mm256_loadu_si256((const __m256i *)(b0 + kk)));
+                acc1 = _mm256_dpbusd_epi32(
+                    acc1, va, _mm256_loadu_si256((const __m256i *)(b1 + kk)));
+                acc2 = _mm256_dpbusd_epi32(
+                    acc2, va, _mm256_loadu_si256((const __m256i *)(b2 + kk)));
+                acc3 = _mm256_dpbusd_epi32(
+                    acc3, va, _mm256_loadu_si256((const __m256i *)(b3 + kk)));
+            }
+            int32_t s0 = hsum_epi32(acc0);
+            int32_t s1 = hsum_epi32(acc1);
+            int32_t s2 = hsum_epi32(acc2);
+            int32_t s3 = hsum_epi32(acc3);
+            for (; kk < k; ++kk) {
+                int32_t au = (int32_t)(uint8_t)(ar[kk] ^ (int8_t)0x80);
+                s0 += au * b0[kk];
+                s1 += au * b1[kk];
+                s2 += au * b2[kk];
+                s3 += au * b3[kk];
+            }
+            cr[j + 0] = s0 - 128 * colsum[j + 0];
+            cr[j + 1] = s1 - 128 * colsum[j + 1];
+            cr[j + 2] = s2 - 128 * colsum[j + 2];
+            cr[j + 3] = s3 - 128 * colsum[j + 3];
+        }
+        for (; j < n; ++j) { /* remaining columns: plain signed dot */
+            const int8_t *bj = bt + j * k;
+            int32_t acc = 0;
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc += (int32_t)ar[kk] * bj[kk];
+            cr[j] = acc;
+        }
+    }
+#else
+    (void)colsum;
+    for (int64_t i = 0; i < m; ++i) {
+        const int8_t *ar = a + i * k;
+        int32_t *cr = c + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+            const int8_t *bj = bt + j * k;
+            int32_t acc = 0;
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc += (int32_t)ar[kk] * bj[kk];
+            cr[j] = acc;
+        }
+    }
+#endif
+}
+
+/* ------------------------------------------------------------------ */
+/* Everything below is macro-instantiated for float32 and float64.     */
+/* ------------------------------------------------------------------ */
+
+/* Segment index, equivalent to searchsorted(bp, x, side="right").
+ *
+ * When the caller supplies the LookupTable's bucket decomposition
+ * (base/thr/lo/inv_width — the exact arrays the numpy fast path uses, so
+ * both kernels resolve identical indices), the index is one multiply, one
+ * clamp and one compare.  Tables without buckets fall back to a branchless
+ * count of breakpoints <= x, which equals the binary search for sorted
+ * breakpoints.  NaN inputs clamp to bucket 0 / index 0 — garbage either
+ * way, matching the numpy path's NaN pinning. */
+#define DEFINE_SEARCH(SUF, T)                                                  \
+    static inline int64_t lut_index_##SUF(T v, const T *bp, int64_t nbp,       \
+                                          const int32_t *base, const T *thr,  \
+                                          T lo, T invw, int64_t nbuckets) {    \
+        if (nbuckets) {                                                        \
+            T s = (v - lo) * invw;                                             \
+            T bmax = (T)(nbuckets - 1);                                        \
+            if (s > bmax)                                                      \
+                s = bmax;                                                      \
+            if (s < (T)0)                                                      \
+                s = (T)0;                                                      \
+            int64_t b = (int64_t)s; /* NaN -> clamped below */                 \
+            if (b < 0)                                                         \
+                b = 0;                                                         \
+            if (b > nbuckets - 1)                                              \
+                b = nbuckets - 1;                                              \
+            return (int64_t)base[b] + (v >= thr[b]);                           \
+        }                                                                      \
+        int64_t idx = 0;                                                       \
+        for (int64_t t = 0; t < nbp; ++t)                                      \
+            idx += (v >= bp[t]);                                               \
+        return idx;                                                            \
+    }
+
+DEFINE_SEARCH(f32, float)
+DEFINE_SEARCH(f64, double)
+
+/* max |x| and round(x / scale) -> int8 (the two passes of activation
+ * quantisation).  Both return 1 when a non-finite element is seen and
+ * write nothing in that case.  The float32 variants carry an AVX2 main
+ * loop — the scalar early-return finiteness check otherwise blocks
+ * autovectorisation — using only bitwise-exact operations (IEEE divide,
+ * vroundps in the default half-to-even mode, min/max clip), so the packed
+ * bytes are identical to the scalar path's. */
+#define DEFINE_QUANT_SCALAR(SUF, T, NEARBYINT, ISFIN)                          \
+    static int maxabs_scalar_##SUF(const T *x, int64_t size, double *out) {    \
+        T m = (T)0;                                                            \
+        for (int64_t i = 0; i < size; ++i) {                                   \
+            T v = x[i];                                                        \
+            if (!ISFIN(v))                                                     \
+                return 1;                                                      \
+            T av = v < (T)0 ? -v : v;                                          \
+            if (av > m)                                                        \
+                m = av;                                                        \
+        }                                                                      \
+        *out = (double)m;                                                      \
+        return 0;                                                              \
+    }                                                                          \
+    static int qpack_scalar_##SUF(const T *x, int64_t size, double scale,      \
+                                  int8_t *q) {                                 \
+        T s = (T)scale;                                                        \
+        for (int64_t i = 0; i < size; ++i) {                                   \
+            T v = x[i];                                                        \
+            if (!ISFIN(v))                                                     \
+                return 1;                                                      \
+            T r = NEARBYINT(v / s);                                            \
+            if (r > (T)127)                                                    \
+                r = (T)127;                                                    \
+            if (r < (T)-127)                                                   \
+                r = (T)-127;                                                   \
+            q[i] = (int8_t)r;                                                  \
+        }                                                                      \
+        return 0;                                                              \
+    }
+
+DEFINE_QUANT_SCALAR(f32, float, nearbyintf, isfinite)
+DEFINE_QUANT_SCALAR(f64, double, nearbyint, isfinite)
+
+EXPORT int repro_maxabs_f64(const double *x, int64_t size, double *out) {
+    return maxabs_scalar_f64(x, size, out);
+}
+
+EXPORT int repro_qpack_f64(const double *x, int64_t size, double scale,
+                           int8_t *q) {
+    return qpack_scalar_f64(x, size, scale, q);
+}
+
+EXPORT int repro_maxabs_f32(const float *x, int64_t size, double *out) {
+    int64_t i = 0;
+    float m = 0.0f;
+#ifdef __AVX2__
+    const __m256 absmask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    const __m256 inf = _mm256_set1_ps(INFINITY);
+    __m256 vm = _mm256_setzero_ps();
+    __m256 bad = _mm256_setzero_ps();
+    for (; i + 8 <= size; i += 8) {
+        __m256 av = _mm256_and_ps(_mm256_loadu_ps(x + i), absmask);
+        /* NLT_UQ: true when !(av < inf), i.e. av == inf or av is NaN. */
+        bad = _mm256_or_ps(bad, _mm256_cmp_ps(av, inf, _CMP_NLT_UQ));
+        vm = _mm256_max_ps(vm, av);
+    }
+    if (_mm256_movemask_ps(bad))
+        return 1;
+    float lanes[8];
+    _mm256_storeu_ps(lanes, vm);
+    for (int l = 0; l < 8; ++l)
+        if (lanes[l] > m)
+            m = lanes[l];
+#endif
+    double tail = 0.0;
+    if (maxabs_scalar_f32(x + i, size - i, &tail))
+        return 1;
+    *out = (double)(m > (float)tail ? m : (float)tail);
+    return 0;
+}
+
+EXPORT int repro_qpack_f32(const float *x, int64_t size, double scale,
+                           int8_t *q) {
+    int64_t i = 0;
+#ifdef __AVX2__
+    const float s = (float)scale;
+    const __m256 vs = _mm256_set1_ps(s);
+    const __m256 lim = _mm256_set1_ps(127.0f);
+    const __m256 nlim = _mm256_set1_ps(-127.0f);
+    const __m256 absmask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    const __m256 inf = _mm256_set1_ps(INFINITY);
+    /* packs_epi32/epi16 interleave the two 128-bit lanes; this dword
+     * permutation restores source order in the packed byte vector. */
+    const __m256i unshuffle = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    for (; i + 32 <= size; i += 32) {
+        __m256 v0 = _mm256_loadu_ps(x + i);
+        __m256 v1 = _mm256_loadu_ps(x + i + 8);
+        __m256 v2 = _mm256_loadu_ps(x + i + 16);
+        __m256 v3 = _mm256_loadu_ps(x + i + 24);
+        __m256 bad = _mm256_cmp_ps(_mm256_and_ps(v0, absmask), inf,
+                                   _CMP_NLT_UQ);
+        bad = _mm256_or_ps(bad, _mm256_cmp_ps(_mm256_and_ps(v1, absmask),
+                                              inf, _CMP_NLT_UQ));
+        bad = _mm256_or_ps(bad, _mm256_cmp_ps(_mm256_and_ps(v2, absmask),
+                                              inf, _CMP_NLT_UQ));
+        bad = _mm256_or_ps(bad, _mm256_cmp_ps(_mm256_and_ps(v3, absmask),
+                                              inf, _CMP_NLT_UQ));
+        if (_mm256_movemask_ps(bad))
+            return 1;
+        const int rc = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+        __m256 r0 = _mm256_round_ps(_mm256_div_ps(v0, vs), rc);
+        __m256 r1 = _mm256_round_ps(_mm256_div_ps(v1, vs), rc);
+        __m256 r2 = _mm256_round_ps(_mm256_div_ps(v2, vs), rc);
+        __m256 r3 = _mm256_round_ps(_mm256_div_ps(v3, vs), rc);
+        r0 = _mm256_max_ps(_mm256_min_ps(r0, lim), nlim);
+        r1 = _mm256_max_ps(_mm256_min_ps(r1, lim), nlim);
+        r2 = _mm256_max_ps(_mm256_min_ps(r2, lim), nlim);
+        r3 = _mm256_max_ps(_mm256_min_ps(r3, lim), nlim);
+        __m256i p01 = _mm256_packs_epi32(_mm256_cvtps_epi32(r0),
+                                         _mm256_cvtps_epi32(r1));
+        __m256i p23 = _mm256_packs_epi32(_mm256_cvtps_epi32(r2),
+                                         _mm256_cvtps_epi32(r3));
+        __m256i p = _mm256_packs_epi16(p01, p23);
+        p = _mm256_permutevar8x32_epi32(p, unshuffle);
+        _mm256_storeu_si256((__m256i *)(q + i), p);
+    }
+#endif
+    return qpack_scalar_f32(x + i, size - i, scale, q + i);
+}
+
+#define DEFINE_OPS(SUF, T, NEARBYINT, ISFIN)                                   \
+    /* out = (T)((double)acc * scale) [+ bias], matching the numpy     */      \
+    /* float64-dequant-then-cast-then-bias-add order bit for bit.      */      \
+    EXPORT void repro_dequant_bias_##SUF(const int32_t *acc, double scale,     \
+                                         const T *bias, T *out, int64_t rows,  \
+                                         int64_t cols) {                       \
+        for (int64_t r = 0; r < rows; ++r) {                                   \
+            const int32_t *ar = acc + r * cols;                                \
+            T *or_ = out + r * cols;                                           \
+            if (bias) {                                                        \
+                for (int64_t c = 0; c < cols; ++c)                             \
+                    or_[c] = (T)((double)ar[c] * scale) + bias[c];             \
+            } else {                                                           \
+                for (int64_t c = 0; c < cols; ++c)                             \
+                    or_[c] = (T)((double)ar[c] * scale);                       \
+            }                                                                  \
+        }                                                                      \
+    }                                                                          \
+                                                                               \
+    /* Piecewise-linear table: out = s[idx] * x + t[idx].              */      \
+    EXPORT void repro_lut_eval_##SUF(const T *x, T *out, int64_t size,         \
+                                     const T *bp, const T *sl, const T *ic,    \
+                                     int64_t nbp, const int32_t *base,         \
+                                     const T *thr, double lo_d, double invw_d, \
+                                     int64_t nbuckets) {                       \
+        T blo = (T)lo_d, binvw = (T)invw_d;                                    \
+        for (int64_t i = 0; i < size; ++i) {                                   \
+            T v = x[i];                                                        \
+            int64_t idx =                                                      \
+                lut_index_##SUF(v, bp, nbp, base, thr, blo, binvw, nbuckets);  \
+            out[i] = sl[idx] * v + ic[idx];                                    \
+        }                                                                      \
+    }                                                                          \
+                                                                               \
+    /* Fused FFN epilogue: t = x + bias; LUT on clip(t); saturated     */      \
+    /* tails (t > hi -> t, t < lo -> 0) exactly as LutGelu does.       */      \
+    EXPORT void repro_lut_gelu_##SUF(const T *x, const T *bias, T *out,        \
+                                     int64_t rows, int64_t cols, const T *bp,  \
+                                     const T *sl, const T *ic, int64_t nbp,    \
+                                     const int32_t *base, const T *thr,        \
+                                     double lo_d, double invw_d,               \
+                                     int64_t nbuckets, double clip_lo_d,       \
+                                     double clip_hi_d, int has_clip) {         \
+        T blo = (T)lo_d, binvw = (T)invw_d;                                    \
+        T lo = (T)clip_lo_d, hi = (T)clip_hi_d;                                \
+        for (int64_t r = 0; r < rows; ++r) {                                   \
+            const T *xr = x + r * cols;                                        \
+            T *or_ = out + r * cols;                                           \
+            for (int64_t c = 0; c < cols; ++c) {                               \
+                T t = bias ? xr[c] + bias[c] : xr[c];                          \
+                T y;                                                           \
+                if (has_clip) {                                                \
+                    T inside = t < lo ? lo : (t > hi ? hi : t);                \
+                    int64_t idx = lut_index_##SUF(inside, bp, nbp, base, thr,  \
+                                                  blo, binvw, nbuckets);       \
+                    y = sl[idx] * inside + ic[idx];                            \
+                    if (t > hi)                                                \
+                        y = t;                                                 \
+                    if (t < lo)                                                \
+                        y = (T)0;                                              \
+                } else {                                                       \
+                    int64_t idx = lut_index_##SUF(t, bp, nbp, base, thr, blo,  \
+                                                  binvw, nbuckets);            \
+                    y = sl[idx] * t + ic[idx];                                 \
+                }                                                              \
+                or_[c] = y;                                                    \
+            }                                                                  \
+        }                                                                      \
+    }                                                                          \
+                                                                               \
+    /* out = residual + (x + bias); out may alias x.                   */      \
+    EXPORT void repro_bias_residual_##SUF(const T *x, const T *bias,           \
+                                          const T *res, T *out, int64_t rows,  \
+                                          int64_t cols) {                      \
+        for (int64_t r = 0; r < rows; ++r) {                                   \
+            const T *xr = x + r * cols;                                        \
+            const T *rr = res + r * cols;                                      \
+            T *or_ = out + r * cols;                                           \
+            for (int64_t c = 0; c < cols; ++c)                                 \
+                or_[c] = rr[c] + (xr[c] + bias[c]);                            \
+        }                                                                      \
+    }                                                                          \
+                                                                               \
+    /* out = max(x + bias, 0) with NaN propagation (np.maximum).       */      \
+    EXPORT void repro_bias_relu_##SUF(const T *x, const T *bias, T *out,       \
+                                      int64_t rows, int64_t cols) {            \
+        for (int64_t r = 0; r < rows; ++r) {                                   \
+            const T *xr = x + r * cols;                                        \
+            T *or_ = out + r * cols;                                           \
+            for (int64_t c = 0; c < cols; ++c) {                               \
+                T t = bias ? xr[c] + bias[c] : xr[c];                          \
+                or_[c] = (t > (T)0 || t != t) ? t : (T)0;                      \
+            }                                                                  \
+        }                                                                      \
+    }                                                                          \
+                                                                               \
+    /* LayerNorm tail: out = ((centered * inv_std[row]) * gamma) +     */      \
+    /* beta, one pass over the tensor; out may alias centered.         */      \
+    EXPORT void repro_scale_affine_##SUF(const T *centered, const T *inv_std,  \
+                                         const T *gamma, const T *beta,        \
+                                         T *out, int64_t rows, int64_t cols) { \
+        for (int64_t r = 0; r < rows; ++r) {                                   \
+            const T *xr = centered + r * cols;                                 \
+            T *or_ = out + r * cols;                                           \
+            T inv = inv_std[r];                                                \
+            for (int64_t c = 0; c < cols; ++c)                                 \
+                or_[c] = ((xr[c] * inv) * gamma[c]) + beta[c];                 \
+        }                                                                      \
+    }                                                                          \
+                                                                               \
+    /* NoNorm affine: out = (x * gamma) + beta; out may alias x.       */      \
+    EXPORT void repro_affine_##SUF(const T *x, const T *gamma, const T *beta,  \
+                                   T *out, int64_t rows, int64_t cols) {       \
+        for (int64_t r = 0; r < rows; ++r) {                                   \
+            const T *xr = x + r * cols;                                        \
+            T *or_ = out + r * cols;                                           \
+            for (int64_t c = 0; c < cols; ++c)                                 \
+                or_[c] = (xr[c] * gamma[c]) + beta[c];                         \
+        }                                                                      \
+    }
+
+DEFINE_OPS(f32, float, nearbyintf, isfinite)
+DEFINE_OPS(f64, double, nearbyint, isfinite)

@@ -33,11 +33,52 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["LookupTable", "UniformLookupTable", "evaluate_many"]
+__all__ = [
+    "LookupTable",
+    "UniformLookupTable",
+    "evaluate_many",
+    "lut_evaluation_stats",
+    "reset_lut_evaluation_stats",
+]
 
 #: dtypes the fused kernel evaluates natively (anything else is promoted to
 #: float64, matching the reference semantics).
 _NATIVE_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+#: Counters for the fused kernels' input handling.  Strided/transposed inputs
+#: are legal but force one explicit contiguous copy before the gather loop
+#: (the per-element table reads would otherwise walk memory column-wise);
+#: the counters make that copy observable instead of silent, so a hot path
+#: feeding views can be caught in profiling/tests.
+_eval_stats: Dict[str, int] = {
+    "evaluations": 0,
+    "noncontiguous_inputs": 0,
+    "contiguous_copies": 0,
+}
+
+
+def lut_evaluation_stats() -> Dict[str, int]:
+    """Snapshot of the fused-kernel input counters (see ``_eval_stats``)."""
+    return dict(_eval_stats)
+
+
+def reset_lut_evaluation_stats() -> None:
+    """Zero the fused-kernel input counters (test/profiling hook)."""
+    for key in _eval_stats:
+        _eval_stats[key] = 0
+
+
+def _counted_contiguous(x: np.ndarray) -> np.ndarray:
+    """``x`` C-contiguous — an explicit, counted copy when it is not.
+
+    The single choke point every kernel entry path (numpy gather loop and
+    compiled C kernels alike) routes non-contiguous inputs through.
+    """
+    if x.flags.c_contiguous:
+        return x
+    _eval_stats["noncontiguous_inputs"] += 1
+    _eval_stats["contiguous_copies"] += 1
+    return np.ascontiguousarray(x)
 
 
 def _validate_out(x: np.ndarray, out: np.ndarray | None) -> np.ndarray:
@@ -230,11 +271,25 @@ class LookupTable:
         The result has the (floating) dtype of ``x``; non-float inputs are
         promoted to float64 once.  ``out`` may alias ``x`` — the kernel is
         element-wise — which is how the Softmax/LayerNorm chains reuse their
-        input buffers.
+        input buffers.  Strided/transposed inputs are accepted; they cost one
+        explicit contiguous copy, visible in :func:`lut_evaluation_stats`.
         """
         x = np.asarray(x)
         if x.dtype not in _NATIVE_DTYPES:
             x = x.astype(np.float64)
+        _eval_stats["evaluations"] += 1
+        if out is None:
+            # Without an output alias the copy is pure win: every gather and
+            # the multiply-add then stream memory row-wise.
+            x = _counted_contiguous(x)
+        elif not x.flags.c_contiguous:
+            if np.may_share_memory(x, out):
+                # ``out`` aliases (part of) the strided input, so reads must
+                # come from the caller's buffer as-is; count the
+                # non-contiguous traversal, don't copy behind the alias.
+                _eval_stats["noncontiguous_inputs"] += 1
+            else:
+                x = _counted_contiguous(x)
         breakpoints, slopes, intercepts = self._params(x.dtype)
         idx = self._index(x, breakpoints)
         out = _validate_out(x, out)

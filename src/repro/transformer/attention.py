@@ -33,21 +33,16 @@ class MultiHeadSelfAttention:
         cls, config: TransformerConfig, rng: np.random.Generator
     ) -> "MultiHeadSelfAttention":
         hidden = config.hidden_size
-        precision = config.matmul_precision
-        compute_dtype = config.compute_dtype
+        engine = dict(
+            precision=config.matmul_precision,
+            compute_dtype=config.compute_dtype,
+            kernel=config.kernel,
+        )
         return cls(
-            query=Linear.initialize(
-                hidden, hidden, rng, precision=precision, compute_dtype=compute_dtype
-            ),
-            key=Linear.initialize(
-                hidden, hidden, rng, precision=precision, compute_dtype=compute_dtype
-            ),
-            value=Linear.initialize(
-                hidden, hidden, rng, precision=precision, compute_dtype=compute_dtype
-            ),
-            output=Linear.initialize(
-                hidden, hidden, rng, precision=precision, compute_dtype=compute_dtype
-            ),
+            query=Linear.initialize(hidden, hidden, rng, **engine),
+            key=Linear.initialize(hidden, hidden, rng, **engine),
+            value=Linear.initialize(hidden, hidden, rng, **engine),
+            output=Linear.initialize(hidden, hidden, rng, **engine),
             num_heads=config.num_heads,
         )
 
@@ -80,6 +75,31 @@ class MultiHeadSelfAttention:
             Optional ``(batch, seq)`` array with 1 for valid tokens and 0 for
             padding; masked positions receive a large negative score.
         """
+        return self.output(self._context(hidden_states, backend, attention_mask))
+
+    def forward_prebias(
+        self,
+        hidden_states: np.ndarray,
+        backend: NonlinearBackend,
+        attention_mask: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Attention with the output projection's bias left un-added.
+
+        Returns ``(context W_o, bias)`` so a fused compute-kernel epilogue
+        can fold the bias add into the residual pass (see
+        :meth:`repro.transformer.layers.Linear.call_prebias`).
+        """
+        return self.output.call_prebias(
+            self._context(hidden_states, backend, attention_mask)
+        )
+
+    def _context(
+        self,
+        hidden_states: np.ndarray,
+        backend: NonlinearBackend,
+        attention_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Merged-head attention context, before the output projection."""
         if hidden_states.ndim != 3:
             raise ValueError(
                 f"hidden_states must be (batch, seq, hidden), got {hidden_states.shape}"
@@ -96,7 +116,7 @@ class MultiHeadSelfAttention:
             np.copyto(scores, -1e4, where=mask <= 0)
         probabilities = backend.apply_softmax(scores, axis=-1)
         context = np.matmul(probabilities, v)
-        return self.output(self._merge_heads(context))
+        return self._merge_heads(context)
 
     def num_parameters(self) -> int:
         return sum(

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.kernels import KERNEL_NAMES
+
 __all__ = [
     "TransformerConfig",
     "roberta_base_config",
@@ -54,6 +56,11 @@ class TransformerConfig:
         Float width of the inference engine's tensors: ``"float32"`` (the
         vectorized fast path, default) or ``"float64"`` (reproduces the seed
         numerics bit for bit; opt in for reference comparisons).
+    kernel:
+        Compute kernel running the linear layers' GEMMs (see
+        :mod:`repro.core.kernels`): ``"numpy"`` (the reference, default) or
+        ``"native"`` (compiled int8 GEMM + fused epilogues, bitwise-equal
+        results, falls back to numpy when no C toolchain is available).
     name:
         Human-readable tag used in experiment reports.
     """
@@ -68,6 +75,7 @@ class TransformerConfig:
     normalization: str = "layernorm"
     matmul_precision: str = "fp32"
     compute_dtype: str = "float32"
+    kernel: str = "numpy"
     layer_norm_eps: float = 1e-5
     name: str = "transformer"
 
@@ -92,6 +100,10 @@ class TransformerConfig:
             raise ValueError(
                 "compute_dtype must be 'float32' or 'float64', "
                 f"got {self.compute_dtype!r}"
+            )
+        if self.kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_NAMES}, got {self.kernel!r}"
             )
 
     @property

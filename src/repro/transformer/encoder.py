@@ -7,6 +7,7 @@ from typing import List
 
 import numpy as np
 
+from ..core.approximators import LutGelu
 from .attention import MultiHeadSelfAttention
 from .config import TransformerConfig
 from .layers import Linear, NormParameters
@@ -36,23 +37,18 @@ class TransformerEncoderLayer:
     def initialize(
         cls, config: TransformerConfig, rng: np.random.Generator
     ) -> "TransformerEncoderLayer":
-        precision = config.matmul_precision
-        compute_dtype = config.compute_dtype
+        engine = dict(
+            precision=config.matmul_precision,
+            compute_dtype=config.compute_dtype,
+            kernel=config.kernel,
+        )
         return cls(
             attention=MultiHeadSelfAttention.initialize(config, rng),
             ffn_in=Linear.initialize(
-                config.hidden_size,
-                config.intermediate_size,
-                rng,
-                precision=precision,
-                compute_dtype=compute_dtype,
+                config.hidden_size, config.intermediate_size, rng, **engine
             ),
             ffn_out=Linear.initialize(
-                config.intermediate_size,
-                config.hidden_size,
-                rng,
-                precision=precision,
-                compute_dtype=compute_dtype,
+                config.intermediate_size, config.hidden_size, rng, **engine
             ),
             attention_norm=NormParameters.initialize(config.hidden_size, rng),
             output_norm=NormParameters.initialize(config.hidden_size, rng),
@@ -78,12 +74,42 @@ class TransformerEncoderLayer:
         # x is the fresh FFN projection output, safe to clamp in place.
         return np.maximum(x, 0.0, out=x)
 
+    def _fusion_kernel(self, backend: NonlinearBackend):
+        """The compute kernel to fuse epilogues through, or None.
+
+        Fusion needs a kernel that supports it, the cached linear fast path
+        on every projection (``call_prebias`` hands out prepared biases), no
+        operator-input recording (the fused path skips the per-site
+        ``apply_*`` hooks for GELU), and — for GELU models — a table-driven
+        GELU the kernel can evaluate.  Every fused epilogue performs the
+        reference op sequence exactly (bitwise), so eligibility only selects
+        *where* the work happens, never what is computed.
+        """
+        kernel = getattr(backend, "kernel", None)
+        if kernel is None or not kernel.supports_fusion:
+            return None
+        if backend.recorder.enabled:
+            return None
+        if self.activation == "gelu" and not isinstance(backend.gelu, LutGelu):
+            return None
+        attention = self.attention
+        linears = (
+            attention.query, attention.key, attention.value, attention.output,
+            self.ffn_in, self.ffn_out,
+        )
+        if not all(linear.cache_weights for linear in linears):
+            return None
+        return kernel
+
     def __call__(
         self,
         hidden_states: np.ndarray,
         backend: NonlinearBackend,
         attention_mask: np.ndarray | None = None,
     ) -> np.ndarray:
+        kernel = self._fusion_kernel(backend)
+        if kernel is not None:
+            return self._forward_fused(hidden_states, backend, attention_mask, kernel)
         attention_output = self.attention(hidden_states, backend, attention_mask)
         # The sub-layer outputs are freshly allocated, so both residual adds
         # land in them instead of a new temporary per site.
@@ -93,6 +119,50 @@ class TransformerEncoderLayer:
         ffn_output = self.ffn_out(ffn_hidden)
         residual = np.add(hidden_states, ffn_output, out=ffn_output)
         return self._normalise(residual, self.output_norm, backend)
+
+    def _normalise_fused(
+        self,
+        x: np.ndarray,
+        params: NormParameters,
+        backend: NonlinearBackend,
+        kernel,
+    ) -> np.ndarray:
+        if self.normalization == "layernorm":
+            # The backend's LayerNorm op carries the kernel itself (attached
+            # by build_backend); the exact statistics stay in numpy either way.
+            return self._normalise(x, params, backend)
+        gamma, beta = params.cast(x.dtype)
+        return kernel.affine(x, gamma, beta)
+
+    def _forward_fused(
+        self,
+        hidden_states: np.ndarray,
+        backend: NonlinearBackend,
+        attention_mask: np.ndarray | None,
+        kernel,
+    ) -> np.ndarray:
+        """The layer body with bias adds folded into single-pass epilogues.
+
+        Same scalar operations in the same order as ``__call__`` — the bias
+        add that ``Linear.__call__`` performs is done by the kernel epilogue
+        immediately before the op it feeds (residual add, LUT-GELU, ReLU), so
+        each tensor is traversed once instead of once per numpy op.
+        """
+        attn_raw, attn_bias = self.attention.forward_prebias(
+            hidden_states, backend, attention_mask
+        )
+        residual = kernel.bias_residual(attn_raw, attn_bias, hidden_states)
+        hidden_states = self._normalise_fused(
+            residual, self.attention_norm, backend, kernel
+        )
+        ffn_raw, ffn_bias = self.ffn_in.call_prebias(hidden_states)
+        if self.activation == "gelu":
+            ffn_hidden = kernel.lut_gelu_bias(backend.gelu, ffn_raw, ffn_bias)
+        else:
+            ffn_hidden = kernel.bias_relu(ffn_raw, ffn_bias)
+        out_raw, out_bias = self.ffn_out.call_prebias(ffn_hidden)
+        residual = kernel.bias_residual(out_raw, out_bias, hidden_states)
+        return self._normalise_fused(residual, self.output_norm, backend, kernel)
 
     def num_parameters(self) -> int:
         return (

@@ -28,7 +28,8 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from ..quant.fixed_point import compute_scale, quantize, quantized_matmul
+from ..core.kernels import resolve_kernel
+from ..quant.fixed_point import quantize, quantized_matmul
 from ..quant.fp16 import fp16_matmul
 
 __all__ = [
@@ -44,12 +45,6 @@ COMPUTE_DTYPES: Dict[str, np.dtype] = {
     "float32": np.dtype(np.float32),
     "float64": np.dtype(np.float64),
 }
-
-#: INT8 x INT8 products accumulated over any realistic contraction length stay
-#: below 2**53, so a float64 BLAS matmul over the quantised operands computes
-#: the exact integer accumulation (see repro.quant.fixed_point).
-_INT8_LIMIT = 127
-
 
 def matmul_with_precision(
     activations: np.ndarray, weights: np.ndarray, precision: str = "fp32"
@@ -88,6 +83,7 @@ class Linear:
     precision: str = "fp32"
     compute_dtype: str = "float64"
     cache_weights: bool = True
+    kernel: str = "numpy"
 
     def __post_init__(self) -> None:
         self.weight = np.asarray(self.weight, dtype=np.float64)
@@ -104,6 +100,10 @@ class Linear:
                 f"compute_dtype must be one of {sorted(COMPUTE_DTYPES)}, "
                 f"got {self.compute_dtype!r}"
             )
+        # Resolved once: a kernel is part of the layer's engine identity, like
+        # its precision.  "native" degrades to the numpy kernel (one warning
+        # per process) when no C toolchain is available — identical results.
+        self._kernel_obj = resolve_kernel(self.kernel)
         # (precision, compute_dtype) -> (source weight ref, prepared operand,
         # weight scale or None, bias in compute dtype, source bias ref).
         self._prepared: Dict[Tuple[str, str], Tuple] = {}
@@ -118,6 +118,7 @@ class Linear:
         scale: float | None = None,
         compute_dtype: str = "float64",
         cache_weights: bool = True,
+        kernel: str = "numpy",
     ) -> "Linear":
         """Gaussian initialisation with a 1/sqrt(fan_in) scale by default."""
         scale = scale if scale is not None else 1.0 / np.sqrt(in_features)
@@ -129,6 +130,7 @@ class Linear:
             precision=precision,
             compute_dtype=compute_dtype,
             cache_weights=cache_weights,
+            kernel=kernel,
         )
 
     @property
@@ -170,8 +172,10 @@ class Linear:
             weight_scale = None
         elif self.precision == "int8":
             w_q = quantize(self.weight, num_bits=8)
-            # float64 carrier of the exact quantised integers (BLAS-fast).
-            operand = w_q.data.astype(np.float64)
+            # The packed format is kernel-private: a float64 carrier of the
+            # exact quantised integers for the numpy kernel (BLAS-fast), a
+            # transposed int8 tensor + column sums for the native GEMM.
+            operand = self._kernel_obj.pack_weight_int8(w_q.data)
             weight_scale = w_q.scale
         else:
             raise ValueError(
@@ -193,27 +197,36 @@ class Linear:
         _, operand, weight_scale, bias, _ = self._prepared_operands()
         dtype = COMPUTE_DTYPES[self.compute_dtype]
         if self.precision == "fp32":
-            x = np.asarray(x)
-            if x.dtype != dtype:
-                x = x.astype(dtype)
-            result = np.matmul(x, operand)
-        elif self.precision == "fp16":
+            return self._kernel_obj.matmul_fp32(x, operand, dtype, bias=bias)
+        if self.precision == "fp16":
             a = np.asarray(x, dtype=np.float16).astype(np.float32)
             result = np.matmul(a, operand).astype(dtype, copy=False)
-        else:  # int8
-            x = np.asarray(x)
-            if x.dtype not in (np.float32, np.float64):
-                x = x.astype(np.float64)
-            act_scale = compute_scale(x, num_bits=8)
-            act = np.round(x / act_scale)
-            np.clip(act, -_INT8_LIMIT, _INT8_LIMIT, out=act)
-            if act.dtype != np.float64:
-                act = act.astype(np.float64)
-            accumulator = np.matmul(act, operand)
-            accumulator *= act_scale * weight_scale
-            result = accumulator.astype(dtype, copy=False)
-        result += bias
-        return result
+            result += bias
+            return result
+        return self._kernel_obj.linear_int8(x, operand, weight_scale, dtype, bias=bias)
+
+    def call_prebias(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(x W, bias)`` — the matmul result *without* the bias added.
+
+        The fused-epilogue entry point: the encoder hands the raw projection
+        plus the (compute-dtype) bias to a compute kernel, which folds the
+        bias add into its single pass over the tensor (bias+LUT,
+        bias+residual, bias+ReLU).  Requires the cached fast path; the
+        uncached reference has no prepared bias to hand out.
+        """
+        if not self.cache_weights:
+            raise RuntimeError(
+                "call_prebias requires cache_weights=True (the uncached "
+                "reference path has no prepared operands)"
+            )
+        _, operand, weight_scale, bias, _ = self._prepared_operands()
+        dtype = COMPUTE_DTYPES[self.compute_dtype]
+        if self.precision == "fp32":
+            return self._kernel_obj.matmul_fp32(x, operand, dtype), bias
+        if self.precision == "fp16":
+            a = np.asarray(x, dtype=np.float16).astype(np.float32)
+            return np.matmul(a, operand).astype(dtype, copy=False), bias
+        return self._kernel_obj.linear_int8(x, operand, weight_scale, dtype), bias
 
     def num_parameters(self) -> int:
         return int(self.weight.size + self.bias.size)

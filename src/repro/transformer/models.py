@@ -87,6 +87,7 @@ class EncoderModel:
                 rng,
                 precision=config.matmul_precision,
                 compute_dtype=config.compute_dtype,
+                kernel=config.kernel,
             ),
         )
 

@@ -91,6 +91,9 @@ class NonlinearBackend:
     layernorm: Callable[..., np.ndarray]
     recorder: OperatorRecorder = field(default_factory=OperatorRecorder)
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: Compute kernel for fused epilogues (set by ``build_backend`` when the
+    #: spec selects a non-default kernel); None keeps the plain op sequence.
+    kernel: object | None = None
 
     # Recording is guarded at the call sites so the disabled (inference) case
     # costs a single attribute check — no call, no np.asarray(...).copy().

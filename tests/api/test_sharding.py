@@ -29,6 +29,7 @@ from repro.api import (
     export_weight_state,
 )
 from repro.api import sharding
+from repro.core.kernels import native_available
 from repro.transformer.config import tiny_test_config
 from repro.transformer.models import EncoderModel
 
@@ -498,3 +499,45 @@ class TestWorkerTransports:
                 shared_memory.SharedMemory(name=name)
         process.join(10)  # the worker exits on pipe EOF
         assert not process.is_alive()
+
+
+class TestNativeKernelSharding:
+    """The compiled-kernel knob survives the spec round trip into workers.
+
+    ``SessionConfig(kernel="native")`` must reach every spawned replica
+    through the serialized spec and still serve bitwise-identically to the
+    parent template session — on both worker transports.
+    """
+
+    @pytest.mark.skipif(
+        not native_available(), reason="compiled native kernel unavailable"
+    )
+    @pytest.mark.parametrize("transport", ["pipe", "shm_ring"])
+    def test_sharded_native_parity(self, transport, fast_registry, mixed_requests):
+        config = SessionConfig(
+            model_family="tiny", compute_dtype="float64", max_batch_size=3,
+            kernel="native",
+        )
+        pool = ShardedPool(
+            config, spec=BackendSpec.nn_lut(), registry=fast_registry,
+            num_replicas=2, transport=transport,
+        )
+        try:
+            # The session knob overrode the default spec kernel, so the
+            # serialized spec the workers rebuild from carries it too.
+            assert pool.spec.kernel == "native"
+            assert pool.template.backend.kernel is not None
+            assert pool.template.backend.kernel.name == "native"
+            oracle = InferenceSession.from_model(
+                pool.model, spec=pool.spec, registry=fast_registry,
+                max_batch_size=3,
+            )
+            sharded = pool.forward(mixed_requests)
+            single = oracle.forward(mixed_requests)
+            for i, (a, b) in enumerate(zip(sharded, single)):
+                assert np.array_equal(a, b), f"request {i}"
+            assert np.array_equal(
+                pool.pooled(mixed_requests), oracle.pooled(mixed_requests)
+            )
+        finally:
+            pool.close()

@@ -1,0 +1,342 @@
+"""ComputeKernel seam: registry semantics, graceful fallback, op parity.
+
+The NativeKernel's contract is *bitwise* agreement with the NumpyKernel
+reference — the compiled fast path must be a pure drop-in, so every parity
+test here asserts exact equality (``equal_nan`` where NaN propagation is
+part of the contract), not tolerances.  Machines without a working C
+toolchain skip the native-only classes; the registry/fallback tests run
+everywhere.
+"""
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import BackendSpec, InferenceSession, build_backend
+from repro.core.approximators import LutGelu, LutLayerNorm, LutSoftmax
+from repro.core.kernels import (
+    KERNEL_NAMES,
+    NUMPY_KERNEL,
+    NativeKernel,
+    NumpyKernel,
+    get_kernel,
+    kernel_info,
+    native_available,
+    native_unavailable_reason,
+    reset_kernel_fallback_warning,
+    resolve_kernel,
+    validate_kernel_name,
+)
+from repro.core.scaling import InputScaler
+from repro.transformer import tiny_test_config
+from repro.transformer.models import EncoderModel
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="compiled native kernel unavailable"
+)
+
+AVAILABLE_KERNELS = ["numpy"] + (["native"] if native_available() else [])
+
+
+def eq(a, b):
+    return np.array_equal(np.asarray(a), np.asarray(b), equal_nan=True)
+
+
+class TestRegistry:
+    def test_kernel_names(self):
+        assert KERNEL_NAMES == ("numpy", "native")
+        assert validate_kernel_name("numpy") == "numpy"
+        with pytest.raises(ValueError, match="kernel must be one of"):
+            validate_kernel_name("cuda")
+
+    def test_get_kernel_numpy_is_singleton(self):
+        assert get_kernel("numpy") is NUMPY_KERNEL
+        assert resolve_kernel("numpy") is NUMPY_KERNEL
+        with pytest.raises(ValueError):
+            get_kernel("cuda")
+
+    def test_kernel_info_shape(self):
+        info = kernel_info()
+        assert info["names"] == list(KERNEL_NAMES)
+        assert isinstance(info["native_available"], bool)
+        if info["native_available"]:
+            assert info["gemm_impl"] in (1, 2)
+            assert info["native_unavailable_reason"] is None
+        else:
+            assert info["native_unavailable_reason"]
+
+    @pytest.mark.parametrize("name", AVAILABLE_KERNELS)
+    def test_kernels_pickle_to_singletons(self, name):
+        kernel = get_kernel(name)
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone is kernel
+
+
+class TestFallback:
+    @pytest.fixture(autouse=True)
+    def _rearm_warning(self):
+        reset_kernel_fallback_warning()
+        yield
+        reset_kernel_fallback_warning()
+
+    def test_disabled_native_falls_back_with_single_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_KERNEL", "0")
+        assert not native_available()
+        assert "REPRO_NATIVE_KERNEL" in native_unavailable_reason()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            kernel = resolve_kernel("native")
+        assert isinstance(kernel, NumpyKernel)
+        # The warning fires once per process; repeat resolutions are silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_kernel("native") is kernel
+
+    def test_strict_lookup_refuses_instead_of_falling_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_KERNEL", "0")
+        with pytest.raises(RuntimeError, match="native kernel unavailable"):
+            get_kernel("native")
+        with pytest.raises(RuntimeError, match="native kernel unavailable"):
+            NativeKernel()
+
+    def test_fallback_engine_results_identical(self, monkeypatch, fast_registry):
+        """kernel="native" on a host without it == the numpy engine, bitwise."""
+        monkeypatch.setenv("REPRO_NATIVE_KERNEL", "0")
+        tokens = np.random.default_rng(0).integers(0, 100, size=(2, 9))
+        reference = EncoderModel.initialize(
+            tiny_test_config(compute_dtype="float64"), seed=3
+        ).forward(tokens, backend=build_backend(
+            BackendSpec.nn_lut(), registry=fast_registry
+        ))
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            model = EncoderModel.initialize(
+                tiny_test_config(compute_dtype="float64", kernel="native"), seed=3
+            )
+            backend = build_backend(
+                BackendSpec.nn_lut(kernel="native"), registry=fast_registry
+            )
+        assert backend.kernel is NUMPY_KERNEL
+        assert np.array_equal(model.forward(tokens, backend=backend), reference)
+
+
+@pytest.mark.parametrize("name", AVAILABLE_KERNELS)
+class TestPackedQuantizeNonFinite:
+    """Satellite gate: the packed quantize kernels reject non-finite input."""
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_quantize_scale_rejects(self, name, bad, dtype):
+        kernel = get_kernel(name)
+        x = np.array([1.0, bad, -2.0], dtype=dtype)
+        with pytest.raises(ValueError, match="non-finite"):
+            kernel.quantize_scale(x)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_quantize_pack_rejects_non_finite_values(self, name, bad, dtype):
+        kernel = get_kernel(name)
+        x = np.array([0.5, bad, 1.5], dtype=dtype)
+        with pytest.raises(ValueError, match="non-finite"):
+            kernel.quantize_pack(x, 0.01)
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, np.nan, np.inf])
+    def test_quantize_pack_rejects_bad_scale(self, name, scale):
+        kernel = get_kernel(name)
+        with pytest.raises(ValueError, match="scale"):
+            kernel.quantize_pack(np.ones(4, dtype=np.float32), scale)
+
+    def test_linear_int8_rejects_non_finite_activations(self, name):
+        kernel = get_kernel(name)
+        w_q = np.random.default_rng(0).integers(-127, 128, (8, 6), dtype=np.int8)
+        operand = kernel.pack_weight_int8(w_q)
+        x = np.ones((3, 8), dtype=np.float32)
+        x[1, 2] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            kernel.linear_int8(x, operand, 0.01, np.float32)
+
+
+@needs_native
+class TestNativeOpParity:
+    """Every ComputeKernel op: NativeKernel == NumpyKernel, bitwise."""
+
+    @pytest.fixture(scope="class")
+    def native(self):
+        return get_kernel("native")
+
+    @pytest.fixture(scope="class")
+    def rng_cls(self):
+        return np.random.default_rng(42)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_matmul_fp32(self, native, rng_cls, dtype):
+        x = rng_cls.normal(size=(7, 12)).astype(dtype)
+        w = rng_cls.normal(size=(12, 9)).astype(dtype)
+        bias = rng_cls.normal(size=9).astype(dtype)
+        assert eq(
+            native.matmul_fp32(x, w, dtype, bias=bias),
+            NUMPY_KERNEL.matmul_fp32(x, w, dtype, bias=bias),
+        )
+
+    @pytest.mark.parametrize("in_dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("out_dtype", [np.float32, np.float64])
+    def test_linear_int8(self, native, rng_cls, in_dtype, out_dtype):
+        x = rng_cls.normal(size=(2, 11, 16)).astype(in_dtype)
+        w_q = rng_cls.integers(-127, 128, size=(16, 10), dtype=np.int8)
+        bias = rng_cls.normal(size=10).astype(out_dtype)
+        got = native.linear_int8(
+            x, native.pack_weight_int8(w_q), 0.013, out_dtype, bias=bias
+        )
+        want = NUMPY_KERNEL.linear_int8(
+            x, NUMPY_KERNEL.pack_weight_int8(w_q), 0.013, out_dtype, bias=bias
+        )
+        assert got.dtype == want.dtype == out_dtype
+        assert eq(got, want)
+
+    def test_linear_int8_empty_batch(self, native, rng_cls):
+        w_q = rng_cls.integers(-127, 128, size=(8, 5), dtype=np.int8)
+        got = native.linear_int8(
+            np.empty((0, 8), dtype=np.float32),
+            native.pack_weight_int8(w_q),
+            0.1,
+            np.float32,
+        )
+        assert got.shape == (0, 5)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_quantize_scale_and_pack(self, native, rng_cls, dtype):
+        x = rng_cls.normal(size=(6, 33)).astype(dtype)
+        scale_native = native.quantize_scale(x)
+        scale_numpy = NUMPY_KERNEL.quantize_scale(x)
+        assert float(scale_native) == float(scale_numpy)
+        assert eq(
+            native.quantize_pack(x, scale_native),
+            NUMPY_KERNEL.quantize_pack(x, scale_numpy),
+        )
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_lut_eval(self, native, fast_registry, rng_cls, dtype):
+        table = fast_registry.lut("gelu", num_entries=16)
+        x = rng_cls.uniform(-8.0, 8.0, size=257).astype(dtype)
+        x[3] = np.nan
+        assert eq(native.lut_eval(table, x), NUMPY_KERNEL.lut_eval(table, x))
+        # strided input and explicit out buffer
+        assert eq(
+            native.lut_eval(table, x[::2]), NUMPY_KERNEL.lut_eval(table, x[::2])
+        )
+        out = np.empty_like(x)
+        result = native.lut_eval(table, x, out=out)
+        assert result is out
+        assert eq(out, NUMPY_KERNEL.lut_eval(table, x))
+
+    def test_lut_gelu_and_fused_bias(self, native, fast_registry, rng_cls):
+        op = LutGelu(fast_registry.lut("gelu", num_entries=16))
+        x = rng_cls.uniform(-12.0, 12.0, size=(9, 65)).astype(np.float32)
+        x[0, 0] = np.nan  # NaN propagation is part of the contract
+        bias = rng_cls.normal(size=65).astype(np.float32)
+        assert eq(native.lut_gelu(op, x.copy()), NUMPY_KERNEL.lut_gelu(op, x.copy()))
+        assert eq(
+            native.lut_gelu_bias(op, x.copy(), bias),
+            NUMPY_KERNEL.lut_gelu_bias(op, x.copy(), bias),
+        )
+
+    def test_lut_softmax(self, native, fast_registry, rng_cls):
+        op = LutSoftmax(
+            fast_registry.lut("exp", num_entries=16),
+            fast_registry.lut("reciprocal", num_entries=16),
+        )
+        x = rng_cls.normal(scale=3.0, size=(2, 3, 8, 8)).astype(np.float32)
+        assert eq(
+            native.lut_softmax(op, x.copy(), -1),
+            NUMPY_KERNEL.lut_softmax(op, x.copy(), -1),
+        )
+
+    def test_lut_layernorm(self, native, fast_registry, rng_cls):
+        op = LutLayerNorm(
+            fast_registry.lut("rsqrt", num_entries=16), scaler=InputScaler()
+        )
+        x = rng_cls.normal(size=(2, 7, 24)).astype(np.float32)
+        gamma = rng_cls.normal(1.0, 0.1, size=24).astype(np.float32)
+        beta = rng_cls.normal(0.0, 0.1, size=24).astype(np.float32)
+        assert eq(
+            native.lut_layernorm(op, x.copy(), gamma, beta),
+            NUMPY_KERNEL.lut_layernorm(op, x.copy(), gamma, beta),
+        )
+
+    def test_bias_epilogues(self, native, rng_cls):
+        x = rng_cls.normal(size=(33, 17)).astype(np.float32)
+        x[2, 2] = np.nan
+        bias = rng_cls.normal(size=17).astype(np.float32)
+        residual = rng_cls.normal(size=(33, 17)).astype(np.float32)
+        gamma = rng_cls.normal(1.0, 0.1, size=17).astype(np.float32)
+        beta = rng_cls.normal(size=17).astype(np.float32)
+        assert eq(
+            native.bias_residual(x.copy(), bias, residual),
+            NUMPY_KERNEL.bias_residual(x.copy(), bias, residual),
+        )
+        assert eq(
+            native.bias_relu(x.copy(), bias),
+            NUMPY_KERNEL.bias_relu(x.copy(), bias),
+        )
+        assert eq(
+            native.affine(x.copy(), gamma, beta),
+            NUMPY_KERNEL.affine(x.copy(), gamma, beta),
+        )
+
+    def test_threaded_results_bitwise_equal_single_thread(self, fast_registry):
+        """Row-block threading must not change a single bit of any output."""
+        threaded = NativeKernel(num_threads=4)
+        single = NativeKernel(num_threads=1)
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(256, 32)).astype(np.float32)
+        w_q = rng.integers(-127, 128, size=(32, 24), dtype=np.int8)
+        bias = rng.normal(size=24).astype(np.float32)
+        assert eq(
+            threaded.linear_int8(
+                x, threaded.pack_weight_int8(w_q), 0.02, np.float32, bias=bias
+            ),
+            single.linear_int8(
+                x, single.pack_weight_int8(w_q), 0.02, np.float32, bias=bias
+            ),
+        )
+        op = LutGelu(fast_registry.lut("gelu", num_entries=16))
+        big = rng.uniform(-8.0, 8.0, size=(256, 48)).astype(np.float32)
+        gelu_bias = rng.normal(size=48).astype(np.float32)
+        assert eq(
+            threaded.lut_gelu_bias(op, big.copy(), gelu_bias),
+            single.lut_gelu_bias(op, big.copy(), gelu_bias),
+        )
+
+
+@needs_native
+class TestNativeEngineParity:
+    """Sessions on the native kernel == numpy-kernel sessions, bitwise."""
+
+    @pytest.mark.parametrize("precision", ["fp32", "int8"])
+    @pytest.mark.parametrize("compute_dtype", ["float32", "float64"])
+    def test_forward_and_pooled(self, fast_registry, precision, compute_dtype):
+        rng = np.random.default_rng(9)
+        requests = [rng.integers(0, 100, size=length) for length in (5, 12, 9)]
+        sessions = {}
+        for kernel in ("numpy", "native"):
+            config = tiny_test_config(
+                matmul_precision=precision,
+                compute_dtype=compute_dtype,
+                kernel=kernel,
+            )
+            model = EncoderModel.initialize(config, seed=3)
+            sessions[kernel] = InferenceSession.from_model(
+                model, spec=BackendSpec.nn_lut(), registry=fast_registry
+            )
+        assert sessions["native"].backend.kernel is get_kernel("native")
+        assert sessions["native"].spec.kernel == "native"
+        assert sessions["numpy"].backend.kernel is None
+        for a, b in zip(
+            sessions["numpy"].forward(requests),
+            sessions["native"].forward(requests),
+        ):
+            assert np.array_equal(a, b)
+        assert np.array_equal(
+            sessions["numpy"].pooled(requests),
+            sessions["native"].pooled(requests),
+        )

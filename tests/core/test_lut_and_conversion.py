@@ -7,7 +7,12 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core.conversion import lut_matches_network, network_to_lut, network_to_lut_eq7
-from repro.core.lut import LookupTable
+from repro.core.lut import (
+    LookupTable,
+    evaluate_many,
+    lut_evaluation_stats,
+    reset_lut_evaluation_stats,
+)
 from repro.core.network import OneHiddenReluNet
 
 
@@ -125,3 +130,96 @@ class TestConversionEquivalence:
         assert lut_matches_network(
             fitted_gelu.network, fitted_gelu.lut, fitted_gelu.input_range
         )
+
+
+class TestNonContiguousEvaluate:
+    """Strided/transposed inputs take one explicit, counted contiguous copy."""
+
+    @pytest.fixture()
+    def lut(self):
+        return LookupTable(
+            breakpoints=np.array([-1.0, 0.0, 1.5]),
+            slopes=np.array([0.0, -0.5, 1.0, 2.0]),
+            intercepts=np.array([0.25, 0.0, -0.5, 1.0]),
+            name="test",
+        )
+
+    def test_strided_matches_contiguous(self, lut):
+        base = np.linspace(-3.0, 3.0, 64)
+        strided = base[::2]
+        assert not strided.flags.c_contiguous or strided.strides == base.strides
+        reset_lut_evaluation_stats()
+        got = lut.evaluate(base[::2])
+        stats = lut_evaluation_stats()
+        expected = lut.evaluate(np.ascontiguousarray(base[::2]))
+        np.testing.assert_array_equal(got, expected)
+        assert stats["evaluations"] == 1
+        assert stats["noncontiguous_inputs"] == 1
+        assert stats["contiguous_copies"] == 1
+
+    def test_transposed_matches_contiguous(self, lut):
+        rng = np.random.default_rng(7)
+        base = rng.normal(size=(16, 24))
+        transposed = base.T
+        assert not transposed.flags.c_contiguous
+        reset_lut_evaluation_stats()
+        got = lut.evaluate(transposed)
+        assert lut_evaluation_stats()["contiguous_copies"] == 1
+        np.testing.assert_array_equal(got, lut.evaluate(np.ascontiguousarray(base.T)))
+        assert got.shape == transposed.shape
+
+    def test_contiguous_input_is_not_copied(self, lut):
+        x = np.linspace(-2.0, 2.0, 33)
+        reset_lut_evaluation_stats()
+        lut.evaluate(x)
+        stats = lut_evaluation_stats()
+        assert stats["evaluations"] == 1
+        assert stats["noncontiguous_inputs"] == 0
+        assert stats["contiguous_copies"] == 0
+
+    def test_strided_input_does_not_mutate_source(self, lut):
+        base = np.linspace(-3.0, 3.0, 40)
+        backup = base.copy()
+        lut.evaluate(base[::2])
+        np.testing.assert_array_equal(base, backup)
+
+    def test_out_aliasing_strided_view_counts_without_copy(self, lut):
+        buf = np.linspace(-3.0, 3.0, 40)
+        view = buf[::2]
+        expected = lut.evaluate(view.copy())
+        reset_lut_evaluation_stats()
+        got = lut.evaluate(view, out=view)
+        stats = lut_evaluation_stats()
+        assert got is view
+        np.testing.assert_array_equal(view, expected)
+        # The alias forbids substituting a copy for the caller's buffer, so
+        # the strided traversal is counted but no copy is made.
+        assert stats["noncontiguous_inputs"] == 1
+        assert stats["contiguous_copies"] == 0
+
+    def test_distinct_out_with_strided_input_uses_copy(self, lut):
+        base = np.linspace(-3.0, 3.0, 40)
+        out = np.empty(20)
+        reset_lut_evaluation_stats()
+        got = lut.evaluate(base[::2], out=out)
+        stats = lut_evaluation_stats()
+        assert got is out
+        np.testing.assert_array_equal(out, lut.evaluate(base[::2].copy()))
+        assert stats["contiguous_copies"] == 1
+
+    def test_evaluate_many_accepts_strided_inputs(self, lut):
+        base = np.linspace(-3.0, 3.0, 48)
+        reset_lut_evaluation_stats()
+        (got,) = evaluate_many([(lut, base[::3], None)])
+        np.testing.assert_array_equal(got, lut.evaluate(base[::3].copy()))
+        assert lut_evaluation_stats()["contiguous_copies"] == 1
+
+    def test_reset_clears_counters(self, lut):
+        lut.evaluate(np.linspace(-1.0, 1.0, 9)[::2])
+        assert lut_evaluation_stats()["evaluations"] >= 1
+        reset_lut_evaluation_stats()
+        assert lut_evaluation_stats() == {
+            "evaluations": 0,
+            "noncontiguous_inputs": 0,
+            "contiguous_copies": 0,
+        }

@@ -9,6 +9,7 @@ float32 engine must stay within float32 rounding of it.
 import numpy as np
 import pytest
 
+from repro.core.kernels import native_available
 from repro.quant.fixed_point import compute_scale, quantize, quantized_matmul
 from repro.transformer import (
     CachedQuantizedLinear,
@@ -22,6 +23,17 @@ from repro.transformer import (
 from repro.transformer.models import EncoderModel
 
 PRECISIONS = ("fp32", "fp16", "int8")
+
+#: Both ComputeKernels; the native one skips on hosts without a C toolchain.
+KERNELS = (
+    "numpy",
+    pytest.param(
+        "native",
+        marks=pytest.mark.skipif(
+            not native_available(), reason="compiled native kernel unavailable"
+        ),
+    ),
+)
 
 
 def seed_linear_call(layer, x):
@@ -191,9 +203,10 @@ class TestQuantizeNonFinite:
 
 
 class TestEngineEndToEnd:
-    def test_float64_engine_reproduces_seed_forward(self, fast_registry):
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_float64_engine_reproduces_seed_forward(self, fast_registry, kernel):
         """Cached float64 model == uncached float64 model, bit for bit."""
-        config = tiny_test_config(compute_dtype="float64")
+        config = tiny_test_config(compute_dtype="float64", kernel=kernel)
         cached = EncoderModel.initialize(config, seed=3)
         uncached = EncoderModel.initialize(config, seed=3)
         for layer in uncached.encoder.layers:
@@ -214,9 +227,12 @@ class TestEngineEndToEnd:
             uncached.forward(tokens, backend=backend),
         )
 
-    def test_float32_engine_close_to_float64(self, fast_registry):
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_float32_engine_close_to_float64(self, fast_registry, kernel):
         ref = EncoderModel.initialize(tiny_test_config(compute_dtype="float64"), seed=5)
-        fast = EncoderModel.initialize(tiny_test_config(compute_dtype="float32"), seed=5)
+        fast = EncoderModel.initialize(
+            tiny_test_config(compute_dtype="float32", kernel=kernel), seed=5
+        )
         tokens = np.random.default_rng(1).integers(0, 100, size=(2, 10))
         backend = nn_lut_backend(registry=fast_registry)
         a = ref.forward(tokens, backend=backend)
