@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# One-stop pre-commit check: invariant static analysis + lint + benchmark
+# smoke.  Everything here also runs (or is gated) in tier-1; this script is
+# the fast local loop.
+#
+#   ./scripts/check.sh            # staticcheck + ruff (if installed) + bench smoke
+#   ./scripts/check.sh --fast     # staticcheck + ruff only (skip the bench smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== staticcheck (lock/race, lifecycle, dtype, pickle boundary, parity audit)"
+python -m repro.staticcheck src
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff (correctness rules from pyproject.toml)"
+    ruff check src tests benchmarks
+else
+    echo "== ruff not installed; skipping lint (pip install ruff to enable)"
+fi
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== benchmark smoke (tiny shapes, asserts the harness still runs end to end)"
+    # -c, not a stdin heredoc: the sharded benchmarks spawn workers, and
+    # multiprocessing's spawn re-runs __main__ by path — '<stdin>' is not a
+    # path, so a heredoc main kills every worker at bootstrap.
+    python -c '
+from benchmarks.regression import run_engine_benchmark
+
+report = run_engine_benchmark(mode="smoke")
+rows = len(report.get("end_to_end", {})) + len(report.get("operators", {}))
+assert rows > 0, "benchmark smoke produced no rows"
+print(f"benchmark smoke ok ({rows} rows)")
+'
+fi
+
+echo "== all checks passed"

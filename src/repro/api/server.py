@@ -384,15 +384,34 @@ def _per_future_error(exc: BaseException) -> BaseException:
     shared mutable state (and chains unrelated client-side tracebacks into
     each other).  Each future therefore gets its own copy, with the original
     attached as ``__cause__`` so nothing about the failure is lost.
+
+    This helper must *never* raise: it runs inside ``_worker_loop``'s error
+    path, and an escaping exception there kills the worker thread with the
+    batch's futures still unresolved — every client in the batch then hangs
+    until its own timeout, and the original error is silently eaten.  Exotic
+    exception classes can break both fallbacks in ways ``except Exception``
+    does not cover (a constructor or ``__reduce_ex__`` raising a
+    ``BaseException``, or a constructor returning a non-exception via
+    ``__new__``), so each stage catches ``BaseException`` and validates its
+    result; the last resort is a plain ``RuntimeError`` that still chains the
+    original as ``__cause__`` — degraded, never silent.
     """
     clone: BaseException | None = None
     try:
-        clone = type(exc)(*exc.args)
-    except Exception:
+        candidate = type(exc)(*exc.args)
+        if isinstance(candidate, BaseException):
+            clone = candidate
+    except BaseException:
+        clone = None
+    if clone is None:
         try:
-            clone = copy.copy(exc)
-        except Exception:
-            clone = RuntimeError(f"batch forward failed: {exc!r}")
+            candidate = copy.copy(exc)
+            if isinstance(candidate, BaseException):
+                clone = candidate
+        except BaseException:
+            clone = None
+    if clone is None:
+        clone = RuntimeError(f"batch forward failed: {exc!r}")
     clone.__traceback__ = None
     clone.__cause__ = exc
     return clone
@@ -537,7 +556,9 @@ class ServingQueue:
             if self._started:
                 return self
             self._started = True
-        self._live_workers = self.pool.num_replicas
+            # _worker_loop decrements this under the same lock as it exits;
+            # publishing it unguarded would race a worker that dies instantly.
+            self._live_workers = self.pool.num_replicas
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name="serving-scheduler", daemon=True
         )

@@ -51,6 +51,8 @@ batch never changes its numerics, but batch composition still does.
 
 from __future__ import annotations
 
+# staticcheck: pickle-boundary -- payloads here must survive pickling into spawned workers
+
 import multiprocessing
 import threading
 import time

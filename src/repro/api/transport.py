@@ -38,6 +38,8 @@ sharding: a socket transport implements the same two halves and slots into
 
 from __future__ import annotations
 
+# staticcheck: pickle-boundary -- payloads here must survive pickling into spawned workers
+
 import time
 from abc import ABC, abstractmethod
 from multiprocessing import shared_memory

@@ -24,6 +24,8 @@ allocating fresh temporaries at every step.
 
 from __future__ import annotations
 
+# staticcheck: hot-path -- float64 minted silently here breaks the compute_dtype contract
+
 from dataclasses import dataclass, field
 from typing import Callable
 

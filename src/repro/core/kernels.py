@@ -317,6 +317,19 @@ for _suf in ("f32", "f64"):
     )
 
 _BASE_FLAGS = ("-std=c11", "-O3", "-ffp-contract=off", "-shared", "-fPIC")
+
+
+def _extra_cflags() -> tuple:
+    """Escape-hatch flags (``REPRO_KERNEL_CFLAGS``), e.g. sanitizers.
+
+    They participate in the compile command *and* in the cache tag, so a
+    sanitizer build never collides with the regular cached .so.
+    """
+    raw = os.environ.get("REPRO_KERNEL_CFLAGS", "")
+    return tuple(raw.split()) if raw.strip() else ()
+
+
+
 #: tried in order; the first set that compiles wins (``-march=native``
 #: unlocks the VNNI int8 GEMM where the CPU has it).
 _FLAG_ATTEMPTS = (("-march=native",), ())
@@ -351,7 +364,7 @@ def _compile_library(compiler: str, source: str) -> Path:
     """Compile (or reuse) the shared library for ``source``; atomic on disk."""
     last_error: Exception | None = None
     for extra in _FLAG_ATTEMPTS:
-        flags = _BASE_FLAGS + extra
+        flags = _BASE_FLAGS + extra + _extra_cflags()
         tag = hashlib.sha256(
             "\x00".join((compiler, " ".join(flags), source)).encode()
         ).hexdigest()[:16]
@@ -363,16 +376,24 @@ def _compile_library(compiler: str, source: str) -> Path:
             cache.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
             os.close(fd)
-            cmd = [compiler, *flags, "-o", tmp, str(_SOURCE_PATH)]
-            proc = subprocess.run(
-                cmd, capture_output=True, text=True, timeout=120
-            )
-            if proc.returncode != 0:
-                os.unlink(tmp)
-                raise RuntimeError(
-                    f"{' '.join(cmd)} failed:\n{proc.stderr.strip()[:2000]}"
+            try:
+                cmd = [compiler, *flags, "-o", tmp, str(_SOURCE_PATH)]
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True, timeout=120
                 )
-            os.replace(tmp, target)  # concurrent builders converge here
+                if proc.returncode != 0:
+                    raise RuntimeError(
+                        f"{' '.join(cmd)} failed:\n{proc.stderr.strip()[:2000]}"
+                    )
+                os.replace(tmp, target)  # concurrent builders converge here
+            except BaseException:
+                # subprocess.run itself may raise (missing compiler binary,
+                # TimeoutExpired) — the temp .so must not outlive the attempt.
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
             return target
         except Exception as exc:  # try the next (more conservative) flag set
             last_error = exc
@@ -505,16 +526,16 @@ class NativeKernel(ComputeKernel):
         if threads <= 1:
             fn(0, rows)
             return
-        if self._pool is None:
-            with self._pool_lock:
-                if self._pool is None:
-                    self._pool = ThreadPoolExecutor(
-                        max_workers=self.num_threads,
-                        thread_name_prefix="repro-kernel",
-                    )
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.num_threads,
+                    thread_name_prefix="repro-kernel",
+                )
+            pool = self._pool
         bounds = np.linspace(0, rows, threads + 1).astype(int)
         futures = [
-            self._pool.submit(fn, int(bounds[i]), int(bounds[i + 1]))
+            pool.submit(fn, int(bounds[i]), int(bounds[i + 1]))
             for i in range(threads)
         ]
         for future in futures:

@@ -28,6 +28,8 @@ fix-up so it matches ``searchsorted(..., side="right")`` bit for bit.
 
 from __future__ import annotations
 
+# staticcheck: hot-path -- float64 minted silently here breaks the compute_dtype contract
+
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
@@ -351,7 +353,9 @@ class LookupTable:
 
     def _errors_on_grid(self, function, input_range, num_points: int) -> np.ndarray:
         """|LUT - function| on a dense grid (shared by the error helpers)."""
-        grid = np.linspace(float(input_range[0]), float(input_range[1]), num_points)
+        grid = np.linspace(
+            float(input_range[0]), float(input_range[1]), num_points, dtype=np.float64
+        )
         return np.abs(self.evaluate(grid) - np.asarray(function(grid)))
 
     def max_error(self, function, input_range, num_points: int = 10_000) -> float:

@@ -1,0 +1,57 @@
+"""Invariant-aware static analysis for this repository.
+
+The repo's value proposition is a set of *standing contracts* — bitwise
+float64 parity across every serving shape, one shared-memory weight copy per
+machine with unlink-on-all-paths, lock-guarded ``ServingQueue`` stats, and
+spec payloads that must survive the pickle boundary into ``ShardedPool``
+workers.  Nothing about a missed ``with self._lock`` or a silent float64
+upcast fails loudly at runtime; it surfaces (maybe) as a flaky test months
+later.  This package encodes those contracts as dependency-free,
+stdlib-``ast`` checkers so they are enforced *statically* on every run of
+the tier-1 suite:
+
+* ``unguarded-attr`` / ``wait-no-loop`` / ``notify-no-lock`` — lock
+  discipline (:mod:`.rules.locks`): attributes written under a class's lock
+  must not be touched unguarded elsewhere; ``Condition.wait`` belongs in a
+  ``while``-predicate loop; ``notify*`` requires the lock held.
+* ``resource-leak`` — resource lifecycle (:mod:`.rules.lifecycle`): every
+  ``SharedMemory(...)``, ``mkstemp(...)``, ``open(...)`` or socket
+  acquisition must reach its release on all paths (``finally``, an
+  except-cleanup handler, ownership transfer, or a context manager).
+* ``dtype-upcast`` — dtype discipline (:mod:`.rules.dtypes`): in modules
+  declared hot-path (``# staticcheck: hot-path``), constructs that silently
+  mint float64 (``np.zeros``/``np.empty``/... without ``dtype=``) are
+  flagged, protecting the ``compute_dtype`` parity contract.
+* ``pickle-unsafe`` — pickle boundary (:mod:`.rules.pickles`): in modules
+  declared a worker boundary (``# staticcheck: pickle-boundary``),
+  certainly-unpicklable values (lambdas, generators, nested functions,
+  lock-like attributes) must not be shipped through ``send``/``Process``.
+* ``parity-gap`` — parity-gate audit (:mod:`.rules.parity`): every public
+  forward-shaped serving entry point must be named by a float64-parity test.
+
+Run it as ``python -m repro.staticcheck [paths] [--format json|text]``;
+suppress a single finding with ``# staticcheck: ignore[rule-id]  -- reason``
+on (or directly above) the offending line; grandfather legacy findings in
+``staticcheck_baseline.json`` (one reason per entry).  The tier-1 smoke test
+gates **zero non-baseline findings over src/**.
+"""
+
+from .findings import Finding
+from .engine import (
+    Baseline,
+    ModuleSource,
+    Report,
+    analyze,
+    collect_sources,
+    default_rules,
+)
+
+__all__ = [
+    "Finding",
+    "Baseline",
+    "ModuleSource",
+    "Report",
+    "analyze",
+    "collect_sources",
+    "default_rules",
+]

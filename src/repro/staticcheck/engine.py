@@ -1,0 +1,238 @@
+"""Source collection, suppression/baseline handling, and the analyze() driver."""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "ModuleSource",
+    "Baseline",
+    "Report",
+    "analyze",
+    "collect_sources",
+    "default_rules",
+]
+
+_PRAGMA_RE = re.compile(r"#\s*staticcheck:\s*([a-z][a-z0-9-]*)\b")
+_IGNORE_RE = re.compile(r"#\s*staticcheck:\s*ignore\[([^\]]+)\]")
+
+#: Module-level declarations a pragma comment may carry.  ``ignore`` is
+#: handled separately (it is positional, not module-wide).
+MODULE_TAGS = frozenset({"hot-path", "pickle-boundary"})
+
+
+@dataclass
+class ModuleSource:
+    """One parsed Python module plus its staticcheck annotations."""
+
+    path: Path  # absolute
+    rel: str  # project-root-relative, posix separators
+    text: str
+    tree: ast.Module
+    tags: Set[str] = field(default_factory=set)
+    #: line number -> set of rule ids suppressed there ("*" = all rules)
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "ModuleSource":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        tags: Set[str] = set()
+        suppressions: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if "staticcheck" not in line:
+                continue
+            ignore = _IGNORE_RE.search(line)
+            if ignore:
+                rules = {r.strip() for r in ignore.group(1).split(",") if r.strip()}
+                suppressions.setdefault(lineno, set()).update(rules or {"*"})
+                # A comment-only line suppresses the statement below it; a
+                # trailing comment only its own line.
+                if line.lstrip().startswith("#"):
+                    suppressions.setdefault(lineno + 1, set()).update(rules or {"*"})
+                continue
+            for match in _PRAGMA_RE.finditer(line):
+                tag = match.group(1)
+                if tag in MODULE_TAGS:
+                    tags.add(tag)
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(
+            path=path,
+            rel=rel,
+            text=text,
+            tree=tree,
+            tags=tags,
+            suppressions=suppressions,
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True if an ``ignore[...]`` comment applies to the finding's line
+        (a trailing comment on the same line, or a comment-only line
+        directly above it) and names the rule or ``*``."""
+        rules = self.suppressions.get(finding.line)
+        return bool(rules) and ("*" in rules or finding.rule in rules)
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings, keyed by line-independent fingerprint."""
+
+    path: Optional[Path] = None
+    #: fingerprint -> reason
+    entries: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries: Dict[str, str] = {}
+        for entry in data.get("entries", []):
+            entries[entry["fingerprint"]] = entry.get("reason", "")
+        return cls(path=path, entries=entries)
+
+    def save(self, findings: Sequence[Finding], reasons: Optional[Dict[str, str]] = None) -> None:
+        if self.path is None:
+            raise ValueError("baseline has no backing path")
+        reasons = reasons or {}
+        entries = []
+        for fp in sorted({f.fingerprint for f in findings}):
+            reason = reasons.get(fp) or self.entries.get(fp) or "grandfathered (TODO: justify or fix)"
+            entries.append({"fingerprint": fp, "reason": reason})
+        payload = {
+            "comment": (
+                "Grandfathered staticcheck findings. Each entry must carry a reason; "
+                "remove the entry when the finding is fixed. Refresh with "
+                "`python -m repro.staticcheck src --write-baseline`."
+            ),
+            "version": 1,
+            "entries": entries,
+        }
+        self.path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    findings: List[Finding]  # new — these fail the gate
+    baselined: List[Finding]
+    suppressed: List[Finding]
+    stale_baseline: List[str]  # baseline fingerprints that no longer fire
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def default_rules() -> List[object]:
+    """Instantiate one of each built-in rule (import deferred so the
+    package can be introspected without pulling every rule in)."""
+    from .rules import ALL_RULES
+
+    return [cls() for cls in ALL_RULES]
+
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", "node_modules", ".venv", "venv"}
+
+
+def collect_sources(paths: Sequence[Path], root: Path) -> List[ModuleSource]:
+    files: List[Path] = []
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if any(part in _SKIP_DIRS or part.startswith(".") for part in sub.parts):
+                    continue
+                files.append(sub)
+        elif path.suffix == ".py":
+            files.append(path)
+    sources: List[ModuleSource] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        sources.append(ModuleSource.parse(path, root))
+    return sources
+
+
+def analyze(
+    paths: Sequence[Path],
+    *,
+    root: Optional[Path] = None,
+    tests_dir: Optional[Path] = None,
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Sequence[object]] = None,
+) -> Report:
+    """Run every rule over ``paths`` and split findings into
+    new / baselined / suppressed.
+
+    ``root`` anchors the relative paths used in fingerprints (defaults to
+    the current directory).  ``tests_dir`` feeds the parity audit; when
+    ``None`` the audit is skipped.
+    """
+    root = (root or Path.cwd()).resolve()
+    resolved_paths = [Path(p) for p in paths]
+    sources = collect_sources(resolved_paths, root)
+    if rules is None:
+        rules = default_rules()
+
+    raw: List[Finding] = []
+    by_rel = {src.rel: src for src in sources}
+    for rule in rules:
+        check_module = getattr(rule, "check_module", None)
+        if check_module is not None:
+            for src in sources:
+                raw.extend(check_module(src))
+        check_project = getattr(rule, "check_project", None)
+        if check_project is not None:
+            raw.extend(check_project(sources, tests_dir))
+
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    findings: List[Finding] = []
+    baselined: List[Finding] = []
+    suppressed: List[Finding] = []
+    fired: Set[str] = set()
+    for finding in raw:
+        src = by_rel.get(finding.path)
+        if src is not None and src.is_suppressed(finding):
+            suppressed.append(finding)
+            continue
+        if baseline is not None and baseline.matches(finding):
+            fired.add(finding.fingerprint)
+            baselined.append(finding)
+            continue
+        findings.append(finding)
+
+    stale: List[str] = []
+    if baseline is not None:
+        # Only report staleness for files that were actually scanned this
+        # run — a partial scan must not claim repo-wide entries are stale.
+        scanned = set(by_rel)
+        for fp in sorted(baseline.entries):
+            try:
+                fp_path = fp.split("|", 2)[1]
+            except IndexError:
+                fp_path = ""
+            if fp_path in scanned and fp not in fired:
+                stale.append(fp)
+
+    return Report(
+        findings=findings,
+        baselined=baselined,
+        suppressed=suppressed,
+        stale_baseline=stale,
+    )

@@ -1,0 +1,55 @@
+"""The finding record every checker produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Finding", "SEVERITIES"]
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``symbol`` is the *stable* identity of the finding — the enclosing
+    qualified scope plus the offending name (e.g. ``ServingQueue.start:
+    _live_workers``) — deliberately excluding the line number, so baseline
+    entries survive unrelated edits to the file.
+    """
+
+    rule: str
+    path: str  # project-root-relative, posix separators
+    line: int
+    col: int
+    message: str
+    symbol: str
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.rule}|{self.path}|{self.symbol}"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint,
+        }

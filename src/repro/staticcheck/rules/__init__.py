@@ -1,0 +1,24 @@
+"""Built-in rule set."""
+
+from .locks import LockDisciplineRule
+from .lifecycle import ResourceLifecycleRule
+from .dtypes import DtypeDisciplineRule
+from .pickles import PickleBoundaryRule
+from .parity import ParityGateRule
+
+ALL_RULES = (
+    LockDisciplineRule,
+    ResourceLifecycleRule,
+    DtypeDisciplineRule,
+    PickleBoundaryRule,
+    ParityGateRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "LockDisciplineRule",
+    "ResourceLifecycleRule",
+    "DtypeDisciplineRule",
+    "PickleBoundaryRule",
+    "ParityGateRule",
+]

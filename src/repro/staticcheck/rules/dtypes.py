@@ -1,0 +1,79 @@
+"""Dtype-discipline checker (``dtype-upcast``).
+
+In modules declared hot-path (``# staticcheck: hot-path``), numpy
+constructors that default to float64 must spell their ``dtype=`` out.
+A bare ``np.zeros(n)`` inside an fp32 pipeline silently mints float64,
+and the first binary op upcasts the whole tensor — exactly the class of
+bug the ``compute_dtype`` parity contract exists to prevent.
+
+Flagged without ``dtype=`` (always default to float64):
+``np.zeros/ones/empty/full/linspace/eye/identity``.  ``np.array`` /
+``np.asarray`` are flagged only when called on a *literal* (list/tuple/
+number): on an existing array they preserve its dtype, which is the
+codebase's deliberate idiom.  ``np.arange`` is excluded (integer args
+yield int64 — a different, intentional contract), as are the ``*_like``
+constructors (dtype-preserving).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..findings import Finding
+from ._common import call_name, iter_scoped_nodes
+
+__all__ = ["DtypeDisciplineRule"]
+
+_ALWAYS_FLOAT64 = {"zeros", "ones", "empty", "full", "linspace", "eye", "identity"}
+_LITERAL_ONLY = {"array", "asarray", "ascontiguousarray"}
+_NUMPY_ROOTS = {"np", "numpy"}
+
+
+class DtypeDisciplineRule:
+    rule_ids = ("dtype-upcast",)
+
+    def check_module(self, src) -> Iterable[Finding]:
+        if "hot-path" not in src.tags:
+            return []
+        findings: List[Finding] = []
+        for scope, node in iter_scoped_nodes(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or "." not in name:
+                continue
+            root, leaf = name.split(".", 1)[0], name.rsplit(".", 1)[-1]
+            if root not in _NUMPY_ROOTS:
+                continue
+            if any(kw.arg in ("dtype", "like") for kw in node.keywords):
+                continue
+            if leaf in _ALWAYS_FLOAT64:
+                pass
+            elif leaf in _LITERAL_ONLY and node.args and _is_literal(node.args[0]):
+                pass
+            else:
+                continue
+            findings.append(
+                Finding(
+                    rule="dtype-upcast",
+                    path=src.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"np.{leaf}(...) without dtype= mints float64 in a "
+                        "hot-path module; pass dtype= explicitly (float64 is "
+                        "fine — just say so)"
+                    ),
+                    symbol=f"{scope}:{leaf}",
+                )
+            )
+        return findings
+
+
+def _is_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return True
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float, complex)):
+        return True
+    return False

@@ -1,0 +1,291 @@
+"""Resource-lifecycle checker (``resource-leak``).
+
+Every acquisition of an OS-backed resource — ``SharedMemory(...)``,
+``tempfile.mkstemp()``, builtin ``open(...)``, ``socket.socket(...)`` —
+bound to a local variable must provably reach its release.  Accepted
+proofs, in the spirit of how this codebase actually manages ownership:
+
+* a release call (``v.close()/unlink()/release()/terminate()``,
+  ``os.close/unlink/remove/replace(v)``) inside a ``finally`` block or an
+  ``except`` handler of the same function (covers the
+  ``try: ... except BaseException: cleanup(); raise`` idiom);
+* an *immediate* release — the very next statement in the same block
+  (``fd, tmp = mkstemp(); os.close(fd)``): nothing can raise in between;
+* ownership transfer: the value is returned/yielded, stored into an
+  attribute/container (``self._blocks[name] = block``,
+  ``handles.append(block)``), or passed to another call — whoever
+  receives it owns it now.  Attribute storage only counts when the
+  enclosing class actually defines a teardown method
+  (``close``/``unlink``/``release``/``shutdown``/``__exit__``/``__del__``
+  or a ``weakref.finalize`` registration); stashing a handle on a class
+  with no teardown is still a leak.
+
+Acquisitions inside a ``with`` are inherently fine and never tracked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..findings import Finding
+from ._common import FunctionNode, call_name, self_attr
+
+__all__ = ["ResourceLifecycleRule"]
+
+_ACQUIRE_LEAVES = {"SharedMemory", "mkstemp", "socket"}
+_RELEASE_METHODS = {"close", "unlink", "release", "terminate", "shutdown"}
+_OS_RELEASE = {"os.close", "os.unlink", "os.remove", "os.replace", "os.rename"}
+_TEARDOWN_METHODS = {
+    "close",
+    "unlink",
+    "release",
+    "shutdown",
+    "terminate",
+    "__exit__",
+    "__del__",
+}
+
+
+def _is_acquire(call: ast.Call) -> Optional[str]:
+    name = call_name(call)
+    if name is None:
+        return None
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf in _ACQUIRE_LEAVES:
+        return leaf
+    if name == "open":
+        return "open"
+    return None
+
+
+def _class_has_teardown(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, FunctionNode) and stmt.name in _TEARDOWN_METHODS:
+            return True
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in ("weakref.finalize", "finalize"):
+                return True
+    return False
+
+
+class ResourceLifecycleRule:
+    rule_ids = ("resource-leak",)
+
+    def check_module(self, src) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        self._walk(src, src.tree, scope="<module>", cls=None, findings=findings)
+        return findings
+
+    def _walk(self, src, node: ast.AST, scope: str, cls, findings: List[Finding]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                name = child.name if scope == "<module>" else f"{scope}.{child.name}"
+                self._walk(src, child, name, child, findings)
+            elif isinstance(child, FunctionNode):
+                name = child.name if scope == "<module>" else f"{scope}.{child.name}"
+                self._check_function(src, child, name, cls, findings)
+                self._walk(src, child, name, cls, findings)
+            else:
+                self._walk(src, child, scope, cls, findings)
+
+    # -- per function ------------------------------------------------------
+
+    def _check_function(
+        self, src, func: ast.AST, scope: str, cls, findings: List[Finding]
+    ) -> None:
+        acquisitions: List[Tuple[str, str, ast.stmt, List[ast.stmt], int]] = []
+
+        def scan_block(stmts: List[ast.stmt]) -> None:
+            for idx, stmt in enumerate(stmts):
+                if isinstance(stmt, FunctionNode):
+                    continue  # nested function: handled as its own scope
+                if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                    kind = _is_acquire(stmt.value)
+                    if kind is not None:
+                        for var in _target_names(stmt.targets):
+                            acquisitions.append((var, kind, stmt, stmts, idx))
+                        for target in stmt.targets:
+                            attr = self_attr(target)
+                            if attr is None:
+                                continue
+                            # Acquired straight onto self: fine iff the class
+                            # can actually tear it down.
+                            if cls is None or not _class_has_teardown(cls):
+                                where = (
+                                    "a class with no teardown method"
+                                    if cls is not None
+                                    else "module state"
+                                )
+                                findings.append(
+                                    Finding(
+                                        rule="resource-leak",
+                                        path=src.rel,
+                                        line=stmt.lineno,
+                                        col=stmt.col_offset,
+                                        message=(
+                                            f"{kind}(...) handle self.{attr} is "
+                                            f"stored on {where}: nothing ever "
+                                            "closes it"
+                                        ),
+                                        symbol=f"{scope}:{attr}:{kind}",
+                                    )
+                                )
+                for _, value in ast.iter_fields(stmt):
+                    if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                        scan_block(value)
+                    elif isinstance(value, list):
+                        for item in value:
+                            if isinstance(item, ast.excepthandler):
+                                scan_block(item.body)
+                            elif isinstance(item, ast.withitem):
+                                pass
+
+        scan_block(getattr(func, "body", []))
+        if not acquisitions:
+            return
+
+        protected = _protected_release_vars(func)
+        for var, kind, stmt, block, idx in acquisitions:
+            if var in protected:
+                continue
+            if idx + 1 < len(block) and _stmt_releases(block[idx + 1], var):
+                continue
+            escape = _escapes(func, var, stmt)
+            if escape == "transfer":
+                continue
+            if escape == "attr":
+                if cls is not None and _class_has_teardown(cls):
+                    continue
+                where = "a class with no teardown method" if cls is not None else "module state"
+                findings.append(
+                    Finding(
+                        rule="resource-leak",
+                        path=src.rel,
+                        line=stmt.lineno,
+                        col=stmt.col_offset,
+                        message=(
+                            f"{kind}(...) handle {var!r} is stored on {where}: "
+                            "nothing ever closes it"
+                        ),
+                        symbol=f"{scope}:{var}:{kind}",
+                    )
+                )
+                continue
+            findings.append(
+                Finding(
+                    rule="resource-leak",
+                    path=src.rel,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    message=(
+                        f"{kind}(...) handle {var!r} has no release guaranteed on "
+                        "all paths (use try/finally, an except-cleanup handler, "
+                        "or a with block)"
+                    ),
+                    symbol=f"{scope}:{var}:{kind}",
+                )
+            )
+
+
+def _target_names(targets: Sequence[ast.expr]) -> List[str]:
+    names: List[str] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    names.append(elt.id)
+    return names
+
+
+def _releases_var(call: ast.Call, var: str) -> bool:
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == var
+        and func.attr in _RELEASE_METHODS
+    ):
+        return True
+    name = call_name(call)
+    if name in _OS_RELEASE and call.args:
+        first = call.args[0]
+        if isinstance(first, ast.Name) and first.id == var:
+            return True
+    return False
+
+
+def _stmt_releases(stmt: ast.stmt, var: str) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call) and _releases_var(node, var):
+            return True
+    return False
+
+
+def _protected_release_vars(func: ast.AST) -> Set[str]:
+    """Variables released inside a finally block or an except handler
+    somewhere in the function."""
+    protected: Set[str] = set()
+
+    def collect(stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    func_node = node.func
+                    if isinstance(func_node, ast.Attribute) and isinstance(
+                        func_node.value, ast.Name
+                    ):
+                        if func_node.attr in _RELEASE_METHODS:
+                            protected.add(func_node.value.id)
+                    name = call_name(node)
+                    if name in _OS_RELEASE and node.args:
+                        first = node.args[0]
+                        if isinstance(first, ast.Name):
+                            protected.add(first.id)
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try):
+            collect(node.finalbody)
+            for handler in node.handlers:
+                collect(handler.body)
+    return protected
+
+
+def _escapes(func: ast.AST, var: str, acquire_stmt: ast.stmt) -> Optional[str]:
+    """``"transfer"`` if ownership provably leaves the function,
+    ``"attr"`` if it is stashed on an attribute/container, else None."""
+    attr_store = False
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = node.value
+            if value is not None and _mentions(value, var):
+                return "transfer"
+        elif isinstance(node, ast.Assign) and node is not acquire_stmt:
+            stored = any(
+                isinstance(t, (ast.Attribute, ast.Subscript)) for t in node.targets
+            )
+            if stored and _mentions(node.value, var):
+                if any(
+                    isinstance(t, ast.Attribute) and self_attr(t) is not None
+                    for t in node.targets
+                ):
+                    attr_store = True
+                else:
+                    return "transfer"  # stored into a caller-visible container
+        elif isinstance(node, ast.Call):
+            if _releases_var(node, var):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == var:
+                    return "transfer"
+    return "attr" if attr_store else None
+
+
+def _mentions(expr: ast.expr, var: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == var for node in ast.walk(expr)
+    )

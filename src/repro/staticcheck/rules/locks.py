@@ -1,0 +1,387 @@
+"""Lock-discipline / race checker.
+
+Per class, infer the guard attributes (``self._lock = threading.Lock()``,
+``self._work = threading.Condition(self._lock)`` — the Condition aliases
+its underlying lock, so holding either holds both) and which instance
+attributes the class protects with them: an attribute with at least one
+*guarded* write outside ``__init__`` is considered lock-protected, and any
+access to it from another method without the owning lock held is flagged
+(``unguarded-attr``).  Also enforces the Condition idiom: ``G.wait()``
+must sit inside a ``while``-predicate loop (``wait-no-loop``) and
+``G.notify()/notify_all()`` requires the lock held (``notify-no-lock``).
+
+Heuristics that keep the rule honest on this codebase:
+
+* ``__init__`` (and ``__del__``/``__post_init__``) are construction /
+  teardown — single-threaded by contract, never flagged.
+* A method that calls ``self.G.acquire(...)`` manages the guard manually
+  (e.g. timed acquisition in ``_ShardClient.shutdown``); the static
+  with-block analysis cannot follow it, so the whole method is exempt.
+* Functions nested inside a method (thread targets, callbacks) start with
+  no locks held — they typically run later, on another thread.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Set
+
+from ..findings import Finding
+from ._common import FunctionNode, call_name, iter_functions, self_attr
+
+__all__ = ["LockDisciplineRule"]
+
+_GUARD_CTORS = {"Lock", "RLock", "Condition"}
+_EXEMPT_METHODS = {"__init__", "__del__", "__post_init__", "__enter__", "__exit__"}
+
+
+class _Access(NamedTuple):
+    attr: str
+    method: str
+    held: FrozenSet[str]  # group representatives held at this point
+    is_write: bool
+    line: int
+    col: int
+    manual_sync: bool
+
+
+class _ClassLocks:
+    """Guard discovery + alias grouping for one class."""
+
+    def __init__(self, node: ast.ClassDef) -> None:
+        self.node = node
+        self.guards: Set[str] = set()
+        self.cond_guards: Set[str] = set()
+        self._parent: Dict[str, str] = {}
+        self._discover()
+
+    def _find(self, name: str) -> str:
+        root = name
+        while self._parent.get(root, root) != root:
+            root = self._parent[root]
+        return root
+
+    def _union(self, a: str, b: str) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def group(self, name: str) -> str:
+        return self._find(name)
+
+    def _discover(self) -> None:
+        for _, func in iter_functions(self.node):
+            for stmt in ast.walk(func):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                value = stmt.value
+                if not isinstance(value, ast.Call):
+                    continue
+                ctor = call_name(value)
+                if ctor is None:
+                    continue
+                leaf = ctor.rsplit(".", 1)[-1]
+                if leaf not in _GUARD_CTORS:
+                    continue
+                for target in stmt.targets:
+                    attr = self_attr(target)
+                    if attr is None:
+                        continue
+                    self.guards.add(attr)
+                    self._parent.setdefault(attr, attr)
+                    if leaf == "Condition":
+                        self.cond_guards.add(attr)
+                        # Condition(self._lock) shares the lock: alias them.
+                        if value.args:
+                            inner = self_attr(value.args[0])
+                            if inner is not None:
+                                self.guards.add(inner)
+                                self._parent.setdefault(inner, inner)
+                                self._union(attr, inner)
+
+
+class LockDisciplineRule:
+    rule_ids = ("unguarded-attr", "wait-no-loop", "notify-no-lock")
+
+    def check_module(self, src) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(src, node))
+        return findings
+
+    # -- per class ---------------------------------------------------------
+
+    def _check_class(self, src, node: ast.ClassDef) -> List[Finding]:
+        locks = _ClassLocks(node)
+        if not locks.guards:
+            return []
+
+        accesses: List[_Access] = []
+        findings: List[Finding] = []
+
+        for method_name, func in iter_functions(node):
+            manual = self._manually_synchronized(func, locks)
+            self._walk_block(
+                src,
+                node.name,
+                method_name,
+                func.body,
+                held=frozenset(),
+                locks=locks,
+                accesses=accesses,
+                findings=findings,
+                manual_sync=manual,
+                in_while=False,
+            )
+
+        # Which attributes does the class actually protect?  An attribute
+        # counts as protected when some method other than __init__ writes it
+        # with a guard held.
+        owner_votes: Dict[str, Counter] = {}
+        for acc in accesses:
+            if acc.is_write and acc.held and acc.method not in _EXEMPT_METHODS:
+                owner_votes.setdefault(acc.attr, Counter()).update(acc.held)
+
+        for acc in accesses:
+            votes = owner_votes.get(acc.attr)
+            if not votes:
+                continue
+            if acc.method in _EXEMPT_METHODS or acc.manual_sync:
+                continue
+            owning = votes.most_common(1)[0][0]
+            if owning in acc.held:
+                continue
+            kind = "write" if acc.is_write else "read"
+            findings.append(
+                Finding(
+                    rule="unguarded-attr",
+                    path=src.rel,
+                    line=acc.line,
+                    col=acc.col,
+                    message=(
+                        f"{kind} of self.{acc.attr} without holding the lock "
+                        f"(self.{owning}) that guards its writes elsewhere in "
+                        f"{node.name}"
+                    ),
+                    symbol=f"{node.name}.{acc.method}:{acc.attr}",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _manually_synchronized(func: ast.AST, locks: _ClassLocks) -> bool:
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Call):
+                name = call_name(sub)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] == "self"
+                    and parts[1] in locks.guards
+                    and parts[2] == "acquire"
+                ):
+                    return True
+        return False
+
+    # -- guarded-region walk ----------------------------------------------
+
+    def _walk_block(
+        self,
+        src,
+        class_name: str,
+        method: str,
+        stmts: List[ast.stmt],
+        *,
+        held: FrozenSet[str],
+        locks: _ClassLocks,
+        accesses: List[_Access],
+        findings: List[Finding],
+        manual_sync: bool,
+        in_while: bool,
+    ) -> None:
+        for stmt in stmts:
+            self._walk_stmt(
+                src,
+                class_name,
+                method,
+                stmt,
+                held=held,
+                locks=locks,
+                accesses=accesses,
+                findings=findings,
+                manual_sync=manual_sync,
+                in_while=in_while,
+            )
+
+    def _walk_stmt(
+        self,
+        src,
+        class_name: str,
+        method: str,
+        stmt: ast.stmt,
+        *,
+        held: FrozenSet[str],
+        locks: _ClassLocks,
+        accesses: List[_Access],
+        findings: List[Finding],
+        manual_sync: bool,
+        in_while: bool,
+    ) -> None:
+        kwargs = dict(
+            held=held,
+            locks=locks,
+            accesses=accesses,
+            findings=findings,
+            manual_sync=manual_sync,
+            in_while=in_while,
+        )
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            new_held = set(held)
+            for item in stmt.items:
+                attr = self_attr(item.context_expr)
+                if attr is not None and attr in locks.guards:
+                    new_held.add(locks.group(attr))
+                else:
+                    self._scan_expr(src, class_name, method, item.context_expr, **kwargs)
+            self._walk_block(
+                src,
+                class_name,
+                method,
+                stmt.body,
+                **{**kwargs, "held": frozenset(new_held)},
+            )
+            return
+        if isinstance(stmt, FunctionNode):
+            # Nested function: runs later, possibly on another thread —
+            # analyse with nothing held, under a qualified scope name.
+            self._walk_block(
+                src,
+                class_name,
+                f"{method}.{stmt.name}",
+                stmt.body,
+                **{**kwargs, "held": frozenset()},
+            )
+            return
+        if isinstance(stmt, ast.While):
+            self._scan_expr(src, class_name, method, stmt.test, **kwargs)
+            self._walk_block(
+                src, class_name, method, stmt.body, **{**kwargs, "in_while": True}
+            )
+            self._walk_block(src, class_name, method, stmt.orelse, **kwargs)
+            return
+
+        # Generic statement: scan expressions, recurse into child blocks.
+        for field_name, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.expr):
+                is_store = field_name in ("target", "targets")
+                self._scan_expr(
+                    src, class_name, method, value, is_write=is_store, **kwargs
+                )
+            elif isinstance(value, list):
+                if value and isinstance(value[0], ast.stmt):
+                    self._walk_block(src, class_name, method, value, **kwargs)
+                elif field_name == "targets":
+                    for tgt in value:
+                        if isinstance(tgt, ast.expr):
+                            self._scan_expr(
+                                src, class_name, method, tgt, is_write=True, **kwargs
+                            )
+                else:
+                    for item in value:
+                        if isinstance(item, ast.expr):
+                            self._scan_expr(src, class_name, method, item, **kwargs)
+                        elif isinstance(item, ast.excepthandler):
+                            self._walk_block(src, class_name, method, item.body, **kwargs)
+                        elif isinstance(item, ast.withitem):  # pragma: no cover
+                            self._scan_expr(
+                                src, class_name, method, item.context_expr, **kwargs
+                            )
+
+    def _scan_expr(
+        self,
+        src,
+        class_name: str,
+        method: str,
+        expr: ast.expr,
+        *,
+        held: FrozenSet[str],
+        locks: _ClassLocks,
+        accesses: List[_Access],
+        findings: List[Finding],
+        manual_sync: bool,
+        in_while: bool,
+        is_write: bool = False,
+    ) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._check_cond_call(
+                    src, class_name, method, node, held, locks, findings, in_while
+                )
+            attr = self_attr(node)
+            if attr is None or attr in locks.guards:
+                continue
+            ctx_write = is_write and node is expr
+            if isinstance(getattr(node, "ctx", None), (ast.Store, ast.Del)):
+                ctx_write = True
+            accesses.append(
+                _Access(
+                    attr=attr,
+                    method=method,
+                    held=held,
+                    is_write=ctx_write,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    manual_sync=manual_sync,
+                )
+            )
+
+    def _check_cond_call(
+        self,
+        src,
+        class_name: str,
+        method: str,
+        call: ast.Call,
+        held: FrozenSet[str],
+        locks: _ClassLocks,
+        findings: List[Finding],
+        in_while: bool,
+    ) -> None:
+        name = call_name(call)
+        if name is None:
+            return
+        parts = name.split(".")
+        if len(parts) != 3 or parts[0] != "self" or parts[1] not in locks.guards:
+            return
+        guard, op = parts[1], parts[2]
+        if op == "wait" and guard in locks.cond_guards and not in_while:
+            findings.append(
+                Finding(
+                    rule="wait-no-loop",
+                    path=src.rel,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"self.{guard}.wait() outside a while-predicate loop: "
+                        "spurious wakeups make a bare wait incorrect"
+                    ),
+                    symbol=f"{class_name}.{method}:{guard}.wait",
+                )
+            )
+        elif op in ("notify", "notify_all") and locks.group(guard) not in held:
+            findings.append(
+                Finding(
+                    rule="notify-no-lock",
+                    path=src.rel,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"self.{guard}.{op}() without the condition's lock "
+                        "held raises RuntimeError at runtime"
+                    ),
+                    symbol=f"{class_name}.{method}:{guard}.{op}",
+                )
+            )

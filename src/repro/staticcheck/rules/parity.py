@@ -1,0 +1,83 @@
+"""Parity-gate audit (``parity-gap``).
+
+The repo's standing contract is that every serving shape is gated
+bitwise-equal to per-call inference under ``compute_dtype="float64"``.
+This project-level rule cross-references the public forward-shaped entry
+points of the serving surface (``api/`` modules) against ``tests/``: a
+public method named ``forward``/``forward_packed``/``pooled``/
+``classify``/``serve``/``serve_one``/``generate`` on a public class must
+be named — together with its class and the token ``float64`` — by at
+least one test file.  A new serving API with no parity test is exactly
+the rot this package exists to catch.
+
+The rule only runs when the analysis is given a tests directory (the CLI
+passes ``<root>/tests`` automatically when it exists), so scanning a
+stray file elsewhere never produces spurious gaps.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from ..findings import Finding
+from ._common import FunctionNode
+
+__all__ = ["ParityGateRule", "HOT_ENTRY_POINTS"]
+
+HOT_ENTRY_POINTS = frozenset(
+    {"forward", "forward_packed", "pooled", "classify", "serve", "serve_one", "generate"}
+)
+
+
+class ParityGateRule:
+    rule_ids = ("parity-gap",)
+
+    def check_project(
+        self, sources: Sequence[object], tests_dir: Optional[Path]
+    ) -> Iterable[Finding]:
+        if tests_dir is None or not Path(tests_dir).is_dir():
+            return []
+        test_texts: List[str] = []
+        for test_file in sorted(Path(tests_dir).rglob("test_*.py")):
+            try:
+                test_texts.append(test_file.read_text(encoding="utf-8"))
+            except OSError:
+                continue
+        findings: List[Finding] = []
+        for src in sources:
+            if "/api/" not in f"/{src.rel}":
+                continue
+            for node in ast.walk(src.tree):
+                if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+                    continue
+                for stmt in node.body:
+                    if not isinstance(stmt, FunctionNode):
+                        continue
+                    if stmt.name not in HOT_ENTRY_POINTS:
+                        continue
+                    if self._covered(node.name, stmt.name, test_texts):
+                        continue
+                    findings.append(
+                        Finding(
+                            rule="parity-gap",
+                            path=src.rel,
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                            message=(
+                                f"{node.name}.{stmt.name} is a public serving "
+                                "entry point but no test file names it together "
+                                "with a float64 parity check"
+                            ),
+                            symbol=f"{node.name}.{stmt.name}",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _covered(class_name: str, method: str, test_texts: List[str]) -> bool:
+        for text in test_texts:
+            if class_name in text and method in text and "float64" in text:
+                return True
+        return False

@@ -1,0 +1,113 @@
+"""Pickle-boundary checker (``pickle-unsafe``).
+
+In modules declared a worker boundary (``# staticcheck: pickle-boundary``)
+— the transport seam and the sharded-pool bootstrap — everything pushed
+through ``*.send(...)`` or handed to ``Process(target=..., args=...)``
+must survive pickling in a *spawned* child.  This rule is a syntactic
+deny-list for values that certainly will not:
+
+* lambdas and generator expressions;
+* functions defined *inside* the current function (spawn pickles by
+  qualified name; a closure-local function cannot be looked up);
+* ``self.<attr>`` where the attribute name screams unpicklable runtime
+  state (``lock``/``cond``/``thread``/``semaphore``/``executor``/
+  ``pool``/``sock``/``session``): locks and live sessions must be
+  reconstructed worker-side from spec payloads, never shipped.
+
+Spec dicts, ndarrays, fitted tables, and module-level worker mains all
+pass untouched — the allowlist is "everything this rule cannot prove
+broken", which matches how the seam is actually used.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Set
+
+from ..findings import Finding
+from ._common import FunctionNode, call_name, self_attr
+
+__all__ = ["PickleBoundaryRule"]
+
+_SUSPECT_ATTR = re.compile(
+    r"(lock|cond|thread|semaph|executor|pool|sock|session)", re.IGNORECASE
+)
+_SINK_METHODS = {"send"}
+_SPAWN_LEAVES = {"Process"}
+
+
+class PickleBoundaryRule:
+    rule_ids = ("pickle-unsafe",)
+
+    def check_module(self, src) -> Iterable[Finding]:
+        if "pickle-boundary" not in src.tags:
+            return []
+        findings: List[Finding] = []
+        self._walk(src, src.tree, "<module>", nested=set(), findings=findings)
+        return findings
+
+    def _walk(
+        self, src, node: ast.AST, scope: str, nested: Set[str], findings: List[Finding]
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.ClassDef, *FunctionNode)):
+                name = child.name if scope == "<module>" else f"{scope}.{child.name}"
+                # Names of functions nested one level deeper are closure-local
+                # from the perspective of child's body.
+                child_nested: Set[str] = set()
+                if isinstance(child, FunctionNode):
+                    child_nested = {
+                        stmt.name
+                        for stmt in child.body
+                        if isinstance(stmt, FunctionNode)
+                    }
+                self._walk(src, child, name, child_nested, findings)
+            else:
+                if isinstance(child, ast.Call):
+                    self._check_call(src, child, scope, nested, findings)
+                self._walk(src, child, scope, nested, findings)
+
+    def _check_call(
+        self, src, call: ast.Call, scope: str, nested: Set[str], findings: List[Finding]
+    ) -> None:
+        func = call.func
+        is_sink = isinstance(func, ast.Attribute) and func.attr in _SINK_METHODS
+        name = call_name(call)
+        is_spawn = name is not None and name.rsplit(".", 1)[-1] in _SPAWN_LEAVES
+        if not (is_sink or is_spawn):
+            return
+        payloads = list(call.args) + [kw.value for kw in call.keywords]
+        for payload in payloads:
+            for node in ast.walk(payload):
+                bad = self._classify(node, nested)
+                if bad is None:
+                    continue
+                kind, detail = bad
+                sink = "send()" if is_sink else "Process(...)"
+                findings.append(
+                    Finding(
+                        rule="pickle-unsafe",
+                        path=src.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{detail} shipped through {sink} will not survive "
+                            "the pickle boundary into a spawned worker"
+                        ),
+                        symbol=f"{scope}:{kind}",
+                    )
+                )
+
+    @staticmethod
+    def _classify(node: ast.AST, nested: Set[str]):
+        if isinstance(node, ast.Lambda):
+            return "lambda", "a lambda"
+        if isinstance(node, ast.GeneratorExp):
+            return "genexp", "a generator expression"
+        if isinstance(node, ast.Name) and node.id in nested:
+            return node.id, f"nested function {node.id!r}"
+        attr = self_attr(node)
+        if attr is not None and _SUSPECT_ATTR.search(attr):
+            return attr, f"self.{attr} (unpicklable runtime state by name)"
+        return None

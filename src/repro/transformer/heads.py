@@ -16,6 +16,8 @@ test — the paper's direct-approximation protocol.
 
 from __future__ import annotations
 
+# staticcheck: hot-path -- float64 minted silently here breaks the compute_dtype contract
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -53,8 +55,8 @@ class ClassificationHead:
         rng = np.random.default_rng(seed)
         num_samples, dim = features.shape
         weight = rng.normal(0.0, 0.01, size=(dim, num_classes))
-        bias = np.zeros(num_classes)
-        one_hot = np.eye(num_classes)[labels]
+        bias = np.zeros(num_classes, dtype=np.float64)
+        one_hot = np.eye(num_classes, dtype=np.float64)[labels]
         for _ in range(epochs):
             logits = features @ weight + bias
             probabilities = softmax(logits, axis=-1)
@@ -88,8 +90,10 @@ class RegressionHead:
         targets = np.asarray(targets, dtype=np.float64)
         if features.ndim != 2:
             raise ValueError(f"features must be 2-D, got shape {features.shape}")
-        design = np.concatenate([features, np.ones((features.shape[0], 1))], axis=1)
-        gram = design.T @ design + l2 * np.eye(design.shape[1])
+        design = np.concatenate(
+            [features, np.ones((features.shape[0], 1), dtype=np.float64)], axis=1
+        )
+        gram = design.T @ design + l2 * np.eye(design.shape[1], dtype=np.float64)
         solution = np.linalg.solve(gram, design.T @ targets)
         return cls(weight=solution[:-1], bias=float(solution[-1]))
 
@@ -139,8 +143,10 @@ class SpanHead:
         ).astype(np.float64)
 
         flat = token_features.reshape(-1, hidden)
-        design = np.concatenate([flat, np.ones((flat.shape[0], 1))], axis=1)
-        gram = design.T @ design + l2 * np.eye(design.shape[1])
+        design = np.concatenate(
+            [flat, np.ones((flat.shape[0], 1), dtype=np.float64)], axis=1
+        )
+        gram = design.T @ design + l2 * np.eye(design.shape[1], dtype=np.float64)
         solution = np.linalg.solve(gram, design.T @ membership.reshape(-1))
         return cls(weight=solution[:-1], bias=float(solution[-1]), max_span_length=max_span_length)
 

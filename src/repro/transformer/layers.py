@@ -23,6 +23,8 @@ reference path.
 
 from __future__ import annotations
 
+# staticcheck: hot-path -- float64 minted silently here breaks the compute_dtype contract
+
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
@@ -123,7 +125,7 @@ class Linear:
         """Gaussian initialisation with a 1/sqrt(fan_in) scale by default."""
         scale = scale if scale is not None else 1.0 / np.sqrt(in_features)
         weight = rng.normal(0.0, scale, size=(in_features, out_features))
-        bias = np.zeros(out_features)
+        bias = np.zeros(out_features, dtype=np.float64)
         return cls(
             weight=weight,
             bias=bias,
@@ -308,8 +310,8 @@ class NormParameters:
 
     @classmethod
     def initialize(cls, hidden_size: int, rng: np.random.Generator | None = None) -> "NormParameters":
-        gamma = np.ones(hidden_size)
-        beta = np.zeros(hidden_size)
+        gamma = np.ones(hidden_size, dtype=np.float64)
+        beta = np.zeros(hidden_size, dtype=np.float64)
         if rng is not None:
             # Mild random affine keeps frozen random encoders from being
             # perfectly symmetric across channels.

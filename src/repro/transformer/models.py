@@ -12,6 +12,8 @@ fine-tuning).
 
 from __future__ import annotations
 
+# staticcheck: hot-path -- float64 minted silently here breaks the compute_dtype contract
+
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
@@ -38,7 +40,7 @@ class _ZeroFillGenerator:
     """
 
     def normal(self, loc: float = 0.0, scale: float = 1.0, size=None) -> np.ndarray:
-        return np.zeros(() if size is None else size)
+        return np.zeros(() if size is None else size, dtype=np.float64)
 
 
 @dataclass

@@ -24,6 +24,8 @@ approximators (e.g. the benchmark harness's seed-path replicas).
 
 from __future__ import annotations
 
+# staticcheck: hot-path -- float64 minted silently here breaks the compute_dtype contract
+
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field

@@ -576,3 +576,79 @@ class TestLatencySplit:
         finally:
             gate.set()
             queue.close()
+
+
+class TestPerFutureErrorRobustness:
+    """The batch-failure clone helper must never raise (see _per_future_error).
+
+    Regression: the clone attempts were wrapped in ``except Exception``, so an
+    exception class whose re-construction raised a *BaseException* — or whose
+    ``__new__`` returned a non-exception — escaped the helper inside
+    ``_worker_loop``'s error path, killed the worker thread, and left every
+    future in the batch unresolved: the worker-side error was silently eaten
+    and clients hung until their own timeouts.
+    """
+
+    def test_baseexception_raising_constructor_is_contained(self):
+        from repro.api.server import _per_future_error
+
+        class Hostile(RuntimeError):
+            def __init__(self, *args):
+                if args and args[0] == "armed":
+                    raise KeyboardInterrupt("re-construction bomb")
+                super().__init__(*args)
+
+        original = Hostile("disarmed")
+        original.args = ("armed",)
+        clone = _per_future_error(original)  # must not raise KeyboardInterrupt
+        assert isinstance(clone, BaseException)
+        assert clone.__cause__ is original
+
+    def test_constructor_returning_non_exception_is_contained(self):
+        from repro.api.server import _per_future_error
+
+        class Weird(RuntimeError):
+            def __new__(cls, *args):
+                return 42  # copy.copy follows __reduce_ex__ into this too
+
+        original = RuntimeError.__new__(Weird)
+        original.args = ("x",)
+        clone = _per_future_error(original)  # must not AttributeError on 42
+        assert isinstance(clone, BaseException)
+        assert clone.__cause__ is original
+
+    def test_worker_error_is_delivered_not_silently_eaten(
+        self, pool64, fast_registry
+    ):
+        class Hostile(RuntimeError):
+            def __init__(self, *args):
+                if args and args[0] == "armed":
+                    raise KeyboardInterrupt("re-construction bomb")
+                super().__init__(*args)
+
+        pool = SessionPool.from_model(
+            pool64.model, spec=pool64.spec, registry=fast_registry,
+            num_replicas=1, max_batch_size=8,
+        )
+
+        def exploding_forward(requests):
+            exc = Hostile("disarmed")
+            exc.args = ("armed",)
+            raise exc
+
+        pool.sessions[0].forward = exploding_forward  # type: ignore[method-assign]
+        queue = ServingQueue(pool, max_wait_ms=10.0)
+        try:
+            rng = np.random.default_rng(11)
+            future = queue.submit(rng.integers(0, 100, size=6))
+            with pytest.raises(RuntimeError) as excinfo:
+                future.result(timeout=30)
+            assert isinstance(excinfo.value.__cause__, Hostile)
+            # The worker thread survived: the next request is also answered
+            # (with its own failure), not stranded behind a dead worker.
+            second = queue.submit(rng.integers(0, 100, size=4))
+            with pytest.raises(RuntimeError):
+                second.result(timeout=30)
+            assert queue.stats().failed == 2
+        finally:
+            queue.close()

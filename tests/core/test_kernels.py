@@ -340,3 +340,42 @@ class TestNativeEngineParity:
             sessions["numpy"].pooled(requests),
             sessions["native"].pooled(requests),
         )
+
+
+class TestCompileHygiene:
+    """Build-plumbing contracts: temp-file hygiene + the CFLAGS escape hatch."""
+
+    def test_failed_spawn_leaves_no_temp_files(self, monkeypatch, tmp_path):
+        # Regression: when subprocess.run itself raised (missing compiler
+        # binary, TimeoutExpired) the mkstemp'd temp .so was never removed —
+        # every failed attempt leaked a kernels cache entry.
+        from repro.core import kernels as K
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path))
+        with pytest.raises(RuntimeError, match="native kernel compilation failed"):
+            K._compile_library("/nonexistent/repro-test-cc", "int repro_probe;")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cflags_reach_the_compile_command_and_failures_stay_clean(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.core import kernels as K
+
+        compiler = K._find_compiler()
+        if compiler is None:
+            pytest.skip("no C compiler on this machine")
+        bogus = "-fdefinitely-not-a-real-flag"
+        monkeypatch.setenv("REPRO_KERNEL_CFLAGS", bogus)
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path))
+        with pytest.raises(RuntimeError) as excinfo:
+            K._compile_library(compiler, "cflags-probe-source")
+        assert bogus in str(excinfo.value)  # the escape hatch reached cc
+        assert list(tmp_path.iterdir()) == []  # and the failure left no litter
+
+    def test_extra_cflags_parsing(self, monkeypatch):
+        from repro.core.kernels import _extra_cflags
+
+        monkeypatch.delenv("REPRO_KERNEL_CFLAGS", raising=False)
+        assert _extra_cflags() == ()
+        monkeypatch.setenv("REPRO_KERNEL_CFLAGS", "  -g   -DPROBE=1 ")
+        assert _extra_cflags() == ("-g", "-DPROBE=1")

@@ -1,0 +1,20 @@
+"""Seeded dtype-discipline violations in a declared hot-path module."""
+
+# staticcheck: hot-path -- fixture module for the dtype rule
+
+import numpy as np
+
+
+def bad_alloc(n):
+    buffer = np.zeros(n)  # BAD: dtype-upcast (silent float64)
+    grid = np.linspace(0.0, 1.0, n)  # BAD: dtype-upcast
+    table = np.array([1.0, 2.0])  # BAD: literal without dtype
+    return buffer, grid, table
+
+
+def good_alloc(n, x):
+    buffer = np.zeros(n, dtype=np.float32)  # quiet: explicit
+    grid = np.linspace(0.0, 1.0, n, dtype=np.float64)  # quiet: deliberate
+    passthrough = np.asarray(x)  # quiet: dtype-preserving on an array
+    indices = np.arange(n)  # quiet: integer contract, excluded
+    return buffer, grid, passthrough, indices

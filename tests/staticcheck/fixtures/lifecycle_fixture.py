@@ -1,0 +1,76 @@
+"""Seeded resource-lifecycle violations and every accepted ownership proof."""
+
+import os
+import tempfile
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_block(size):
+    block = SharedMemory(create=True, size=size)  # BAD: resource-leak
+    header = bytes(block.buf[:8])
+    return header  # the handle itself never escapes, never closes
+
+
+def leaky_tmp():
+    fd, tmp = tempfile.mkstemp()  # BAD for 'tmp' (fd released next stmt)
+    os.close(fd)
+    payload = tmp.encode()
+    return payload
+
+
+def leaky_open(path):
+    handle = open(path)  # BAD: never closed
+    data = handle.read()
+    return data
+
+
+def finally_release(size):
+    block = SharedMemory(create=True, size=size)  # quiet: finally
+    try:
+        return bytes(block.buf[:8])
+    finally:
+        block.close()
+        block.unlink()
+
+
+def handler_release(path):
+    fd, tmp = tempfile.mkstemp()  # quiet: immediate close + handler unlink
+    os.close(fd)
+    try:
+        os.replace(tmp, path)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+
+
+def transfer_by_return(size):
+    block = SharedMemory(create=True, size=size)  # quiet: returned
+    return block
+
+
+def transfer_by_call(registry, size):
+    block = SharedMemory(create=True, size=size)  # quiet: handed off
+    registry.append(block)
+
+
+def with_block(path):
+    with open(path) as handle:  # quiet: context manager
+        return handle.read()
+
+
+class Store:
+    """Attribute storage is fine when the class has a teardown method."""
+
+    def __init__(self, size):
+        self._block = SharedMemory(create=True, size=size)  # quiet
+
+    def close(self):
+        self._block.close()
+        self._block.unlink()
+
+
+class LeakyStore:
+    """Attribute storage on a class with no teardown is still a leak."""
+
+    def __init__(self, size):
+        self._block = SharedMemory(create=True, size=size)  # BAD

@@ -1,0 +1,19 @@
+"""Parity-audit fixture: one covered entry point, one gap, one private class."""
+
+
+class CoveredPool:
+    def forward(self, requests):
+        return requests
+
+    def helper(self):  # not a hot entry point: never audited
+        return None
+
+
+class GapPool:
+    def classify(self, requests):  # BAD: no float64 test names this
+        return requests
+
+
+class _PrivatePool:
+    def forward(self, requests):  # private class: never audited
+        return requests

@@ -1,0 +1,10 @@
+"""Fake parity test corpus for the parity-audit fixture (never collected:
+the rule only reads this file as text).
+
+CoveredPool.forward is bitwise-gated under float64 here; GapPool is not.
+"""
+
+
+def check_covered_pool_forward_float64():
+    # mentions: CoveredPool, forward, float64 -> satisfies the audit
+    pass

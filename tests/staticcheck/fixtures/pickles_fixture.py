@@ -1,0 +1,39 @@
+"""Seeded pickle-boundary violations in a declared boundary module."""
+
+# staticcheck: pickle-boundary -- fixture module for the pickle rule
+
+import multiprocessing
+import threading
+
+
+def _worker_main(endpoint):
+    return endpoint
+
+
+class Shipper:
+    def __init__(self, conn):
+        self._conn = conn
+        self._lock = threading.Lock()
+        self._session = object()
+
+    def bad_sends(self, payload):
+        self._conn.send(lambda x: x)  # BAD: lambda
+        self._conn.send((i for i in payload))  # BAD: generator expression
+        self._conn.send(self._lock)  # BAD: lock attribute by name
+        self._conn.send(("state", self._session))  # BAD: session attribute
+
+    def bad_spawn(self, context):
+        def bootstrap(endpoint):
+            return endpoint
+
+        # BAD: nested function cannot be pickled by qualified name
+        return context.Process(target=bootstrap, args=(self._conn,))
+
+    def good_sends(self, spec_payload, tables):
+        self._conn.send(("init", spec_payload, tables))  # quiet: plain data
+
+    def good_spawn(self, context, endpoint):
+        # quiet: module-level target, picklable args
+        return multiprocessing.get_context("spawn").Process(
+            target=_worker_main, args=(endpoint,)
+        )

@@ -1,0 +1,14 @@
+"""Suppression-handling fixture: every seeded violation carries an ignore."""
+
+# staticcheck: hot-path -- fixture module for suppression handling
+
+import numpy as np
+
+
+def annotated(n):
+    buffer = np.zeros(n)  # staticcheck: ignore[dtype-upcast] -- fixture: same-line suppression
+    # staticcheck: ignore[dtype-upcast] -- fixture: previous-line suppression
+    grid = np.linspace(0.0, 1.0, n)
+    table = np.ones(n)  # staticcheck: ignore[*] -- fixture: wildcard suppression
+    unrelated = np.empty(n)  # staticcheck: ignore[resource-leak] -- wrong rule: must NOT suppress
+    return buffer, grid, table, unrelated

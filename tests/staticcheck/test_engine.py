@@ -1,0 +1,138 @@
+"""Suppressions, baseline handling, fingerprints, and the CLI."""
+
+import json
+from pathlib import Path
+
+from repro.staticcheck import Baseline, analyze
+from repro.staticcheck.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSuppressions:
+    def test_ignores_on_same_previous_and_wildcard_lines(self):
+        report = analyze([FIXTURES / "suppressed_fixture.py"], root=FIXTURES)
+        suppressed = sorted(f.symbol for f in report.suppressed)
+        assert suppressed == [
+            "annotated:linspace",  # previous-line ignore
+            "annotated:ones",  # wildcard ignore
+            "annotated:zeros",  # same-line ignore
+        ]
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        report = analyze([FIXTURES / "suppressed_fixture.py"], root=FIXTURES)
+        live = sorted(f.symbol for f in report.findings)
+        assert live == ["annotated:empty"]
+
+
+class TestBaseline:
+    def _one_finding(self):
+        report = analyze([FIXTURES / "dtypes_fixture.py"], root=FIXTURES)
+        assert report.findings
+        return report.findings[0]
+
+    def test_fingerprint_is_line_independent(self):
+        finding = self._one_finding()
+        assert finding.fingerprint == (
+            f"{finding.rule}|{finding.path}|{finding.symbol}"
+        )
+        assert str(finding.line) not in finding.fingerprint.split("|")
+
+    def test_baselined_findings_do_not_fail_the_gate(self):
+        finding = self._one_finding()
+        baseline = Baseline(entries={finding.fingerprint: "fixture"})
+        report = analyze(
+            [FIXTURES / "dtypes_fixture.py"], root=FIXTURES, baseline=baseline
+        )
+        assert finding.fingerprint in {f.fingerprint for f in report.baselined}
+        assert finding.fingerprint not in {f.fingerprint for f in report.findings}
+
+    def test_stale_entries_are_reported_for_scanned_files(self):
+        stale_fp = "dtype-upcast|dtypes_fixture.py|nowhere:zeros"
+        baseline = Baseline(entries={stale_fp: "obsolete"})
+        report = analyze(
+            [FIXTURES / "dtypes_fixture.py"], root=FIXTURES, baseline=baseline
+        )
+        assert stale_fp in report.stale_baseline
+
+    def test_partial_scans_do_not_mark_other_files_stale(self):
+        other_fp = "dtype-upcast|some/other/file.py|f:zeros"
+        baseline = Baseline(entries={other_fp: "not scanned here"})
+        report = analyze(
+            [FIXTURES / "dtypes_fixture.py"], root=FIXTURES, baseline=baseline
+        )
+        assert other_fp not in report.stale_baseline
+
+    def test_save_round_trips_reasons(self, tmp_path):
+        finding = self._one_finding()
+        path = tmp_path / "baseline.json"
+        baseline = Baseline(path=path)
+        baseline.save([finding], reasons={finding.fingerprint: "because"})
+        loaded = Baseline.load(path)
+        assert loaded.entries == {finding.fingerprint: "because"}
+
+
+class TestCli:
+    def test_exit_one_on_findings_and_json_output(self, capsys):
+        code = cli_main(
+            [
+                str(FIXTURES / "dtypes_fixture.py"),
+                "--root",
+                str(FIXTURES),
+                "--no-baseline",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert not payload["ok"]
+        assert {f["rule"] for f in payload["findings"]} == {"dtype-upcast"}
+
+    def test_exit_zero_on_clean_input(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert cli_main([str(clean), "--root", str(tmp_path)]) == 0
+
+    def test_rules_filter(self, capsys):
+        code = cli_main(
+            [
+                str(FIXTURES / "dtypes_fixture.py"),
+                "--root",
+                str(FIXTURES),
+                "--no-baseline",
+                "--rules",
+                "resource-leak",
+            ]
+        )
+        assert code == 0  # dtype findings filtered out
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        args = [
+            str(FIXTURES / "dtypes_fixture.py"),
+            "--root",
+            str(FIXTURES),
+            "--baseline",
+            str(baseline),
+        ]
+        assert cli_main(args + ["--write-baseline"]) == 0
+        assert baseline.is_file()
+        entries = json.loads(baseline.read_text())["entries"]
+        assert entries and all(e["reason"] for e in entries)
+        # With the freshly written baseline the same scan gates clean.
+        assert cli_main(args) == 0
+
+    def test_text_output_names_rule_and_location(self, capsys):
+        code = cli_main(
+            [
+                str(FIXTURES / "locks_fixture.py"),
+                "--root",
+                str(FIXTURES),
+                "--no-baseline",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "locks_fixture.py:" in out
+        assert "[unguarded-attr]" in out
