@@ -446,8 +446,16 @@ class _ShardClient:
                 raise
         if status == "ok":
             return value
+        if status == "error":
+            raise RuntimeError(
+                f"shard worker {self.index} raised while serving {op!r}:\n{value}"
+            )
+        # Anything else means the channel desynchronised (a stale reply or
+        # protocol drift between client and worker) — say so instead of
+        # presenting the payload as a worker traceback.
         raise RuntimeError(
-            f"shard worker {self.index} raised while serving {op!r}:\n{value}"
+            f"shard worker {self.index} sent unexpected status {status!r} "
+            f"while serving {op!r}"
         )
 
     def wait_ready(self, timeout_s: float) -> None:
@@ -464,8 +472,13 @@ class _ShardClient:
                 ) from exc
         if status == "ready":
             return
+        if status == "error":
+            raise RuntimeError(
+                f"shard worker {self.index} failed to initialise:\n{value}"
+            )
         raise RuntimeError(
-            f"shard worker {self.index} failed to initialise:\n{value}"
+            f"shard worker {self.index} sent unexpected status {status!r} "
+            "during initialisation"
         )
 
     # ------------------------------------------------------------------ #

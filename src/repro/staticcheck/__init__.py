@@ -27,12 +27,30 @@ the tier-1 suite:
   certainly-unpicklable values (lambdas, generators, nested functions,
   lock-like attributes) must not be shipped through ``send``/``Process``.
 * ``parity-gap`` — parity-gate audit (:mod:`.rules.parity`): every public
-  forward-shaped serving entry point must be named by a float64-parity test.
+  forward-shaped serving entry point must be named by a float64-parity test,
+  attributed to the concrete leaf class (defined *and* inherited methods).
 
-Run it as ``python -m repro.staticcheck [paths] [--format json|text]``;
-suppress a single finding with ``# staticcheck: ignore[rule-id]  -- reason``
-on (or directly above) the offending line; grandfather legacy findings in
-``staticcheck_baseline.json`` (one reason per entry).  The tier-1 smoke test
+The analysis is **whole-program**: phase 1 parses every file once and
+builds shared project facts (:mod:`.facts`) — class index + MRO, call
+graph (``self.m()`` / cross-module / subclass dispatch), per-function
+lock-acquisition and blocking summaries — and phase 2 runs per-module
+rules over each file plus interprocedural rules over the linked facts:
+
+* ``lock-order`` (:mod:`.rules.lockorder`): the global lock-acquisition
+  graph must be cycle-free between distinct locks (ABBA deadlocks).
+* ``blocking-under-lock`` (:mod:`.rules.lockorder`): no blocking op —
+  direct or transitively reachable through calls — while a ``threading``
+  lock is held, except a condition waiting on its own aliased lock.
+* ``spec-drift`` / ``opcode-unhandled`` (:mod:`.rules.specdrift`):
+  ``to_dict``/``from_dict`` pairs must write/read/default fields
+  consistently, and every control-message opcode sent across the worker
+  boundary must have a handler in the boundary group.
+
+Run it as ``python -m repro.staticcheck [paths] [--format text|json|sarif]
+[--diff GIT_REF] [--jobs N]``; suppress a single finding with
+``# staticcheck: ignore[rule-id]  -- reason`` on (or directly above) the
+offending line; grandfather legacy findings in ``staticcheck_baseline.json``
+(one reason per entry; stale entries fail the gate).  The tier-1 smoke test
 gates **zero non-baseline findings over src/**.
 """
 

@@ -9,10 +9,18 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .engine import Baseline, Report, analyze, default_rules
+from .gitdiff import GitDiffError, changed_lines
+from .sarif import to_sarif
 
 __all__ = ["main", "build_parser"]
 
 DEFAULT_BASELINE_NAME = "staticcheck_baseline.json"
+
+#: Exit-code contract (scripts/check.sh and CI rely on it):
+#:   0 — gate clean (no non-baselined, non-suppressed findings)
+#:   1 — at least one live finding (or a stale baseline entry)
+#:   2 — usage / environment error (bad --diff ref, unreadable baseline)
+EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE = 0, 1, 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,7 +37,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="files/directories to analyse (default: src/ if it exists, else .)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt"
+        "--format", choices=("text", "json", "sarif"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--diff",
+        metavar="GIT_REF",
+        default=None,
+        help=(
+            "only report findings on lines/symbols changed since GIT_REF "
+            "(facts are still built over everything scanned); stale-baseline "
+            "checking is disabled in this mode"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "phase-1 parser processes (default: auto — serial below "
+            "the parallel threshold, else one per core up to 8)"
+        ),
     )
     parser.add_argument(
         "--root",
@@ -89,8 +116,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.write_baseline:
             baseline = Baseline(path=baseline_path)
 
+    diff_lines = None
+    if args.diff is not None:
+        try:
+            diff_lines = changed_lines(args.diff, root)
+        except GitDiffError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
     report = analyze(
-        paths, root=root, tests_dir=tests_dir, baseline=baseline, rules=default_rules()
+        paths,
+        root=root,
+        tests_dir=tests_dir,
+        baseline=baseline,
+        rules=default_rules(),
+        jobs=args.jobs,
+        changed_lines=diff_lines,
     )
 
     if args.rules:
@@ -113,7 +154,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
 
-    if args.fmt == "json":
+    if args.fmt == "sarif":
+        reasons = baseline.entries if baseline is not None else {}
+        print(json.dumps(to_sarif(report, baseline_reasons=reasons), indent=2))
+    elif args.fmt == "json":
         print(
             json.dumps(
                 {
@@ -142,7 +186,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         stream = sys.stderr if report.findings else sys.stdout
         print(summary, file=stream)
 
-    return 0 if report.ok else 1
+    return EXIT_CLEAN if report.ok else EXIT_FINDINGS
 
 
 if __name__ == "__main__":  # pragma: no cover

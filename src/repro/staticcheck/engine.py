@@ -1,20 +1,37 @@
-"""Source collection, suppression/baseline handling, and the analyze() driver."""
+"""Source collection, caching, fan-out, and the two-phase analyze() driver.
+
+Phase 1 (per file, embarrassingly parallel): parse, run the per-module
+rules, and extract the picklable :mod:`.facts` bundle.  Results are cached
+in-process by content hash — repeated ``analyze()`` calls over an unchanged
+tree (the tier-1 suite runs several) skip straight to phase 2 — and can fan
+out over a ``multiprocessing`` pool when the file count is large enough to
+amortise the fork (``jobs=`` or ``REPRO_STATICCHECK_JOBS`` override the
+auto-threshold).
+
+Phase 2 (whole program, in the parent): link the module facts into one
+:class:`~.facts.ProjectFacts` — class index with MRO, call graph, lock and
+blocking summaries — and hand a :class:`RuleContext` to every project rule.
+"""
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
+import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from .facts import ModuleFacts, ProjectFacts, extract_module_facts, link
 from .findings import Finding
 
 __all__ = [
     "ModuleSource",
     "Baseline",
     "Report",
+    "RuleContext",
     "analyze",
     "collect_sources",
     "default_rules",
@@ -27,18 +44,29 @@ _IGNORE_RE = re.compile(r"#\s*staticcheck:\s*ignore\[([^\]]+)\]")
 #: handled separately (it is positional, not module-wide).
 MODULE_TAGS = frozenset({"hot-path", "pickle-boundary"})
 
+#: Below this many files a fork pool costs more than it saves; the tier-1
+#: tree sits under it on purpose.  ``jobs=`` / REPRO_STATICCHECK_JOBS force
+#: either way.
+PARALLEL_THRESHOLD = 80
+
 
 @dataclass
 class ModuleSource:
-    """One parsed Python module plus its staticcheck annotations."""
+    """One parsed Python module plus its staticcheck annotations.
+
+    ``tree`` is absent when the module came back from a worker process or
+    the phase-1 cache — per-module rules already ran against it there, and
+    project rules consume :attr:`facts` instead.
+    """
 
     path: Path  # absolute
     rel: str  # project-root-relative, posix separators
     text: str
-    tree: ast.Module
+    tree: Optional[ast.Module]
     tags: Set[str] = field(default_factory=set)
     #: line number -> set of rule ids suppressed there ("*" = all rules)
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    facts: Optional[ModuleFacts] = None
 
     @classmethod
     def parse(cls, path: Path, root: Path) -> "ModuleSource":
@@ -46,27 +74,32 @@ class ModuleSource:
         tree = ast.parse(text, filename=str(path))
         tags: Set[str] = set()
         suppressions: Dict[int, Set[str]] = {}
-        for lineno, line in enumerate(text.splitlines(), start=1):
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, start=1):
             if "staticcheck" not in line:
                 continue
             ignore = _IGNORE_RE.search(line)
             if ignore:
                 rules = {r.strip() for r in ignore.group(1).split(",") if r.strip()}
-                suppressions.setdefault(lineno, set()).update(rules or {"*"})
+                rules = rules or {"*"}
+                suppressions.setdefault(lineno, set()).update(rules)
                 # A comment-only line suppresses the statement below it; a
-                # trailing comment only its own line.
+                # trailing comment only its own line.  Decorators are
+                # transparent: an ignore above ``@decorator`` lines reaches
+                # the ``def``/``class`` they decorate.
                 if line.lstrip().startswith("#"):
-                    suppressions.setdefault(lineno + 1, set()).update(rules or {"*"})
+                    target = lineno + 1
+                    while target <= len(lines) and lines[target - 1].lstrip().startswith("@"):
+                        suppressions.setdefault(target, set()).update(rules)
+                        target += 1
+                    suppressions.setdefault(target, set()).update(rules)
                 continue
             for match in _PRAGMA_RE.finditer(line):
                 tag = match.group(1)
                 if tag in MODULE_TAGS:
                     tags.add(tag)
-        try:
-            rel = path.resolve().relative_to(root.resolve()).as_posix()
-        except ValueError:
-            rel = path.as_posix()
-        return cls(
+        rel = _rel_for(path, root)
+        source = cls(
             path=path,
             rel=rel,
             text=text,
@@ -74,6 +107,8 @@ class ModuleSource:
             tags=tags,
             suppressions=suppressions,
         )
+        source.facts = extract_module_facts(rel, tree, tags)
+        return source
 
     def is_suppressed(self, finding: Finding) -> bool:
         """True if an ``ignore[...]`` comment applies to the finding's line
@@ -81,6 +116,13 @@ class ModuleSource:
         directly above it) and names the rule or ``*``."""
         rules = self.suppressions.get(finding.line)
         return bool(rules) and ("*" in rules or finding.rule in rules)
+
+
+def _rel_for(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
 
 
 @dataclass
@@ -130,10 +172,28 @@ class Report:
     baselined: List[Finding]
     suppressed: List[Finding]
     stale_baseline: List[str]  # baseline fingerprints that no longer fire
+    facts: Optional[ProjectFacts] = None
 
     @property
     def ok(self) -> bool:
-        return not self.findings
+        # A stale baseline entry fails the gate too: the entry documents a
+        # finding that no longer exists, so the baseline is lying about
+        # the tree until it is pruned.
+        return not self.findings and not self.stale_baseline
+
+
+@dataclass
+class RuleContext:
+    """Everything a project-level rule may ask for.
+
+    ``facts`` is the whole-program view (class index + MRO, call graph,
+    lock/blocking summaries); ``sources`` carries per-file text and
+    suppressions; ``tests_dir`` feeds the parity audit.
+    """
+
+    sources: List[ModuleSource]
+    tests_dir: Optional[Path]
+    facts: ProjectFacts
 
 
 def default_rules() -> List[object]:
@@ -147,7 +207,7 @@ def default_rules() -> List[object]:
 _SKIP_DIRS = {"__pycache__", ".git", ".hg", "node_modules", ".venv", "venv"}
 
 
-def collect_sources(paths: Sequence[Path], root: Path) -> List[ModuleSource]:
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
     files: List[Path] = []
     seen: Set[Path] = set()
     for path in paths:
@@ -155,19 +215,122 @@ def collect_sources(paths: Sequence[Path], root: Path) -> List[ModuleSource]:
             for sub in sorted(path.rglob("*.py")):
                 if any(part in _SKIP_DIRS or part.startswith(".") for part in sub.parts):
                     continue
-                files.append(sub)
+                sub = sub.resolve()
+                if sub not in seen:
+                    seen.add(sub)
+                    files.append(sub)
         elif path.suffix == ".py":
-            files.append(path)
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(resolved)
+    return files
+
+
+def collect_sources(paths: Sequence[Path], root: Path) -> List[ModuleSource]:
+    return [ModuleSource.parse(path, root) for path in _collect_files(paths)]
+
+
+# --------------------------------------------------------------------------- #
+# Phase 1: parse + per-module rules + fact extraction (cached, parallel)
+# --------------------------------------------------------------------------- #
+#: (path, root, sha256, rule-key) -> (ModuleSource without tree, findings)
+_PHASE1_CACHE: Dict[Tuple[str, str, str, str], Tuple[ModuleSource, List[Finding]]] = {}
+_PHASE1_CACHE_MAX = 4096
+
+
+def _module_rule_key(rules: Sequence[object]) -> str:
+    return ",".join(
+        sorted(type(r).__name__ for r in rules if hasattr(r, "check_module"))
+    )
+
+
+def _run_phase1(path: Path, root: Path, rules: Sequence[object]) -> Tuple[ModuleSource, List[Finding]]:
+    """Parse one file, run per-module rules, drop the tree."""
+    source = ModuleSource.parse(path, root)
+    findings: List[Finding] = []
+    for rule in rules:
+        check_module = getattr(rule, "check_module", None)
+        if check_module is not None:
+            findings.extend(check_module(source))
+    source.tree = None  # picklable + cache-friendly; phase 2 uses facts
+    return source, findings
+
+
+def _phase1_worker(args: Tuple[str, str, Sequence[object]]):
+    path_str, root_str, rules = args
+    source, findings = _run_phase1(Path(path_str), Path(root_str), rules)
+    return source, findings
+
+
+def _resolve_jobs(jobs: Optional[int], file_count: int) -> int:
+    if jobs is None:
+        env = os.environ.get("REPRO_STATICCHECK_JOBS")
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = None
+    if jobs is None:
+        if file_count < PARALLEL_THRESHOLD:
+            return 1
+        jobs = min(os.cpu_count() or 1, 8)
+    return max(1, jobs)
+
+
+def _load_modules(
+    files: Sequence[Path],
+    root: Path,
+    rules: Sequence[object],
+    jobs: Optional[int],
+) -> Tuple[List[ModuleSource], List[Finding]]:
+    rule_key = _module_rule_key(rules)
     sources: List[ModuleSource] = []
+    findings: List[Finding] = []
+    missing: List[Path] = []
+    keys: Dict[Path, Tuple[str, str, str, str]] = {}
     for path in files:
-        resolved = path.resolve()
-        if resolved in seen:
-            continue
-        seen.add(resolved)
-        sources.append(ModuleSource.parse(path, root))
-    return sources
+        sha = hashlib.sha256(path.read_bytes()).hexdigest()
+        key = (str(path), str(root.resolve()), sha, rule_key)
+        keys[path] = key
+        if key not in _PHASE1_CACHE:
+            missing.append(path)
+
+    if missing:
+        n_jobs = _resolve_jobs(jobs, len(missing))
+        produced: Dict[str, Tuple[ModuleSource, List[Finding]]] = {}
+        if n_jobs > 1:
+            import multiprocessing
+
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # platform without fork: stay serial
+                ctx = None
+            if ctx is not None:
+                work = [(str(p), str(root), rules) for p in missing]
+                with ctx.Pool(processes=min(n_jobs, len(work))) as pool:
+                    for source, file_findings in pool.map(_phase1_worker, work):
+                        produced[str(source.path)] = (source, file_findings)
+            else:
+                n_jobs = 1
+        if n_jobs <= 1:
+            for path in missing:
+                produced[str(path)] = _run_phase1(path, root, rules)
+        if len(_PHASE1_CACHE) > _PHASE1_CACHE_MAX:
+            _PHASE1_CACHE.clear()
+        for path in missing:
+            _PHASE1_CACHE[keys[path]] = produced[str(path)]
+
+    for path in files:
+        source, file_findings = _PHASE1_CACHE[keys[path]]
+        sources.append(source)
+        findings.extend(file_findings)
+    return sources, list(findings)
 
 
+# --------------------------------------------------------------------------- #
+# The driver
+# --------------------------------------------------------------------------- #
 def analyze(
     paths: Sequence[Path],
     *,
@@ -175,30 +338,36 @@ def analyze(
     tests_dir: Optional[Path] = None,
     baseline: Optional[Baseline] = None,
     rules: Optional[Sequence[object]] = None,
+    jobs: Optional[int] = None,
+    changed_lines: Optional[Mapping[str, Set[int]]] = None,
 ) -> Report:
     """Run every rule over ``paths`` and split findings into
     new / baselined / suppressed.
 
     ``root`` anchors the relative paths used in fingerprints (defaults to
     the current directory).  ``tests_dir`` feeds the parity audit; when
-    ``None`` the audit is skipped.
+    ``None`` the audit is skipped.  ``jobs`` forces the phase-1 fan-out
+    width (default: auto).  ``changed_lines`` (rel path -> line numbers)
+    restricts *reported* findings to changed lines or functions containing
+    them — the diff mode of the CLI; facts are still built over everything
+    scanned, and staleness reporting is disabled because unchanged files'
+    baseline entries legitimately do not fire.
     """
     root = (root or Path.cwd()).resolve()
     resolved_paths = [Path(p) for p in paths]
-    sources = collect_sources(resolved_paths, root)
     if rules is None:
         rules = default_rules()
 
-    raw: List[Finding] = []
+    files = _collect_files(resolved_paths)
+    sources, raw = _load_modules(files, root, rules, jobs)
+    facts = link(src.facts for src in sources if src.facts is not None)
+    ctx = RuleContext(sources=sources, tests_dir=tests_dir, facts=facts)
+
     by_rel = {src.rel: src for src in sources}
     for rule in rules:
-        check_module = getattr(rule, "check_module", None)
-        if check_module is not None:
-            for src in sources:
-                raw.extend(check_module(src))
         check_project = getattr(rule, "check_project", None)
         if check_project is not None:
-            raw.extend(check_project(sources, tests_dir))
+            raw.extend(check_project(ctx))
 
     raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
@@ -215,10 +384,14 @@ def analyze(
             fired.add(finding.fingerprint)
             baselined.append(finding)
             continue
+        if changed_lines is not None and not _touches_changes(
+            finding, changed_lines, facts
+        ):
+            continue
         findings.append(finding)
 
     stale: List[str] = []
-    if baseline is not None:
+    if baseline is not None and changed_lines is None:
         # Only report staleness for files that were actually scanned this
         # run — a partial scan must not claim repo-wide entries are stale.
         scanned = set(by_rel)
@@ -235,4 +408,38 @@ def analyze(
         baselined=baselined,
         suppressed=suppressed,
         stale_baseline=stale,
+        facts=facts,
     )
+
+
+def _touches_changes(
+    finding: Finding,
+    changed_lines: Mapping[str, Set[int]],
+    facts: ProjectFacts,
+) -> bool:
+    """Diff filter: the finding's line changed, or it sits inside a
+    function/class whose span contains a changed line."""
+    lines = changed_lines.get(finding.path)
+    if not lines:
+        return False
+    if finding.line in lines:
+        return True
+    mod = facts.modules.get(finding.path)
+    if mod is None:
+        return False
+    spans: List[Tuple[int, int]] = [
+        (f.lineno, f.end_lineno)
+        for f in mod.functions.values()
+        if f.lineno <= finding.line <= f.end_lineno
+    ]
+    spans.extend(
+        (c.lineno, c.end_lineno)
+        for c in mod.classes.values()
+        if c.lineno <= finding.line <= c.end_lineno
+    )
+    if not spans:
+        return False
+    # Innermost enclosing scope: the tightest span wins, so a one-line edit
+    # elsewhere in a big class does not resurrect every finding in it.
+    start, end = min(spans, key=lambda s: s[1] - s[0])
+    return any(start <= line <= end for line in lines)

@@ -1,0 +1,77 @@
+"""``--diff`` support: map a git ref to the set of changed lines per file.
+
+Runs ``git diff -U0 <ref> -- .`` at the project root and parses the
+unified-diff hunk headers — no third-party dependency, no worktree
+mutation.  Only the *new-side* line numbers matter (findings are reported
+against the current tree); deletions contribute the line the hunk lands
+on, so a finding sitting right where code was removed still surfaces.
+
+The result maps root-relative POSIX paths (the same shape
+:class:`~repro.staticcheck.findings.Finding` carries) to sets of changed
+line numbers.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from pathlib import Path
+from typing import Dict, Set
+
+__all__ = ["changed_lines", "GitDiffError"]
+
+_HUNK = re.compile(r"^@@ -\d+(?:,\d+)? \+(\d+)(?:,(\d+))? @@")
+_NEW_FILE = re.compile(r"^\+\+\+ (?:b/)?(.+)$")
+
+
+class GitDiffError(RuntimeError):
+    """``git diff`` could not be run or did not understand the ref."""
+
+
+def changed_lines(ref: str, root: Path) -> Dict[str, Set[int]]:
+    """Changed (new-side) lines per root-relative path since ``ref``.
+
+    Uncommitted work counts: the diff is taken against the working tree,
+    exactly what the analyzer is about to scan.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "-U0", "--no-color", ref, "--", "."],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise GitDiffError(f"could not run git diff: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or f"exit code {proc.returncode}"
+        raise GitDiffError(f"git diff {ref!r} failed: {detail}")
+    return parse_unified_diff(proc.stdout)
+
+
+def parse_unified_diff(text: str) -> Dict[str, Set[int]]:
+    """New-side changed lines per path from ``-U0`` unified diff text."""
+    changed: Dict[str, Set[int]] = {}
+    current: Set[int] = set()
+    for line in text.splitlines():
+        match = _NEW_FILE.match(line)
+        if match is not None:
+            target = match.group(1)
+            if target == "/dev/null":  # file deleted: nothing on the new side
+                current = set()
+                continue
+            current = changed.setdefault(Path(target).as_posix(), set())
+            continue
+        match = _HUNK.match(line)
+        if match is None:
+            continue
+        start = int(match.group(1))
+        count = int(match.group(2)) if match.group(2) is not None else 1
+        if count == 0:
+            # Pure deletion: anchor on the surviving line so findings that
+            # now sit where code vanished still count as touched.
+            current.add(max(start, 1))
+        else:
+            current.update(range(start, start + count))
+    return changed

@@ -1,10 +1,19 @@
-"""Built-in rule set."""
+"""Built-in rule set.
+
+Per-module rules implement ``check_module(source)``; whole-program rules
+implement ``check_project(ctx)`` where ``ctx`` is a
+:class:`~repro.staticcheck.engine.RuleContext` carrying the shared
+:class:`~repro.staticcheck.facts.ProjectFacts` (class index + MRO, call
+graph, lock/blocking summaries).  A rule may implement both.
+"""
 
 from .locks import LockDisciplineRule
 from .lifecycle import ResourceLifecycleRule
 from .dtypes import DtypeDisciplineRule
 from .pickles import PickleBoundaryRule
 from .parity import ParityGateRule
+from .lockorder import BlockingUnderLockRule, LockOrderRule
+from .specdrift import SpecDriftRule
 
 ALL_RULES = (
     LockDisciplineRule,
@@ -12,6 +21,9 @@ ALL_RULES = (
     DtypeDisciplineRule,
     PickleBoundaryRule,
     ParityGateRule,
+    LockOrderRule,
+    BlockingUnderLockRule,
+    SpecDriftRule,
 )
 
 __all__ = [
@@ -21,4 +33,7 @@ __all__ = [
     "DtypeDisciplineRule",
     "PickleBoundaryRule",
     "ParityGateRule",
+    "LockOrderRule",
+    "BlockingUnderLockRule",
+    "SpecDriftRule",
 ]

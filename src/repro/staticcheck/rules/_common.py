@@ -1,61 +1,21 @@
-"""Small AST helpers shared by the rules."""
+"""Small AST helpers shared by the rules (re-exported from
+:mod:`..astutil`, which the facts layer also uses — importing from here
+must not pull the rule registry in, so keep this file re-export-only)."""
 
-from __future__ import annotations
+from ..astutil import (  # noqa: F401
+    FunctionNode,
+    call_name,
+    dotted_name,
+    iter_functions,
+    iter_scoped_nodes,
+    self_attr,
+)
 
-import ast
-from typing import Iterator, Optional, Tuple
-
-FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
-
-
-def dotted_name(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for Name/Attribute chains, else None."""
-    parts = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def self_attr(node: ast.AST) -> Optional[str]:
-    """``X`` for ``self.X`` nodes, else None."""
-    if (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-    ):
-        return node.attr
-    return None
-
-
-def iter_functions(
-    class_node: ast.ClassDef,
-) -> Iterator[Tuple[str, ast.AST]]:
-    """Top-level methods of a class, as (name, node)."""
-    for stmt in class_node.body:
-        if isinstance(stmt, FunctionNode):
-            yield stmt.name, stmt
-
-
-def call_name(node: ast.Call) -> Optional[str]:
-    return dotted_name(node.func)
-
-
-def iter_scoped_nodes(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
-    """Yield every node with its qualified scope (``Class.method`` /
-    ``func.inner`` / ``<module>``)."""
-
-    def visit(node: ast.AST, scope: str) -> Iterator[Tuple[str, ast.AST]]:
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.ClassDef, *FunctionNode)):
-                name = child.name if scope == "<module>" else f"{scope}.{child.name}"
-                yield name, child
-                yield from visit(child, name)
-            else:
-                yield scope, child
-                yield from visit(child, scope)
-
-    yield from visit(tree, "<module>")
+__all__ = [
+    "FunctionNode",
+    "call_name",
+    "dotted_name",
+    "iter_functions",
+    "iter_scoped_nodes",
+    "self_attr",
+]

@@ -1,0 +1,240 @@
+"""Interprocedural lock rules (``lock-order``, ``blocking-under-lock``).
+
+Both ride on the whole-program facts (:mod:`..facts`): per-function lock
+acquisitions, the locks held at every call site, the blocking operations a
+function performs, and the call graph that connects them.
+
+``lock-order`` builds the global lock-acquisition graph — an edge A -> B
+whenever some code path acquires B while holding A, either directly
+(nested ``with``) or through any chain of calls — and reports every cycle
+between *distinct* locks: two threads entering the cycle from different
+edges can each hold the lock the other needs, the classic ABBA deadlock.
+Self-edges (re-acquisition of the same token) are out of scope: the token
+identity cannot distinguish two instances of one class, so they would be
+dominated by false positives.
+
+``blocking-under-lock`` reports a blocking operation (``Connection.recv``/
+``poll``, ``connection.wait``, ``Thread/Process.join``, ``Condition.wait``,
+``queue.get``, ``subprocess`` waits, ``time.sleep``) executed — or
+transitively reachable through calls — while a ``threading`` lock is held.
+That is the exact shape of the recv-busy-wait and queue-hang bugs this
+repo has fixed by hand before: every other thread needing the lock stalls
+for as long as the blocked call takes, which may be forever.  The one
+sanctioned idiom is exempt: ``self._cond.wait()`` while holding only the
+lock *aliased by that condition* releases the lock as it sleeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..findings import Finding
+
+__all__ = ["LockOrderRule", "BlockingUnderLockRule", "short_token"]
+
+
+def short_token(token: str) -> str:
+    """Readable lock name: last two dotted components (``Class.attr``)."""
+    return ".".join(token.split(".")[-2:])
+
+
+def _scope_of(qualname: str, module_name: str) -> str:
+    """Finding symbol scope: the qualname without its module prefix."""
+    prefix = f"{module_name}."
+    return qualname[len(prefix):] if qualname.startswith(prefix) else qualname
+
+
+class LockOrderRule:
+    rule_ids = ("lock-order",)
+
+    def check_project(self, ctx) -> Iterable[Finding]:
+        facts = ctx.facts
+        trans = facts.transitive_acquires()
+        # edge (a, b): acquiring b while holding a; keep one representative
+        # witness per edge for the report.
+        edges: Dict[Tuple[str, str], Tuple[str, int, int, str]] = {}
+
+        def witness(a: str, b: str, func, line: int, col: int, via: str) -> None:
+            if a == b:
+                return
+            edges.setdefault((a, b), (func.module, line, col, via))
+
+        for func in facts.functions.values():
+            for acq in func.acquires:
+                for held in acq.held:
+                    witness(
+                        held, acq.token, func, acq.line, acq.col,
+                        f"{_scope_of(func.qualname, _modname(facts, func))} acquires "
+                        f"{short_token(acq.token)} directly",
+                    )
+            for call in func.calls:
+                if not call.held:
+                    continue
+                for target in facts.resolve_call(func, call.name):
+                    for token in trans.get(target, ()):
+                        for held in call.held:
+                            witness(
+                                held, token, func, call.line, call.col,
+                                f"{_scope_of(func.qualname, _modname(facts, func))} "
+                                f"calls {call.name} which may acquire "
+                                f"{short_token(token)}",
+                            )
+
+        findings: List[Finding] = []
+        for cycle in _cycles({a: set() for pair in edges for a in pair}, edges):
+            tokens = sorted(cycle)
+            label = " <-> ".join(short_token(t) for t in tokens)
+            # Witness edge: the lexicographically first edge inside the cycle.
+            inside = sorted(
+                (pair, loc) for pair, loc in edges.items()
+                if pair[0] in cycle and pair[1] in cycle
+            )
+            (a, b), (module, line, col, via) = inside[0]
+            findings.append(
+                Finding(
+                    rule="lock-order",
+                    path=module,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"lock-order cycle between {label}: some path acquires "
+                        f"{short_token(b)} while holding {short_token(a)} "
+                        f"({via}) and another path takes them in the opposite "
+                        "order — two threads can deadlock"
+                    ),
+                    symbol=f"cycle:{label}",
+                )
+            )
+        return findings
+
+
+def _modname(facts, func) -> str:
+    mod = facts.modules.get(func.module)
+    return mod.modname if mod is not None else ""
+
+
+def _cycles(
+    nodes: Dict[str, Set[str]],
+    edges: Dict[Tuple[str, str], object],
+) -> List[Set[str]]:
+    """Strongly connected components with >= 2 nodes (Tarjan, iterative)."""
+    graph: Dict[str, List[str]] = {n: [] for n in nodes}
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+        graph.setdefault(b, [])
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    out: List[Set[str]] = []
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_i = work[-1]
+            if child_i == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = graph[node]
+            while child_i < len(children):
+                child = children[child_i]
+                child_i += 1
+                if child not in index:
+                    work[-1] = (node, child_i)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                if len(component) >= 2:
+                    out.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return out
+
+
+class BlockingUnderLockRule:
+    rule_ids = ("blocking-under-lock",)
+
+    def check_project(self, ctx) -> Iterable[Finding]:
+        facts = ctx.facts
+        trans = facts.transitive_blocking()
+        findings: List[Finding] = []
+        for func in facts.functions.values():
+            modname = _modname(facts, func)
+            scope = _scope_of(func.qualname, modname)
+            # Blocking ops performed directly under a lock.
+            for op in func.blocking:
+                offending = _offending(op.held, op.exempt_token)
+                if offending:
+                    findings.append(
+                        self._finding(
+                            func, op.line, op.col, scope,
+                            target=op.label,
+                            labels=[op.label],
+                            locks=offending,
+                        )
+                    )
+            # Blocking ops reachable through a call made under a lock.
+            for call in func.calls:
+                if not call.held:
+                    continue
+                labels: Set[str] = set()
+                locks: Set[str] = set()
+                for target in facts.resolve_call(func, call.name):
+                    for label, exempt in trans.get(target, ()):
+                        offending = _offending(call.held, exempt)
+                        if offending:
+                            labels.add(label)
+                            locks.update(offending)
+                if labels:
+                    findings.append(
+                        self._finding(
+                            func, call.line, call.col, scope,
+                            target=call.name.rsplit(".", 1)[-1],
+                            labels=sorted(labels),
+                            locks=locks,
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _finding(func, line, col, scope, *, target, labels, locks) -> Finding:
+        lock_names = ", ".join(sorted(short_token(t) for t in locks))
+        return Finding(
+            rule="blocking-under-lock",
+            path=func.module,
+            line=line,
+            col=col,
+            message=(
+                f"{', '.join(labels)} may block while {lock_names} is held "
+                f"(via {target}); every thread contending for the lock stalls "
+                "until it returns"
+            ),
+            symbol=f"{scope}:{target}",
+        )
+
+
+def _offending(held, exempt: Optional[str]) -> Set[str]:
+    offending = set(held)
+    if exempt is not None:
+        offending.discard(exempt)
+    return offending

@@ -27,12 +27,12 @@ import ast
 from collections import Counter
 from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Set
 
+from ..facts import GuardScan
 from ..findings import Finding
 from ._common import FunctionNode, call_name, iter_functions, self_attr
 
 __all__ = ["LockDisciplineRule"]
 
-_GUARD_CTORS = {"Lock", "RLock", "Condition"}
 _EXEMPT_METHODS = {"__init__", "__del__", "__post_init__", "__enter__", "__exit__"}
 
 
@@ -47,58 +47,18 @@ class _Access(NamedTuple):
 
 
 class _ClassLocks:
-    """Guard discovery + alias grouping for one class."""
+    """Guard discovery for one class — a thin view over the shared
+    :class:`~repro.staticcheck.facts.GuardScan` (the same discovery and
+    Condition-alias grouping the whole-program facts use)."""
 
     def __init__(self, node: ast.ClassDef) -> None:
-        self.node = node
-        self.guards: Set[str] = set()
-        self.cond_guards: Set[str] = set()
-        self._parent: Dict[str, str] = {}
-        self._discover()
-
-    def _find(self, name: str) -> str:
-        root = name
-        while self._parent.get(root, root) != root:
-            root = self._parent[root]
-        return root
-
-    def _union(self, a: str, b: str) -> None:
-        ra, rb = self._find(a), self._find(b)
-        if ra != rb:
-            self._parent[rb] = ra
+        scan = GuardScan(node)
+        self.guards: Set[str] = set(scan.parent)
+        self.cond_guards: Set[str] = scan.cond_guards
+        self._groups: Dict[str, str] = scan.groups()
 
     def group(self, name: str) -> str:
-        return self._find(name)
-
-    def _discover(self) -> None:
-        for _, func in iter_functions(self.node):
-            for stmt in ast.walk(func):
-                if not isinstance(stmt, ast.Assign):
-                    continue
-                value = stmt.value
-                if not isinstance(value, ast.Call):
-                    continue
-                ctor = call_name(value)
-                if ctor is None:
-                    continue
-                leaf = ctor.rsplit(".", 1)[-1]
-                if leaf not in _GUARD_CTORS:
-                    continue
-                for target in stmt.targets:
-                    attr = self_attr(target)
-                    if attr is None:
-                        continue
-                    self.guards.add(attr)
-                    self._parent.setdefault(attr, attr)
-                    if leaf == "Condition":
-                        self.cond_guards.add(attr)
-                        # Condition(self._lock) shares the lock: alias them.
-                        if value.args:
-                            inner = self_attr(value.args[0])
-                            if inner is not None:
-                                self.guards.add(inner)
-                                self._parent.setdefault(inner, inner)
-                                self._union(attr, inner)
+        return self._groups.get(name, name)
 
 
 class LockDisciplineRule:

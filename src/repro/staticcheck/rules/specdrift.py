@@ -1,0 +1,207 @@
+"""Serialisation drift audits (``spec-drift``, ``opcode-unhandled``).
+
+The serving stack ships three kinds of structured payloads across the
+process boundary: dataclass specs serialised with ``to_dict``/``from_dict``
+(``SessionConfig``, ``BackendSpec``, ``OperatorSpec``, ``LookupTable``),
+and control-message opcodes on the worker transports.  Both halves of each
+protocol live in different functions — often different modules — so
+nothing at runtime checks they agree until a worker rebuilds a config
+wrong or hangs on an unanswered message.
+
+``spec-drift`` proves, for every class defining both ``to_dict`` and
+``from_dict``:
+
+* **field coverage** — every dataclass field is read (``self.<field>``) by
+  ``to_dict`` or by a same-class method it calls (the write closure, so
+  ``BackendSpec.to_dict`` gets credit for the fields ``operators()``
+  reads).  A field that never reaches the payload silently resets on the
+  worker.
+* **key symmetry** — every key ``to_dict`` writes is read (or at least
+  admitted by the ``known``-set vocabulary) in ``from_dict``, and every
+  key ``from_dict`` knows is actually written.  Deleting a field from
+  ``SessionConfig.to_dict()`` fails here.
+* **default consistency** — a literal fallback in ``from_dict``
+  (``payload.get("k", d)`` / ``_typed_field(payload, "k", t, d)``) must
+  equal the dataclass field's literal default; otherwise an absent key
+  deserialises to a different config than the dataclass would construct.
+
+``opcode-unhandled`` audits the pickle-boundary module group (everything
+tagged ``# staticcheck: pickle-boundary``): every opcode string constant
+sent with ``.send("op", ...)`` / ``._call("op", ...)`` must be compared
+against (handled) somewhere in the group.  Deleting a handler branch from
+``_worker_main`` fails here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from ..facts import NO_DEFAULT, OPAQUE_DEFAULT, ClassFacts, ProjectFacts
+from ..findings import Finding
+
+__all__ = ["SpecDriftRule"]
+
+#: Depth bound for the same-class write closure of ``to_dict``.
+_CLOSURE_DEPTH = 3
+
+
+def _write_closure_reads(facts: ProjectFacts, cls: ClassFacts) -> Set[str]:
+    """``self.<attr>`` names read by ``to_dict`` or same-class methods it
+    calls, expanded to ``_CLOSURE_DEPTH`` levels of ``self.m()`` calls."""
+    reads: Set[str] = set()
+    to_dict = facts.find_method(cls.qualname, "to_dict")
+    if to_dict is None:
+        return reads
+    frontier = [to_dict]
+    seen = {to_dict}
+    for _ in range(_CLOSURE_DEPTH):
+        next_frontier: List[str] = []
+        for qualname in frontier:
+            func = facts.functions.get(qualname)
+            if func is None:
+                continue
+            reads.update(func.self_reads)
+            for call in func.calls:
+                head, _, leaf = call.name.rpartition(".")
+                if head != "self":
+                    continue
+                target = facts.find_method(cls.qualname, leaf)
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    next_frontier.append(target)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return reads
+
+
+class SpecDriftRule:
+    rule_ids = ("spec-drift", "opcode-unhandled")
+
+    def check_project(self, ctx) -> Iterable[Finding]:
+        facts: ProjectFacts = ctx.facts
+        findings: List[Finding] = []
+        for cls in facts.classes.values():
+            serde = cls.serde
+            if serde is None or not (serde.has_to and serde.has_from):
+                continue
+            findings.extend(self._check_class(facts, cls))
+        findings.extend(self._check_opcodes(facts))
+        return findings
+
+    # -- to_dict / from_dict pairs ---------------------------------------
+    def _check_class(self, facts: ProjectFacts, cls: ClassFacts) -> List[Finding]:
+        serde = cls.serde
+        findings: List[Finding] = []
+
+        # Field coverage: every dataclass field must reach the payload.
+        if cls.is_dataclass and cls.fields:
+            reads = _write_closure_reads(facts, cls)
+            for fld in cls.fields:
+                if fld.name not in reads:
+                    findings.append(
+                        Finding(
+                            rule="spec-drift",
+                            path=cls.module,
+                            line=serde.to_dict_line,
+                            col=0,
+                            message=(
+                                f"dataclass field {cls.name}.{fld.name} is never "
+                                "read by to_dict() (or the methods it calls): "
+                                "it silently resets to its default across the "
+                                "serialisation boundary"
+                            ),
+                            symbol=f"{cls.name}.serialize:{fld.name}",
+                        )
+                    )
+
+        # Key symmetry: the write and read vocabularies must agree.
+        read_vocab = serde.known_keys | serde.from_dict_keys
+        if serde.to_dict_keys is not None and read_vocab:
+            for key in sorted(serde.to_dict_keys - read_vocab):
+                findings.append(
+                    Finding(
+                        rule="spec-drift",
+                        path=cls.module,
+                        line=serde.to_dict_line,
+                        col=0,
+                        message=(
+                            f"{cls.name}.to_dict() writes key {key!r} but "
+                            "from_dict() neither reads nor admits it — the "
+                            "value is dropped (or rejected) on rebuild"
+                        ),
+                        symbol=f"{cls.name}.to_dict:{key}",
+                    )
+                )
+            for key in sorted(read_vocab - serde.to_dict_keys):
+                findings.append(
+                    Finding(
+                        rule="spec-drift",
+                        path=cls.module,
+                        line=serde.from_dict_line,
+                        col=0,
+                        message=(
+                            f"{cls.name}.from_dict() expects key {key!r} but "
+                            "to_dict() never writes it — a round-tripped "
+                            "payload always takes the fallback path"
+                        ),
+                        symbol=f"{cls.name}.from_dict:{key}",
+                    )
+                )
+
+        # Default consistency: from_dict fallbacks vs dataclass defaults.
+        field_defaults: Dict[str, str] = {f.name: f.default for f in cls.fields}
+        for key, fallback in sorted(serde.defaults.items()):
+            declared = field_defaults.get(key)
+            if declared is None or declared in (OPAQUE_DEFAULT, NO_DEFAULT):
+                continue
+            if fallback in (OPAQUE_DEFAULT,):
+                continue
+            if fallback != declared:
+                findings.append(
+                    Finding(
+                        rule="spec-drift",
+                        path=cls.module,
+                        line=serde.from_dict_line,
+                        col=0,
+                        message=(
+                            f"{cls.name}.from_dict() defaults {key!r} to "
+                            f"{fallback} but the dataclass field defaults to "
+                            f"{declared}: an absent key deserialises to a "
+                            "different config than construction would produce"
+                        ),
+                        symbol=f"{cls.name}.default:{key}",
+                    )
+                )
+        return findings
+
+    # -- control-message opcodes -----------------------------------------
+    def _check_opcodes(self, facts: ProjectFacts) -> List[Finding]:
+        group = [
+            mod for mod in facts.modules.values() if "pickle-boundary" in mod.tags
+        ]
+        if not group:
+            return []
+        handled: Set[str] = set()
+        for mod in group:
+            handled.update(mod.handled_ops)
+        findings: List[Finding] = []
+        for mod in sorted(group, key=lambda m: m.rel):
+            for op, (line, col) in sorted(mod.sent_ops.items()):
+                if op in handled:
+                    continue
+                findings.append(
+                    Finding(
+                        rule="opcode-unhandled",
+                        path=mod.rel,
+                        line=line,
+                        col=col,
+                        message=(
+                            f"control message {op!r} is sent across the worker "
+                            "boundary but no pickle-boundary module compares "
+                            "against it — the other side cannot handle it"
+                        ),
+                        symbol=f"op:{op}",
+                    )
+                )
+        return findings

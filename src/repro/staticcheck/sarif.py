@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 output so CI systems can ingest the report natively.
+
+One run, one driver (``repro.staticcheck``), one rule descriptor per rule
+id that actually fired.  Baselined findings are emitted with
+``suppressions`` (kind ``external``, carrying the baseline reason) so code
+scanners show them as reviewed rather than hiding them; inline-suppressed
+findings stay out entirely, matching the text/json formats' gate
+semantics.  ``partialFingerprints`` carries the same line-independent
+``rule|path|symbol`` identity the baseline uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .findings import Finding
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _result(finding: Finding, suppression_reason: Optional[str] = None) -> Dict:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"repro/v1": finding.fingerprint},
+    }
+    if suppression_reason is not None:
+        result["suppressions"] = [
+            {"kind": "external", "justification": suppression_reason}
+        ]
+    return result
+
+
+def to_sarif(report, baseline_reasons: Optional[Dict[str, str]] = None) -> Dict:
+    """Render an :class:`~repro.staticcheck.engine.Report` as a SARIF log."""
+    reasons = baseline_reasons or {}
+    results: List[Dict] = [_result(f) for f in report.findings]
+    for finding in report.baselined:
+        results.append(
+            _result(
+                finding,
+                suppression_reason=reasons.get(
+                    finding.fingerprint, "baselined without a recorded reason"
+                ),
+            )
+        )
+    rule_ids = sorted({r["ruleId"] for r in results})
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.staticcheck",
+                        "rules": [{"id": rule_id} for rule_id in rule_ids],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

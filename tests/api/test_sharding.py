@@ -31,6 +31,7 @@ from repro.api import (
 from repro.api import sharding
 from repro.core.kernels import native_available
 from repro.transformer.config import tiny_test_config
+from repro.transformer.heads import ClassificationHead
 from repro.transformer.models import EncoderModel
 
 
@@ -138,6 +139,17 @@ class TestShardedParity:
             sharded64.pooled(mixed_requests), single64.pooled(mixed_requests)
         )
 
+    def test_classify_bitwise_matches_single_session(
+        self, sharded64, single64, mixed_requests
+    ):
+        features = single64.pooled(mixed_requests)
+        labels = (features[:, 0] > np.median(features[:, 0])).astype(np.int64)
+        head = ClassificationHead.fit(features, labels, num_classes=2, epochs=20)
+        assert np.array_equal(
+            sharded64.classify(mixed_requests, head),
+            single64.classify(mixed_requests, head),
+        )
+
     def test_parent_model_reads_the_shared_blocks(self, sharded64):
         """One copy of the weights per machine: parent rebound onto shm."""
         shared = sharded64._store.arrays()
@@ -193,6 +205,52 @@ class TestShardedParity:
             served = pool.forward(samples)
         for i, (a, b) in enumerate(zip(served, expected)):
             assert np.array_equal(a, b), f"sample {i}"
+
+
+class _FakeTransport:
+    """Channel stub for protocol-level client tests (no worker process)."""
+
+    def send(self, op, payload):
+        pass
+
+    def release(self):
+        pass
+
+
+class _FakeProcess:
+    pid = 4242
+    exitcode = None
+
+    @staticmethod
+    def is_alive():
+        return True
+
+
+class TestWireProtocol:
+    """Status-word handling in _ShardClient, with the channel stubbed out."""
+
+    @staticmethod
+    def _client(status, value):
+        client = sharding._ShardClient(0, _FakeProcess(), _FakeTransport(), 1.0)
+        client._recv = lambda timeout_s, context: (status, value)
+        return client
+
+    def test_error_status_carries_the_worker_traceback(self):
+        client = self._client("error", "Traceback: boom")
+        with pytest.raises(RuntimeError, match=r"raised while serving 'ping'"):
+            client._call("ping", None)
+
+    def test_unexpected_status_is_reported_as_protocol_drift(self):
+        # A desynchronised channel must not present its payload as a worker
+        # traceback — the status word itself is the diagnostic.
+        client = self._client("gibberish", None)
+        with pytest.raises(RuntimeError, match=r"unexpected status 'gibberish'"):
+            client._call("ping", None)
+
+    def test_wait_ready_rejects_non_init_status(self):
+        client = self._client("ok", None)
+        with pytest.raises(RuntimeError, match=r"unexpected status 'ok'"):
+            client.wait_ready(1.0)
 
 
 class TestShardedFailureModes:

@@ -1,0 +1,41 @@
+"""Seeded blocking-while-locked operations (and the sanctioned idioms).
+
+tests/staticcheck/test_rules.py asserts findings by symbol against these
+exact constructs.
+"""
+
+import threading
+import time
+
+
+class Station:
+    def __init__(self, conn):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._conn = conn
+        self._ready = False
+
+    def bad_sleep(self):
+        with self._lock:
+            time.sleep(0.5)  # BAD: every contending thread stalls
+
+    def bad_recv_via_helper(self):
+        with self._lock:
+            return self._pump()  # BAD: transitively blocks on recv()
+
+    def _pump(self):
+        return self._conn.recv()  # quiet here: nothing held locally
+
+    def good_wait(self):
+        with self._cond:
+            while not self._ready:
+                self._cond.wait(0.1)  # quiet: wait releases its own lock
+
+    def good_sleep_outside(self):
+        time.sleep(0.01)  # quiet: nothing held
+
+    def good_recv_outside(self):
+        payload = self._pump()  # quiet: call made with nothing held
+        with self._lock:
+            self._ready = True
+        return payload

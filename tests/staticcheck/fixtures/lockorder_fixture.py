@@ -1,0 +1,54 @@
+"""Seeded ABBA lock-order inversion (and consistent orders that stay quiet).
+
+tests/staticcheck/test_rules.py asserts findings by symbol against these
+exact constructs.
+"""
+
+import threading
+
+_lock_a = threading.Lock()
+_lock_b = threading.Lock()
+_lock_c = threading.Lock()
+
+
+def _grab_b():
+    with _lock_b:
+        pass
+
+
+def forward_path():
+    with _lock_a:
+        _grab_b()  # acquires b while holding a — through the call graph
+
+
+def reverse_path():
+    with _lock_b:
+        with _lock_a:  # BAD: b -> a closes the cycle with forward_path
+            pass
+
+
+def consistent_one():
+    with _lock_a:
+        with _lock_c:
+            pass
+
+
+def consistent_two():
+    with _lock_a:
+        with _lock_c:  # quiet: same order everywhere — no inversion
+            pass
+
+
+class Reentrant:
+    """Re-acquisition of one token is out of scope (never reported)."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def outer(self):
+        with self._lock:
+            self.inner()  # quiet: self-edge on the same token
+
+    def inner(self):
+        with self._lock:
+            pass

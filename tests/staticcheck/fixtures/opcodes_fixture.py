@@ -1,0 +1,24 @@
+"""Seeded control-message drift across a declared pickle boundary.
+
+tests/staticcheck/test_rules.py asserts findings by symbol against these
+exact constructs.
+"""
+# staticcheck: pickle-boundary -- fixture worker transport
+
+
+def parent_send(conn):
+    conn.send("ping", None)
+    conn.send("halt", None)  # BAD: no handler in the boundary group
+
+
+def worker_loop(conn):
+    op, _payload = conn.recv()
+    if op == "ping":
+        conn.send("ok", "pong")
+
+
+def parent_recv(conn):
+    status, value = conn.recv()
+    if status == "ok":
+        return value
+    raise RuntimeError(status)

@@ -17,3 +17,17 @@ class GapPool:
 class _PrivatePool:
     def forward(self, requests):  # private class: never audited
         return requests
+
+
+class BasePool:
+    """Abstract seam: has a project subclass, so it is never audited itself."""
+
+    def pooled(self, requests):
+        return requests
+
+
+class LeafPool(BasePool):
+    """Concrete leaf: audited for what it defines AND what it inherits."""
+
+    def forward(self, requests):
+        return requests

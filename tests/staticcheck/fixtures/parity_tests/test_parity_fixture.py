@@ -8,3 +8,9 @@ CoveredPool.forward is bitwise-gated under float64 here; GapPool is not.
 def check_covered_pool_forward_float64():
     # mentions: CoveredPool, forward, float64 -> satisfies the audit
     pass
+
+
+def check_leaf_pool_forward_float64():
+    # mentions: LeafPool, forward, float64 -> covers the defined method,
+    # but nothing covers the method LeafPool inherits from its base.
+    pass

@@ -1,0 +1,66 @@
+"""Seeded to_dict/from_dict drift (and symmetric pairs that stay quiet).
+
+tests/staticcheck/test_rules.py asserts findings by symbol against these
+exact constructs.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GoodSpec:
+    """Fully symmetric: every check stays quiet."""
+
+    alpha: int = 1
+    beta: str = "x"
+    tags: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return {"alpha": self.alpha, "beta": self.beta, "tags": dict(self.tags)}
+
+    @classmethod
+    def from_dict(cls, payload):
+        known = {"alpha", "beta", "tags"}
+        values = {key: payload[key] for key in known if key in payload}
+        return cls(**values)
+
+
+@dataclass
+class ClosureSpec:
+    """Field read through a same-class helper: the write closure credits it."""
+
+    inner: int = 0
+
+    def _body(self):
+        return {"inner": self.inner}
+
+    def to_dict(self):
+        return self._body()
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(inner=payload.get("inner", 0))
+
+
+@dataclass
+class DriftSpec:
+    kept: int = 1
+    dropped: int = 2
+    slack: float = 0.5
+
+    def to_dict(self):
+        return {
+            "kept": self.kept,
+            "slack": self.slack,
+            "extra": 42,  # BAD: from_dict neither reads nor admits it
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            kept=payload.get("kept", 1),
+            # BAD twice: 'dropped' is never written by to_dict, and the
+            # fallback (9) disagrees with the dataclass default (2).
+            dropped=payload.get("dropped", 9),
+            slack=payload.get("slack", 0.5),
+        )

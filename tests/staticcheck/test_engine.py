@@ -1,12 +1,16 @@
 """Suppressions, baseline handling, fingerprints, and the CLI."""
 
 import json
+import subprocess
 from pathlib import Path
 
 from repro.staticcheck import Baseline, analyze
 from repro.staticcheck.cli import main as cli_main
+from repro.staticcheck.gitdiff import parse_unified_diff
 
 FIXTURES = Path(__file__).parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
 
 
 class TestSuppressions:
@@ -23,6 +27,43 @@ class TestSuppressions:
         report = analyze([FIXTURES / "suppressed_fixture.py"], root=FIXTURES)
         live = sorted(f.symbol for f in report.findings)
         assert live == ["annotated:empty"]
+
+    def test_one_comment_may_name_several_rules(self, tmp_path):
+        target = tmp_path / "multi.py"
+        target.write_text(
+            "# staticcheck: hot-path -- fixture\n"
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    return np.zeros(n)  "
+            "# staticcheck: ignore[resource-leak, dtype-upcast] -- fixture\n"
+        )
+        report = analyze([target], root=tmp_path)
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["dtype-upcast"]
+
+    def test_ignore_above_decorators_reaches_the_def(self, tmp_path):
+        # spec-drift anchors on the ``def to_dict`` line; a comment-only
+        # ignore above the decorator stack must travel down to it.
+        target = tmp_path / "deco.py"
+        target.write_text(
+            "from dataclasses import dataclass\n"
+            "def deco(f):\n"
+            "    return f\n"
+            "@dataclass\n"
+            "class S:\n"
+            "    x: int = 1\n"
+            "    hidden: int = 2\n"
+            "    # staticcheck: ignore[spec-drift] -- fixture: decorated def\n"
+            "    @deco\n"
+            "    def to_dict(self):\n"
+            '        return {"x": self.x}\n'
+            "    @classmethod\n"
+            "    def from_dict(cls, payload):\n"
+            '        return cls(x=payload.get("x", 1))\n'
+        )
+        report = analyze([target], root=tmp_path)
+        assert report.findings == []
+        assert [f.symbol for f in report.suppressed] == ["S.serialize:hidden"]
 
 
 class TestBaseline:
@@ -123,6 +164,98 @@ class TestCli:
         # With the freshly written baseline the same scan gates clean.
         assert cli_main(args) == 0
 
+    def test_stale_baseline_entry_fails_with_a_named_message(
+        self, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        stale_fp = "dtype-upcast|clean.py|gone:zeros"
+        baseline.write_text(
+            json.dumps(
+                {"version": 1, "entries": [{"fingerprint": stale_fp, "reason": "x"}]}
+            )
+        )
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        code = cli_main(
+            [str(clean), "--root", str(tmp_path), "--baseline", str(baseline)]
+        )
+        assert code == 1  # stale entries fail the gate
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err and stale_fp in err
+
+    def test_json_finding_schema_is_stable(self, capsys):
+        # Golden key set: external consumers parse this; additions are fine
+        # only when deliberate, removals never.
+        cli_main(
+            [
+                str(FIXTURES / "dtypes_fixture.py"),
+                "--root",
+                str(FIXTURES),
+                "--no-baseline",
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "findings",
+            "baselined",
+            "suppressed",
+            "stale_baseline",
+            "ok",
+        }
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule",
+                "path",
+                "line",
+                "col",
+                "message",
+                "symbol",
+                "severity",
+                "fingerprint",
+            }
+
+    def test_sarif_output_carries_results_and_suppressions(
+        self, tmp_path, capsys
+    ):
+        report = analyze([FIXTURES / "dtypes_fixture.py"], root=FIXTURES)
+        some_fp = report.findings[0].fingerprint
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [{"fingerprint": some_fp, "reason": "known"}],
+                }
+            )
+        )
+        code = cli_main(
+            [
+                str(FIXTURES / "dtypes_fixture.py"),
+                "--root",
+                str(FIXTURES),
+                "--baseline",
+                str(baseline),
+                "--format",
+                "sarif",
+            ]
+        )
+        assert code == 1  # the un-baselined findings still gate
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (run_obj,) = log["runs"]
+        assert run_obj["tool"]["driver"]["name"] == "repro.staticcheck"
+        by_fp = {
+            r["partialFingerprints"]["repro/v1"]: r for r in run_obj["results"]
+        }
+        assert by_fp[some_fp]["suppressions"][0]["justification"] == "known"
+        live = [r for r in run_obj["results"] if "suppressions" not in r]
+        assert live and all(
+            r["locations"][0]["physicalLocation"]["region"]["startLine"] >= 1
+            for r in live
+        )
+
     def test_text_output_names_rule_and_location(self, capsys):
         code = cli_main(
             [
@@ -136,3 +269,88 @@ class TestCli:
         out = capsys.readouterr().out
         assert "locks_fixture.py:" in out
         assert "[unguarded-attr]" in out
+
+
+class TestDiffMode:
+    @staticmethod
+    def _git(repo, *argv):
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+            cwd=repo,
+            check=True,
+            capture_output=True,
+        )
+
+    def _seed_repo(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        target = tmp_path / "hot.py"
+        target.write_text(
+            "# staticcheck: hot-path -- fixture\n"
+            "import numpy as np\n"
+            "def stale_violation(n):\n"
+            "    return np.zeros(n)\n"
+            "def edited_later(n):\n"
+            "    return n\n"
+        )
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        # Introduce a NEW violation in one function; the old one is
+        # untouched and must not be reported in diff mode.
+        target.write_text(
+            target.read_text().replace(
+                "    return n\n", "    return np.ones(n)\n"
+            )
+        )
+        return target
+
+    def test_only_findings_on_changed_lines_survive(self, tmp_path, capsys):
+        target = self._seed_repo(tmp_path)
+        code = cli_main(
+            [str(target), "--root", str(tmp_path), "--diff", "HEAD"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "ones" in out and "zeros" not in out
+
+    def test_without_diff_both_fire(self, tmp_path, capsys):
+        target = self._seed_repo(tmp_path)
+        code = cli_main([str(target), "--root", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "ones" in out and "zeros" in out
+
+    def test_bad_ref_is_a_usage_error(self, tmp_path, capsys):
+        target = self._seed_repo(tmp_path)
+        code = cli_main(
+            [str(target), "--root", str(tmp_path), "--diff", "nope"]
+        )
+        assert code == 2
+        assert "git diff" in capsys.readouterr().err
+
+    def test_hunk_parser_maps_paths_and_lines(self):
+        text = (
+            "diff --git a/pkg/mod.py b/pkg/mod.py\n"
+            "--- a/pkg/mod.py\n"
+            "+++ b/pkg/mod.py\n"
+            "@@ -3,0 +4,2 @@ def f():\n"
+            "+    x = 1\n"
+            "+    y = 2\n"
+            "@@ -10,2 +12,0 @@ def g():\n"
+            "-    a = 1\n"
+            "-    b = 2\n"
+            "--- a/gone.py\n"
+            "+++ /dev/null\n"
+            "@@ -1,3 +0,0 @@\n"
+        )
+        changed = parse_unified_diff(text)
+        assert changed["pkg/mod.py"] == {4, 5, 12}
+        assert "gone.py" not in changed and "/dev/null" not in changed
+
+
+class TestParallelPhase1:
+    def test_parallel_and_serial_reports_agree(self):
+        serial = analyze([SRC], root=REPO, tests_dir=REPO / "tests", jobs=1)
+        parallel = analyze([SRC], root=REPO, tests_dir=REPO / "tests", jobs=2)
+        as_set = lambda r: {f.fingerprint for f in r.findings}  # noqa: E731
+        assert as_set(serial) == as_set(parallel)
+        assert len(serial.findings) == len(parallel.findings)

@@ -6,11 +6,14 @@ import pytest
 
 from repro.staticcheck import analyze
 from repro.staticcheck.rules import (
+    BlockingUnderLockRule,
     DtypeDisciplineRule,
     LockDisciplineRule,
+    LockOrderRule,
     ParityGateRule,
     PickleBoundaryRule,
     ResourceLifecycleRule,
+    SpecDriftRule,
 )
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -152,7 +155,25 @@ class TestParityGate:
             root=FIXTURES,
             tests_dir=FIXTURES / "parity_tests",
         )
-        assert symbols(report, "parity-gap") == ["GapPool.classify"]
+        assert symbols(report, "parity-gap") == [
+            "GapPool.classify",
+            "LeafPool.pooled",
+        ]
+
+    def test_inherited_entry_points_attach_to_the_leaf_class(self):
+        # BasePool (the abstract seam) is never audited under its own name;
+        # its uncovered pooled() is reported on LeafPool, at the leaf's
+        # class definition line.
+        report = analyze(
+            [FIXTURES / "parity_src"],
+            root=FIXTURES,
+            tests_dir=FIXTURES / "parity_tests",
+        )
+        flagged = symbols(report, "parity-gap")
+        assert not any(s.startswith("BasePool.") for s in flagged)
+        (leaf,) = [f for f in report.findings if f.symbol == "LeafPool.pooled"]
+        src = (FIXTURES / "parity_src" / "api" / "serving.py").read_text()
+        assert "class LeafPool" in src.splitlines()[leaf.line - 1]
 
     def test_private_classes_and_helpers_are_not_audited(self):
         report = analyze(
@@ -168,6 +189,90 @@ class TestParityGate:
         assert symbols(report, "parity-gap") == []
 
 
+class TestLockOrder:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run("lockorder_fixture.py")
+
+    def test_abba_cycle_fires_through_the_call_graph(self, report):
+        # forward_path holds a and acquires b *via a helper call*;
+        # reverse_path nests them directly in the opposite order.
+        assert symbols(report, "lock-order") == [
+            "cycle:lockorder_fixture._lock_a <-> lockorder_fixture._lock_b"
+        ]
+
+    def test_consistent_order_and_reacquisition_stay_quiet(self, report):
+        flagged = " ".join(symbols(report, "lock-order"))
+        assert "_lock_c" not in flagged  # always taken after a, same order
+        assert "Reentrant" not in flagged  # self-edge on one token
+
+    def test_message_names_both_locks(self, report):
+        (finding,) = [f for f in report.findings if f.rule == "lock-order"]
+        assert "_lock_a" in finding.message and "_lock_b" in finding.message
+
+
+class TestBlockingUnderLock:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run("blocking_fixture.py")
+
+    def test_direct_and_transitive_blocking_fire(self, report):
+        assert symbols(report, "blocking-under-lock") == [
+            "Station.bad_recv_via_helper:_pump",
+            "Station.bad_sleep:time.sleep",
+        ]
+
+    def test_condition_wait_on_its_own_lock_is_exempt(self, report):
+        flagged = {f.symbol.split(":")[0] for f in report.findings}
+        assert "Station.good_wait" not in flagged
+
+    def test_blocking_with_nothing_held_stays_quiet(self, report):
+        flagged = {f.symbol.split(":")[0] for f in report.findings}
+        assert "Station.good_sleep_outside" not in flagged
+        assert "Station.good_recv_outside" not in flagged
+        assert "Station._pump" not in flagged
+
+
+class TestSpecDrift:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run("specdrift_fixture.py")
+
+    def test_all_three_drift_shapes_fire(self, report):
+        assert symbols(report, "spec-drift") == [
+            "DriftSpec.default:dropped",  # fallback 9 vs dataclass default 2
+            "DriftSpec.from_dict:dropped",  # expected key never written
+            "DriftSpec.serialize:dropped",  # field never reaches the payload
+            "DriftSpec.to_dict:extra",  # written key never read back
+        ]
+
+    def test_symmetric_pair_stays_quiet(self, report):
+        assert not any("GoodSpec" in s for s in symbols(report, "spec-drift"))
+
+    def test_write_closure_credits_helper_methods(self, report):
+        # ClosureSpec.to_dict reads its field through self._body().
+        assert not any("ClosureSpec" in s for s in symbols(report, "spec-drift"))
+
+
+class TestOpcodeAudit:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run("opcodes_fixture.py")
+
+    def test_unanswered_opcode_fires(self, report):
+        assert symbols(report, "opcode-unhandled") == ["op:halt"]
+
+    def test_handled_opcodes_stay_quiet(self, report):
+        flagged = symbols(report, "opcode-unhandled")
+        assert "op:ping" not in flagged and "op:ok" not in flagged
+
+    def test_requires_boundary_declaration(self, tmp_path):
+        plain = tmp_path / "plain.py"
+        plain.write_text('def f(conn):\n    conn.send("halt", None)\n')
+        report = analyze([plain], root=tmp_path)
+        assert symbols(report, "opcode-unhandled") == []
+
+
 class TestRuleRegistry:
     def test_every_rule_declares_its_ids(self):
         for rule_cls in (
@@ -176,5 +281,8 @@ class TestRuleRegistry:
             DtypeDisciplineRule,
             PickleBoundaryRule,
             ParityGateRule,
+            LockOrderRule,
+            BlockingUnderLockRule,
+            SpecDriftRule,
         ):
             assert rule_cls.rule_ids, rule_cls
