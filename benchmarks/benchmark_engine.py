@@ -59,6 +59,7 @@ def test_report_schema(engine_report):
         "server_concurrent_fp32",
         "server_sharded_fp32",
         "server_sharded_shm_fp32",
+        "server_sharded_leastloaded_fp32",
     }
     for row in engine_report["ops"].values():
         assert row["seed_s"] > 0 and row["fast_s"] > 0 and row["speedup"] > 0
@@ -227,6 +228,35 @@ def test_server_sharded_shm_row(engine_report):
     assert queue["mean_batch_size"] >= 1.0
     assert 0.0 < queue["p50_latency_ms"] <= queue["p99_latency_ms"]
     assert queue["mean_service_ms"] > 0.0 and queue["mean_queue_wait_ms"] >= 0.0
+
+
+def test_server_trace_leastloaded_row(engine_report):
+    """The trace-replay row: least-loaded routing under a seeded burst.
+
+    Runs in tier-1 smoke mode too, so the trace generator, the replay
+    harness and the ``router="least_loaded"`` scheduling path (work
+    stealing included) cannot rot.  Every replayed request must complete —
+    a lost or double-served future would show up as a failed outcome or a
+    completion-count mismatch — and least-loaded placement must stay
+    bitwise-equal to per-call serving under float64.
+    """
+    row = engine_report["end_to_end"]["server_sharded_leastloaded_fp32"]
+    assert row["router"] == "least_loaded"
+    assert row["num_replicas"] >= 2 and row["num_requests"] >= 1
+    assert row["total_tokens"] > 0 and row["cpu_count"] >= 1
+    assert row["cached_float64_bitwise_equal"]
+    trace = row["trace"]
+    assert trace["num_requests"] == row["num_requests"]
+    assert len(trace["burst_windows_s"]) == trace["num_bursts"]
+    latency = row["latency"]
+    assert latency["failed"] == 0
+    assert latency["all"]["count"] == row["num_requests"]
+    assert latency["burst"]["count"] + latency["steady"]["count"] == row["num_requests"]
+    assert latency["all"]["p50_ms"] > 0.0
+    queue = row["queue"]
+    assert queue["completed"] >= row["num_requests"]
+    assert queue["rejected"] == 0 and queue["expired"] == 0
+    assert queue["stolen"] >= 0
 
 
 @pytest.mark.benchmark(group="engine")

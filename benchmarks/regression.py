@@ -46,6 +46,13 @@ NativeKernel: true int8 GEMM vs the float64-carrier linear path, packed
 quantisation, the fused LUT epilogues vs their unfused numpy sequences, and
 an int8 encoder forward per kernel with a bitwise-parity check
 (``--kernels`` runs just this section, no multiprocessing involved).
+Schema v7 adds ``server_sharded_leastloaded_fp32`` — the sharded pool behind
+the queue's ``router="least_loaded"`` scheduling, fed a seeded trace replay
+(bursty arrivals, diurnal ramp, heavy-tailed lengths; see
+``benchmarks/traces.py``) instead of steady all-at-once traffic, with the
+latency digest split into inside-burst vs steady-state percentiles (the
+p99-under-burst number load-aware routing exists for) and the same float64
+bitwise-parity check vs per-call serving.
 
 Run directly to regenerate the report (or use ``scripts/bench.sh``)::
 
@@ -63,6 +70,7 @@ import json
 import multiprocessing
 import os
 import platform
+import sys
 import threading
 import time
 from dataclasses import asdict, dataclass, replace
@@ -70,6 +78,9 @@ from pathlib import Path
 from typing import Callable, Dict, List
 
 import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import traces  # noqa: E402  (benchmarks/ is not a package)
 
 from repro.api import (
     BackendSpec,
@@ -102,7 +113,7 @@ from repro.transformer import (
     backend_from_luts,
 )
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Default report location: the repository root (next to ROADMAP.md).
 DEFAULT_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -864,6 +875,116 @@ def benchmark_server_sharded(
     return row
 
 
+def benchmark_server_trace_leastloaded(
+    registry: LutRegistry,
+    shapes: EngineShapes,
+    num_requests: int = 48,
+    num_replicas: int = 2,
+    duration_s: float = 0.3,
+    check_equivalence: bool = True,
+) -> Dict[str, object]:
+    """Least-loaded routing under a bursty trace replay (schema v7).
+
+    Unlike the steady all-at-once traffic of the other serving rows, this
+    one replays a seeded trace — bursty arrivals over a diurnal ramp with
+    heavy-tailed request lengths (see :mod:`traces`) — against a sharded
+    pool behind ``router="least_loaded"``, and digests latency separately
+    for requests that arrived *inside* a burst window vs steady state.
+    The p99-under-burst is the number load-aware routing exists to hold
+    down: round-robin placement lets a burst queue behind whichever replica
+    the rotation happens to point at, while least-loaded placement (plus
+    work stealing) spreads it by actual queued cost.
+
+    The seed path is the same naive per-call loop as every serving row, and
+    the float64 twin replays routing-equivalence: least-loaded placement
+    must reproduce per-call serving bit for bit (replica identity never
+    changes results), even though *which* replica served each request is
+    timing-dependent.
+    """
+    trace = traces.generate_trace(
+        traces.TraceConfig(
+            num_requests=num_requests,
+            duration_s=duration_s,
+            seed=16,
+            min_length=2,
+            max_length=shapes.sequence_length,
+            vocab_size=shapes.vocab_size,
+        )
+    )
+    requests = list(trace.requests)
+    model = build_engine(shapes, "fp32", compute_dtype="float32")
+    pool = ShardedPool.from_model(
+        model, spec=BackendSpec.nn_lut(), registry=registry,
+        num_replicas=num_replicas, max_batch_size=16,
+    )
+    try:
+        baseline_backend = pool.template.backend
+
+        def per_call() -> None:
+            for request in requests:
+                model.forward(request[None, :], backend=baseline_backend)
+
+        seed_s = time_call(per_call, shapes.repeats)
+        with ServingQueue(
+            pool, max_wait_ms=2.0, max_queue_depth=4 * num_requests,
+            router="least_loaded",
+        ) as queue:
+            replayed = traces.replay(queue, trace, keep_results=False)
+            stats = queue.stats()
+        fast_s = replayed.elapsed_s
+
+        row: Dict[str, object] = {
+            "shape": asdict(shapes),
+            "trace": traces.trace_row(trace),
+            "num_requests": num_requests,
+            "num_replicas": num_replicas,
+            "router": "least_loaded",
+            "transport": pool.transport_name,
+            "cpu_count": os.cpu_count(),
+            "total_tokens": trace.total_tokens,
+            **_op_row(seed_s, fast_s),
+            "tokens_per_s_seed": trace.total_tokens / seed_s,
+            "tokens_per_s_fast": trace.total_tokens / fast_s,
+            "latency": traces.burst_digest(replayed),
+            "queue": {
+                "mean_batch_size": stats.mean_batch_size,
+                "p50_latency_ms": stats.p50_latency_ms,
+                "p99_latency_ms": stats.p99_latency_ms,
+                "mean_queue_wait_ms": stats.mean_queue_wait_ms,
+                "mean_service_ms": stats.mean_service_ms,
+                "completed": stats.completed,
+                "rejected": stats.rejected,
+                "expired": stats.expired,
+                "stolen": sum(replica.stolen for replica in stats.replicas),
+            },
+        }
+        if check_equivalence:
+            model64 = build_engine(shapes, "fp32", compute_dtype="float64")
+            pool64 = ShardedPool.from_model(
+                model64, spec=BackendSpec.nn_lut(), registry=registry,
+                num_replicas=num_replicas, max_batch_size=16,
+            )
+            try:
+                with ServingQueue(
+                    pool64, max_wait_ms=2.0, router="least_loaded"
+                ) as queue64:
+                    served64 = queue64.serve(requests, timeout=600)
+                oracle64 = pool64.template.backend
+                bitwise = all(
+                    np.array_equal(
+                        model64.forward(request[None, :], backend=oracle64)[0],
+                        served64[i],
+                    )
+                    for i, request in enumerate(requests)
+                )
+            finally:
+                _close_pool(pool64)
+            row["cached_float64_bitwise_equal"] = bool(bitwise)
+        return row
+    finally:
+        _close_pool(pool)
+
+
 def benchmark_ipc_transports(
     shapes: EngineShapes,
     num_requests: int = 48,
@@ -982,6 +1103,10 @@ def run_engine_benchmark(mode: str = "smoke", registry: LutRegistry | None = Non
             "server_sharded_shm_fp32": benchmark_server_sharded(
                 registry, shapes, num_requests=48 if mode == "full" else 8,
                 transport="shm_ring",
+            ),
+            "server_sharded_leastloaded_fp32": benchmark_server_trace_leastloaded(
+                registry, shapes, num_requests=48 if mode == "full" else 8,
+                duration_s=2.0 if mode == "full" else 0.2,
             ),
         },
         "ipc": benchmark_ipc_transports(
@@ -1106,6 +1231,20 @@ def main(argv: list[str] | None = None) -> int:
             f"p99 {sharded['queue']['p99_latency_ms']:.0f} ms, "
             f"mean service {sharded['queue']['mean_service_ms']:.0f} ms)"
         )
+    trace_replay = report["end_to_end"]["server_sharded_leastloaded_fp32"]
+    latency = trace_replay["latency"]
+    print(
+        f"server_sharded_leastloaded_fp32: trace replay "
+        f"({trace_replay['num_requests']} requests over "
+        f"{trace_replay['trace']['duration_s']:.1f} s, "
+        f"{trace_replay['num_replicas']} worker processes, "
+        f"router={trace_replay['router']}, "
+        f"burst p50 {latency['burst']['p50_ms']:.0f} ms / "
+        f"p99 {latency['burst']['p99_ms']:.0f} ms vs steady "
+        f"p50 {latency['steady']['p50_ms']:.0f} ms / "
+        f"p99 {latency['steady']['p99_ms']:.0f} ms, "
+        f"{trace_replay['queue']['stolen']} batches stolen)"
+    )
     print_ipc_row(report["ipc"])
     print_kernel_rows(report["kernels"])
     return 0

@@ -15,6 +15,7 @@ import numpy as np
 
 import example_utils
 from repro.api import (
+    AutoscalerConfig,
     BackendSpec,
     DeadlineExceededError,
     InferenceSession,
@@ -72,7 +73,8 @@ def main() -> None:
         stats = queue.stats()
 
     print(
-        f"\nServed {stats.completed} requests from {num_clients} client threads:"
+        f"\nServed {stats.completed} requests from {num_clients} client threads "
+        f"(router={stats.router}):"
         f"\n  latency    p50 {stats.p50_latency_ms:.1f} ms | "
         f"p99 {stats.p99_latency_ms:.1f} ms | mean {stats.mean_latency_ms:.1f} ms"
         f"\n  throughput {stats.throughput_rps:.0f} req/s over "
@@ -81,6 +83,11 @@ def main() -> None:
         f"\n  queue      max depth seen {stats.max_queue_depth_seen}, "
         f"rejected {stats.rejected}, expired {stats.expired}"
     )
+    for replica in stats.replicas:
+        print(
+            f"  replica {replica.replica_id}: {replica.batches_served} batches, "
+            f"{replica.completed} requests, {replica.stolen} stolen"
+        )
 
     # 3. Parity: every concurrently-served result equals single-session
     #    serving bit for bit on the float64 engine.
@@ -112,6 +119,39 @@ def main() -> None:
     except DeadlineExceededError as exc:
         print(f"Deadline: {exc}")
     tight.close()
+
+    # 5. Autoscaling episode: a queue constructed below its configured
+    #    min_replicas scales up on the first tick; sustained idleness then
+    #    builds down-pressure until the fleet sheds back to the floor.  The
+    #    ticks are driven manually here so the demo is deterministic.
+    small = SessionPool.from_model(
+        pool.model, spec=pool.spec, registry=registry,
+        num_replicas=1, max_batch_size=8,
+    )
+    autoscaled = ServingQueue(
+        small,
+        max_wait_ms=5.0,
+        router="least_loaded",
+        autoscale=AutoscalerConfig(
+            min_replicas=2, max_replicas=3, interval_s=60.0, patience=2
+        ),
+    )
+    try:
+        print(f"\nAutoscaler episode (router={autoscaled.stats().router}):")
+        for _ in range(2):
+            decision = autoscaled.autoscaler.step()
+            print(
+                f"  tick: {decision.action:>4} "
+                f"[{decision.live_replicas} live] {decision.reason}"
+                f"{' -> applied' if decision.applied else ''}"
+            )
+        episode = [d.action for d in autoscaled.autoscaler.episodes()]
+        print(
+            f"  fleet now {autoscaled.stats().live_replicas} replicas "
+            f"(episode: {' -> '.join(episode)})"
+        )
+    finally:
+        autoscaled.close()
 
 
 if __name__ == "__main__":

@@ -57,6 +57,15 @@ for name in (
         f"({row['tokens_per_s_seed']:.0f} -> {row['tokens_per_s_fast']:.0f} tokens/s"
         f"{extra})"
     )
+trace_row = report["end_to_end"]["server_sharded_leastloaded_fp32"]
+latency = trace_row["latency"]
+print(
+    f"server_sharded_leastloaded_fp32: trace replay, router={trace_row['router']}, "
+    f"burst p99 {latency['burst']['p99_ms']:.0f} ms vs steady p99 "
+    f"{latency['steady']['p99_ms']:.0f} ms, "
+    f"{trace_row['queue']['stolen']} batches stolen, "
+    f"{latency['failed']} failed"
+)
 ipc = report["ipc"]
 print(
     f"ipc transport: pipe {1e6 * ipc['pipe_per_request_s']:.0f} us/req vs "

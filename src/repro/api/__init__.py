@@ -11,8 +11,10 @@ The two halves of the API:
   dataset-free :meth:`~InferenceSession.calibrate` workflow.
 * :class:`SessionPool` + :class:`ServingQueue` — the concurrent serving
   layer: replica sessions over one shared frozen model, plus a
-  batch-coalescing scheduler with deadlines, overload rejection and latency
-  statistics (see :mod:`repro.api.server`).
+  batch-coalescing scheduler with deadlines, overload rejection, pluggable
+  routing, live fleet membership, optional autoscaling, and latency
+  statistics (facade in :mod:`repro.api.server`; the scheduler seams in
+  :mod:`repro.api.scheduling`).
 * :class:`ShardedPool` — the same :class:`ReplicaPool` protocol served from
   worker *processes* over shared-memory weights, lifting the GIL ceiling on
   multi-core machines (see :mod:`repro.api.sharding`), with a pluggable
@@ -25,6 +27,17 @@ surface; the legacy ``*_backend()`` constructors in
 """
 
 from .batching import MicroBatch, RequestBatcher
+from .scheduling import (
+    ROUTERS,
+    AutoscaleDecision,
+    Autoscaler,
+    AutoscalerConfig,
+    DeterministicRouter,
+    LeastLoadedRouter,
+    ReplicaStats,
+    Router,
+    create_router,
+)
 from .server import (
     DeadlineExceededError,
     QueueFullError,
@@ -94,7 +107,16 @@ __all__ = [
     "ServingQueue",
     "ServingFuture",
     "ServingStats",
+    "ReplicaStats",
     "QueueFullError",
     "DeadlineExceededError",
     "ServerClosedError",
+    "ROUTERS",
+    "Router",
+    "DeterministicRouter",
+    "LeastLoadedRouter",
+    "create_router",
+    "Autoscaler",
+    "AutoscaleDecision",
+    "AutoscalerConfig",
 ]

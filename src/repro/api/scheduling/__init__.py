@@ -1,0 +1,71 @@
+"""The serving scheduler, decomposed into explicit seams.
+
+The pre-refactor ``repro.api.server.ServingQueue`` interleaved admission,
+batch coalescing, routing, dispatch, stats and lifecycle in one class;
+this package gives each policy a seam of its own:
+
+* :mod:`~repro.api.scheduling.admission` — request validation, the
+  bounded backlog, deadlines, and the request-level exception types.
+* :mod:`~repro.api.scheduling.former` — the coalescing window and
+  length-grouped batch formation (extracted verbatim; it carries the
+  float64 parity guarantee).
+* :mod:`~repro.api.scheduling.routing` — pluggable dispatch:
+  :class:`DeterministicRouter` (the reproducible round-robin every
+  parity gate pins) and :class:`LeastLoadedRouter` (load-aware, with
+  work stealing).
+* :mod:`~repro.api.scheduling.fleet` — live membership (hot-add, drain,
+  retire, dead-replica replacement) plus the scheduler and worker
+  threads, all under one condition lock.
+* :mod:`~repro.api.scheduling.stats` — the frozen
+  :class:`ServingStats`/:class:`ReplicaStats` snapshots and the mutable
+  board behind them.
+* :mod:`~repro.api.scheduling.autoscaler` — the stats-driven scaling
+  loop over the fleet's membership hooks.
+
+``repro.api.server.ServingQueue`` remains the facade that wires these
+together; import it (and the pools) from :mod:`repro.api` as before.
+"""
+
+from .admission import (
+    AdmissionController,
+    DeadlineExceededError,
+    Pending,
+    QueueFullError,
+    ServerClosedError,
+    ServingFuture,
+)
+from .autoscaler import Autoscaler, AutoscaleDecision, AutoscalerConfig
+from .fleet import FleetManager, FormedBatch, ReplicaMember
+from .former import BatchFormer
+from .routing import (
+    ROUTERS,
+    DeterministicRouter,
+    LeastLoadedRouter,
+    Router,
+    create_router,
+)
+from .stats import ReplicaStats, ServingStats, StatsBoard
+
+__all__ = [
+    "AdmissionController",
+    "Autoscaler",
+    "AutoscaleDecision",
+    "AutoscalerConfig",
+    "BatchFormer",
+    "DeadlineExceededError",
+    "DeterministicRouter",
+    "FleetManager",
+    "FormedBatch",
+    "LeastLoadedRouter",
+    "Pending",
+    "QueueFullError",
+    "ReplicaMember",
+    "ReplicaStats",
+    "ROUTERS",
+    "Router",
+    "ServerClosedError",
+    "ServingFuture",
+    "ServingStats",
+    "StatsBoard",
+    "create_router",
+]

@@ -1,0 +1,88 @@
+"""Batch formation: the coalescing-window and length-grouping policy.
+
+Extracted verbatim from the pre-refactor ``ServingQueue``: a window of
+pending requests is grouped by *bucketed* length with the same stable
+rule as :class:`~repro.api.batching.RequestBatcher` (requests of equal
+bucketed length stay in arrival order) and chunked to ``max_batch_size``
+rows — which is exactly what preserves the exact-length float64 parity
+guarantee through queued serving.  The window timing policy lives here
+too: a window closes ``max_wait_s`` after its *oldest* request, or early
+once the fleet is saturated (every live replica has a full batch
+waiting).
+
+The former is pure: it never touches a lock or a clock of its own, so
+routing and membership (:mod:`~repro.api.scheduling.fleet`) can call it
+freely under the scheduler lock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .admission import Pending
+
+__all__ = ["BatchFormer"]
+
+
+class BatchFormer:
+    """Length-grouped batch formation over a coalescing window.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Rows per dispatched batch.
+    bucket_size:
+        Length-bucket granularity (1 = exact-length batching, the parity
+        configuration).
+    max_sequence_length:
+        Bucketed lengths are clamped to the model's maximum.
+    max_wait_s:
+        Coalescing window measured from the oldest pending request.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int,
+        bucket_size: int,
+        max_sequence_length: int,
+        max_wait_s: float,
+    ) -> None:
+        self.max_batch_size = int(max_batch_size)
+        self.bucket_size = int(bucket_size)
+        self.max_sequence_length = int(max_sequence_length)
+        self.max_wait_s = float(max_wait_s)
+
+    def window_deadline(self, oldest_submitted_at: float) -> float:
+        """When the window anchored at ``oldest_submitted_at`` closes."""
+        return oldest_submitted_at + self.max_wait_s
+
+    def saturated(self, pending_count: int, live_replicas: int) -> bool:
+        """True once every live replica already has a full batch pending.
+
+        Closing the window early at this point adds batch density no
+        longer — it only adds latency.
+        """
+        return pending_count >= self.max_batch_size * max(1, live_replicas)
+
+    def bucketed_length(self, length: int) -> int:
+        bucketed = -(-length // self.bucket_size) * self.bucket_size
+        return min(bucketed, self.max_sequence_length)
+
+    def form(self, window: List[Pending]) -> List[List[Pending]]:
+        """Group a coalescing window by bucketed length, chunk to batch size.
+
+        The same stable grouping rule as ``RequestBatcher.plan`` — requests
+        with equal bucketed length stay in arrival order — so queued serving
+        inherits the exact-length parity guarantee.
+        """
+        groups: Dict[int, List[Pending]] = {}
+        for pending in window:
+            groups.setdefault(self.bucketed_length(pending.tokens.size), []).append(
+                pending
+            )
+        batches: List[List[Pending]] = []
+        for length in sorted(groups):
+            group = groups[length]
+            for start in range(0, len(group), self.max_batch_size):
+                batches.append(group[start : start + self.max_batch_size])
+        return batches

@@ -1,0 +1,229 @@
+"""Serving statistics: the immutable snapshots and the mutable board.
+
+:class:`ServingStats` (and the per-replica :class:`ReplicaStats` rows it
+now carries) is the public, frozen snapshot ``ServingQueue.stats()``
+returns.  :class:`StatsBoard` is the mutable ledger behind it — plain
+counters and bounded latency deques, mutated **only under the fleet
+condition lock** (it deliberately has no lock of its own; see
+:mod:`repro.api.scheduling.fleet` for the locking story).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Sequence, Tuple
+
+import numpy as np
+
+from .admission import Pending
+
+__all__ = ["ReplicaStats", "ServingStats", "StatsBoard"]
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Scheduling state of one fleet member at snapshot time.
+
+    ``queued_cost``/``in_flight_cost`` are token counts — the routing cost
+    the :class:`~repro.api.scheduling.routing.LeastLoadedRouter` minimizes
+    — so router decisions and autoscaler pressure are observable from the
+    outside.  ``draining`` members finish their queue but receive no new
+    work; a member that is neither ``live`` nor draining has exited (its
+    worker returned, e.g. after the replica died).
+    """
+
+    replica_id: int
+    queued_batches: int
+    queued_requests: int
+    queued_cost: int
+    in_flight_requests: int
+    in_flight_cost: int
+    batches_served: int
+    completed: int
+    failed: int
+    stolen: int
+    draining: bool
+    live: bool
+
+    @property
+    def routable(self) -> bool:
+        """Whether the scheduler may still route new work to this member."""
+        return self.live and not self.draining
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Aggregate queue statistics since construction (or the last reset).
+
+    Latency is submit-to-fulfilment wall time per completed request, split
+    into its two phases: **queue wait** (submit until a worker picked the
+    request's batch up for dispatch) and **service** (dispatch until the
+    result was ready — the replica forward plus, for sharded pools, the
+    request/response transport).  ``*_latency_ms`` digests the total;
+    ``*_queue_wait_ms`` / ``*_service_ms`` digest the phases, so scheduling
+    pressure and per-call serving cost (e.g. IPC overhead) are visible
+    separately per measurement window.  ``throughput_rps`` divides
+    completions by the span between the first submit and the last
+    fulfilment.  ``mean_batch_size`` measures how much cross-caller
+    coalescing actually happened (1.0 = no coalescing).  ``queue_depth``
+    (and its high-water mark) counts the whole backlog — pending, formed
+    into batches, and in flight — the same quantity ``max_queue_depth``
+    admission control bounds.
+
+    ``router`` names the active routing policy, ``replicas`` carries one
+    :class:`ReplicaStats` row per current fleet member, and
+    ``replicas_added``/``replicas_retired`` count live membership changes
+    (hot-adds and drain/retire/death removals) in the window.
+    """
+
+    submitted: int
+    completed: int
+    rejected: int
+    expired: int
+    failed: int
+    queue_depth: int
+    max_queue_depth_seen: int
+    batches: int
+    mean_batch_size: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    mean_latency_ms: float
+    p50_queue_wait_ms: float
+    p99_queue_wait_ms: float
+    mean_queue_wait_ms: float
+    p50_service_ms: float
+    p99_service_ms: float
+    mean_service_ms: float
+    throughput_rps: float
+    router: str = "deterministic"
+    replicas_added: int = 0
+    replicas_retired: int = 0
+    replicas: Tuple[ReplicaStats, ...] = ()
+
+    @property
+    def live_replicas(self) -> int:
+        """Members the scheduler can still route new work to."""
+        return sum(1 for replica in self.replicas if replica.routable)
+
+
+class StatsBoard:
+    """Mutable counters and latency digests behind :class:`ServingStats`.
+
+    Every mutation happens under the owning fleet's condition lock; the
+    board itself is lock-free on purpose (one scheduler, one lock).
+    Latency deques are bounded to keep long-lived servers' memory flat.
+    """
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.expired = 0
+        self.failed = 0
+        self.batches = 0
+        self.batched_rows = 0
+        self.replicas_added = 0
+        self.replicas_retired = 0
+        self.max_depth_seen = 0
+        self.latencies_ms: Deque[float] = deque(maxlen=8192)
+        self.queue_waits_ms: Deque[float] = deque(maxlen=8192)
+        self.services_ms: Deque[float] = deque(maxlen=8192)
+        self.first_submit_at: float | None = None
+        self.last_done_at: float | None = None
+
+    def note_submitted(self, now: float, backlog: int) -> None:
+        self.submitted += 1
+        if self.first_submit_at is None:
+            self.first_submit_at = now
+        self.max_depth_seen = max(self.max_depth_seen, backlog)
+
+    def record_batch(
+        self, batch: Sequence[Pending], dispatched_at: float, done_at: float
+    ) -> None:
+        """Account one successfully served batch (its latency partition)."""
+        self.batches += 1
+        self.batched_rows += len(batch)
+        self.completed += len(batch)
+        self.last_done_at = done_at
+        for pending in batch:
+            self.latencies_ms.append(1000.0 * (done_at - pending.submitted_at))
+            self.queue_waits_ms.append(
+                1000.0 * (dispatched_at - pending.submitted_at)
+            )
+            self.services_ms.append(1000.0 * (done_at - dispatched_at))
+
+    def reset(self, backlog: int, now: float) -> None:
+        """Zero the window (see ``ServingQueue.reset_stats`` for semantics)."""
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.expired = 0
+        self.failed = 0
+        self.batches = 0
+        self.batched_rows = 0
+        self.replicas_added = 0
+        self.replicas_retired = 0
+        self.latencies_ms.clear()
+        self.queue_waits_ms.clear()
+        self.services_ms.clear()
+        # Anchor the span at the reset when requests are still in the
+        # system — their completions land in this window and must not
+        # report as zero throughput.
+        self.first_submit_at = now if backlog else None
+        self.last_done_at = None
+        self.max_depth_seen = backlog
+
+    @staticmethod
+    def _digest(values_ms: Deque[float]) -> Tuple[float, float, float]:
+        """``(p50, p99, mean)`` of a bounded latency deque (0s when empty)."""
+        if not values_ms:
+            return 0.0, 0.0, 0.0
+        values = np.asarray(values_ms, dtype=np.float64)
+        return (
+            float(np.percentile(values, 50)),
+            float(np.percentile(values, 99)),
+            float(np.mean(values)),
+        )
+
+    def snapshot(
+        self,
+        backlog: int,
+        router: str,
+        replicas: Tuple[ReplicaStats, ...],
+    ) -> ServingStats:
+        p50, p99, mean = self._digest(self.latencies_ms)
+        wait_p50, wait_p99, wait_mean = self._digest(self.queue_waits_ms)
+        service_p50, service_p99, service_mean = self._digest(self.services_ms)
+        span = None
+        if self.first_submit_at is not None and self.last_done_at is not None:
+            span = self.last_done_at - self.first_submit_at
+        return ServingStats(
+            submitted=self.submitted,
+            completed=self.completed,
+            rejected=self.rejected,
+            expired=self.expired,
+            failed=self.failed,
+            queue_depth=backlog,
+            max_queue_depth_seen=self.max_depth_seen,
+            batches=self.batches,
+            mean_batch_size=(
+                self.batched_rows / self.batches if self.batches else 0.0
+            ),
+            p50_latency_ms=p50,
+            p99_latency_ms=p99,
+            mean_latency_ms=mean,
+            p50_queue_wait_ms=wait_p50,
+            p99_queue_wait_ms=wait_p99,
+            mean_queue_wait_ms=wait_mean,
+            p50_service_ms=service_p50,
+            p99_service_ms=service_p99,
+            mean_service_ms=service_mean,
+            throughput_rps=(
+                self.completed / span if span and span > 0 else 0.0
+            ),
+            router=router,
+            replicas_added=self.replicas_added,
+            replicas_retired=self.replicas_retired,
+            replicas=replicas,
+        )

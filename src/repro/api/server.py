@@ -1,4 +1,4 @@
-"""Concurrent serving: replica pools and a batch-coalescing scheduler.
+"""Concurrent serving: replica pools and the batch-coalescing facade.
 
 The ROADMAP's open perf item says the FP32 engine is matmul-bound — the next
 win is *batched multi-sequence scheduling*, not more LUT fusion.  This module
@@ -11,15 +11,21 @@ supplies it, one layer above :class:`~repro.api.session.InferenceSession`
   per-dtype caches), so replicas can serve simultaneously from threads.
   numpy's BLAS releases the GIL, which is where the thread parallelism comes
   from on multi-core machines; on a single core the win is batch density.
-* :class:`ServingQueue` — a scheduler thread that accepts requests from many
-  client threads, coalesces them *across callers* for up to ``max_wait_ms``
-  (or until every replica has a full batch), forms exact-length /
-  length-bucketed batches of at most ``max_batch_size`` rows, and dispatches
-  them to the pool's replica workers.  Per-request deadlines and a bounded
-  queue give overload behaviour a server can rely on; :meth:`ServingQueue.stats`
-  reports p50/p99 latency — split into queue-wait vs service (dispatch to
-  result) time, so scheduling pressure and per-call cost such as sharded
-  IPC overhead read separately — plus throughput and queue/batch shape.
+* :class:`ServingQueue` — the serving facade.  Client threads call
+  :meth:`~ServingQueue.submit`/:meth:`~ServingQueue.serve`; the actual
+  scheduling — admission control, ``max_wait_ms`` coalescing, routing,
+  per-replica dispatch, live membership, autoscaling — lives in
+  :mod:`repro.api.scheduling` and is wired together here.  Per-request
+  deadlines and a bounded queue give overload behaviour a server can rely
+  on; :meth:`ServingQueue.stats` reports p50/p99 latency — split into
+  queue-wait vs service time — plus throughput, queue/batch shape, and
+  per-replica scheduling state.
+
+Both pools support *live membership*: :meth:`ReplicaPool.spawn_replica` /
+:meth:`ReplicaPool.retire_replica` are the narrow hooks the scheduling
+package's :class:`~repro.api.scheduling.fleet.FleetManager` (and the
+:class:`~repro.api.scheduling.autoscaler.Autoscaler`) drive to grow and
+shrink a queue's fleet while it serves.
 
 Determinism and parity: every replica serves the *same* frozen model object
 through an identically-built backend, and with exact-length bucketing
@@ -29,24 +35,39 @@ request therefore cannot change its result — pooled/queued serving is
 bitwise-equal to single-session serving under ``compute_dtype="float64"`` on
 the ``fp32``/``fp16`` matmul engines.  :meth:`SessionPool.forward` goes
 further and makes the *dispatch itself* deterministic (micro-batch ``j`` goes
-to replica ``j % num_replicas``), so runs are reproducible batch-for-batch.
-The ``int8`` engine keeps its documented caveat: one activation scale per
-packed tensor means batch composition legitimately affects its numerics.
+to replica ``j % num_replicas``), and the queue's default
+:class:`~repro.api.scheduling.routing.DeterministicRouter` keeps batch
+placement a pure function of submission order, so runs are reproducible
+batch-for-batch.  ``router="least_loaded"`` trades that placement
+reproducibility for tail latency under bursty traffic (results on the float
+engines stay bitwise-identical either way).  The ``int8`` engine keeps its
+documented caveat: one activation scale per packed tensor means batch
+composition legitimately affects its numerics.
 """
 
 from __future__ import annotations
 
-import copy
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.registry import LutRegistry
 from ..transformer.models import EncoderModel
+from .scheduling.admission import (
+    AdmissionController,
+    DeadlineExceededError,
+    Pending,
+    QueueFullError,
+    ServerClosedError,
+    ServingFuture,
+)
+from .scheduling.autoscaler import Autoscaler, AutoscalerConfig
+from .scheduling.fleet import FleetManager, _per_future_error  # noqa: F401
+from .scheduling.former import BatchFormer
+from .scheduling.routing import Router, create_router
+from .scheduling.stats import ReplicaStats, ServingStats, StatsBoard
 from .session import InferenceSession, SessionConfig, adopted_model_config
 from .spec import BackendSpec
 
@@ -56,97 +77,16 @@ __all__ = [
     "ServerClosedError",
     "ServingFuture",
     "ServingStats",
+    "ReplicaStats",
+    "AutoscalerConfig",
     "ReplicaPool",
     "SessionPool",
     "ServingQueue",
 ]
 
-
-class QueueFullError(RuntimeError):
-    """Raised by ``submit`` when the queue is at ``max_queue_depth``."""
-
-
-class DeadlineExceededError(RuntimeError):
-    """Raised from a request's future when its deadline passed while queued."""
-
-
-class ServerClosedError(RuntimeError):
-    """Raised when submitting to (or waiting on) a closed :class:`ServingQueue`."""
-
-
-class ServingFuture:
-    """Result handle for one submitted request.
-
-    ``result()`` blocks until the scheduler fulfils (or fails) the request
-    and either returns the hidden states ``(length, hidden)`` or raises the
-    recorded error (:class:`DeadlineExceededError`, :class:`ServerClosedError`,
-    or whatever the forward itself raised).
-    """
-
-    def __init__(self) -> None:
-        self._done = threading.Event()
-        self._value: np.ndarray | None = None
-        self._error: BaseException | None = None
-
-    def _fulfill(self, value: np.ndarray) -> None:
-        self._value = value
-        self._done.set()
-
-    def _fail(self, error: BaseException) -> None:
-        self._error = error
-        self._done.set()
-
-    def done(self) -> bool:
-        return self._done.is_set()
-
-    def result(self, timeout: float | None = None) -> np.ndarray:
-        if not self._done.wait(timeout):
-            raise TimeoutError("request not served within the wait timeout")
-        if self._error is not None:
-            raise self._error
-        assert self._value is not None
-        return self._value
-
-
-@dataclass(frozen=True)
-class ServingStats:
-    """Aggregate queue statistics since construction (or the last reset).
-
-    Latency is submit-to-fulfilment wall time per completed request, split
-    into its two phases: **queue wait** (submit until a worker picked the
-    request's batch up for dispatch) and **service** (dispatch until the
-    result was ready — the replica forward plus, for sharded pools, the
-    request/response transport).  ``*_latency_ms`` digests the total;
-    ``*_queue_wait_ms`` / ``*_service_ms`` digest the phases, so scheduling
-    pressure and per-call serving cost (e.g. IPC overhead) are visible
-    separately per measurement window.  ``throughput_rps`` divides
-    completions by the span between the first submit and the last
-    fulfilment.  ``mean_batch_size`` measures how much cross-caller
-    coalescing actually happened (1.0 = no coalescing).  ``queue_depth``
-    (and its high-water mark) counts the whole backlog — pending, formed
-    into batches, and in flight — the same quantity ``max_queue_depth``
-    admission control bounds.
-    """
-
-    submitted: int
-    completed: int
-    rejected: int
-    expired: int
-    failed: int
-    queue_depth: int
-    max_queue_depth_seen: int
-    batches: int
-    mean_batch_size: float
-    p50_latency_ms: float
-    p99_latency_ms: float
-    mean_latency_ms: float
-    p50_queue_wait_ms: float
-    p99_queue_wait_ms: float
-    mean_queue_wait_ms: float
-    p50_service_ms: float
-    p99_service_ms: float
-    mean_service_ms: float
-    throughput_rps: float
+#: Backward-compatible alias — the pending record now lives in
+#: :mod:`repro.api.scheduling.admission`.
+_Pending = Pending
 
 
 class ReplicaPool:
@@ -169,6 +109,11 @@ class ReplicaPool:
     ``forward``/``pooled``/``classify`` shard micro-batches deterministically
     (batch ``j`` -> replica ``j % N``) and are implemented once here, so every
     pool — threaded or multi-process — serves identically.
+
+    Pools that support *live membership* additionally implement
+    :meth:`spawn_replica`/:meth:`retire_replica`; the scheduling package's
+    fleet manager and autoscaler only ever touch a pool through these two
+    hooks.
     """
 
     #: Replica serving handles (``forward``/``pooled`` duck type).
@@ -199,6 +144,29 @@ class ReplicaPool:
     @property
     def max_sequence_length(self) -> int:
         return self._template.max_sequence_length
+
+    # ------------------------------------------------------------------ #
+    # Live membership hooks (optional per pool)
+    # ------------------------------------------------------------------ #
+    def spawn_replica(self):
+        """Build, warm and adopt one more replica handle; return it.
+
+        The handle is appended to ``sessions`` before returning, so direct
+        pool serving and a queue's fleet see the same membership.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support live replica addition"
+        )
+
+    def retire_replica(self, handle) -> None:
+        """Release one replica handle and drop it from ``sessions``.
+
+        Idempotent with respect to membership: retiring a handle that is no
+        longer in ``sessions`` only releases its resources.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support live replica retirement"
+        )
 
     # ------------------------------------------------------------------ #
     # Deterministic sharded serving
@@ -303,7 +271,8 @@ class SessionPool(ReplicaPool):
     Construction ends with one tiny warm-up forward per replica: that fills
     every lazy per-dtype cache on the shared tables/parameters
     (``LookupTable`` parameter casts, norm-parameter casts), so concurrent
-    traffic never races on a cache fill.
+    traffic never races on a cache fill.  :meth:`spawn_replica` repeats the
+    same recipe for live hot-adds.
 
     Parameters mirror :class:`InferenceSession`; ``model=`` adopts an
     existing encoder exactly like the session constructor does.
@@ -325,16 +294,7 @@ class SessionPool(ReplicaPool):
         self._template = primary
         self.sessions: List[InferenceSession] = [primary]
         for _ in range(num_replicas - 1):
-            replica = InferenceSession.from_model(
-                primary.model,
-                spec=primary.spec,
-                registry=primary.registry,
-                max_batch_size=primary.config.max_batch_size,
-                bucket_size=primary.config.bucket_size,
-            )
-            if primary.lut_overrides:
-                replica.apply_lut_overrides(primary.lut_overrides)
-            self.sessions.append(replica)
+            self.sessions.append(primary.clone_for_serving())
         self.config = primary.config
         self.spec = primary.spec
         warmup = [np.zeros(1, dtype=np.int64)]
@@ -374,74 +334,34 @@ class SessionPool(ReplicaPool):
             session.apply_lut_overrides(calibrated)
         return calibrated
 
+    # ------------------------------------------------------------------ #
+    # Live membership
+    # ------------------------------------------------------------------ #
+    def spawn_replica(self) -> InferenceSession:
+        """One more warmed replica over the shared frozen encoder."""
+        replica = self._template.clone_for_serving()
+        replica.forward([np.zeros(1, dtype=np.int64)])
+        self.sessions.append(replica)
+        return replica
 
-def _per_future_error(exc: BaseException) -> BaseException:
-    """A private copy of a batch failure for one future.
-
-    Every future in a failed batch re-raises "the" error, but ``raise``
-    mutates the raised instance's ``__traceback__`` — handing the *same*
-    instance to N futures makes concurrent ``result()`` calls race on that
-    shared mutable state (and chains unrelated client-side tracebacks into
-    each other).  Each future therefore gets its own copy, with the original
-    attached as ``__cause__`` so nothing about the failure is lost.
-
-    This helper must *never* raise: it runs inside ``_worker_loop``'s error
-    path, and an escaping exception there kills the worker thread with the
-    batch's futures still unresolved — every client in the batch then hangs
-    until its own timeout, and the original error is silently eaten.  Exotic
-    exception classes can break both fallbacks in ways ``except Exception``
-    does not cover (a constructor or ``__reduce_ex__`` raising a
-    ``BaseException``, or a constructor returning a non-exception via
-    ``__new__``), so each stage catches ``BaseException`` and validates its
-    result; the last resort is a plain ``RuntimeError`` that still chains the
-    original as ``__cause__`` — degraded, never silent.
-    """
-    clone: BaseException | None = None
-    try:
-        candidate = type(exc)(*exc.args)
-        if isinstance(candidate, BaseException):
-            clone = candidate
-    except BaseException:
-        clone = None
-    if clone is None:
-        try:
-            candidate = copy.copy(exc)
-            if isinstance(candidate, BaseException):
-                clone = candidate
-        except BaseException:
-            clone = None
-    if clone is None:
-        clone = RuntimeError(f"batch forward failed: {exc!r}")
-    clone.__traceback__ = None
-    clone.__cause__ = exc
-    return clone
-
-
-class _Pending:
-    """One queued request: payload plus bookkeeping for stats/deadlines."""
-
-    __slots__ = ("tokens", "future", "submitted_at", "deadline_at")
-
-    def __init__(
-        self, tokens: np.ndarray, future: ServingFuture,
-        submitted_at: float, deadline_at: float | None,
-    ) -> None:
-        self.tokens = tokens
-        self.future = future
-        self.submitted_at = submitted_at
-        self.deadline_at = deadline_at
+    def retire_replica(self, handle: InferenceSession) -> None:
+        """Drop a replica session; the shared model is untouched."""
+        if handle in self.sessions:
+            self.sessions.remove(handle)
 
 
 class ServingQueue:
-    """Batch-coalescing scheduler over a :class:`SessionPool`.
+    """Batch-coalescing serving facade over a :class:`ReplicaPool`.
 
     Client threads call :meth:`submit` (non-blocking, returns a
     :class:`ServingFuture`) or :meth:`serve_one` (blocking convenience).  A
     scheduler thread coalesces everything submitted within ``max_wait_ms`` of
     the oldest pending request — or sooner, once every replica has a full
     batch — groups the window by (bucketed) length exactly like
-    :class:`~repro.api.batching.RequestBatcher`, and hands the formed batches
-    to per-replica worker threads.
+    :class:`~repro.api.batching.RequestBatcher`, and routes the formed
+    batches to per-replica worker threads through the configured router.
+    The machinery lives in :mod:`repro.api.scheduling`; this facade only
+    validates, wires, and delegates.
 
     Overload behaviour: :meth:`submit` raises :class:`QueueFullError` once
     ``max_queue_depth`` requests are in the system — pending, formed into
@@ -452,6 +372,15 @@ class ServingQueue:
     with :class:`DeadlineExceededError` instead of wasting a forward on it —
     checked both when its coalescing window closes and again when a worker
     picks its batch up.
+
+    Live membership: :meth:`add_replica`, :meth:`drain_replica` and
+    :meth:`retire_replica` grow and shrink the serving fleet while traffic
+    flows (in-flight work always completes on the old member).  A replica
+    that dies mid-service is retired automatically — its queued work moves
+    to the survivors — and ``replace_dead_replicas=True`` additionally
+    spawns a fresh replica in its place.  Passing an
+    :class:`AutoscalerConfig` as ``autoscale`` runs the stats-driven
+    scaling loop on top of the same hooks.
 
     Parameters
     ----------
@@ -470,6 +399,18 @@ class ServingQueue:
     start:
         Start the scheduler/worker threads immediately (default).  Tests and
         warm-up flows can pass ``False`` and call :meth:`start` later.
+    router:
+        ``"deterministic"`` (default; reproducible batch placement — the
+        configuration every float64 parity gate pins), ``"least_loaded"``
+        (load-aware dispatch with work stealing), or a
+        :class:`~repro.api.scheduling.routing.Router` instance.
+    autoscale:
+        Optional :class:`AutoscalerConfig`; when given, an autoscaler
+        thread watches the queue-wait/service split and drives
+        :meth:`add_replica`/:meth:`retire_one_replica` within its bounds.
+    replace_dead_replicas:
+        Spawn a replacement (via the pool's :meth:`~ReplicaPool.spawn_replica`
+        hook) whenever a replica dies mid-service.
     """
 
     def __init__(
@@ -479,6 +420,9 @@ class ServingQueue:
         max_batch_size: int | None = None,
         max_queue_depth: int = 1024,
         start: bool = True,
+        router: str | Router = "deterministic",
+        autoscale: AutoscalerConfig | None = None,
+        replace_dead_replicas: bool = False,
     ) -> None:
         if isinstance(pool, InferenceSession):
             source = pool
@@ -511,37 +455,26 @@ class ServingQueue:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
         self.max_queue_depth = int(max_queue_depth)
 
-        self._lock = threading.Lock()
-        self._work = threading.Condition(self._lock)
-        self._pending: Deque[_Pending] = deque()
-        self._batch_queue: Deque[List[_Pending]] = deque()
-        self._closed = False
-        self._started = False
-        self._inflight_batches = 0
-        #: Submitted-but-unfinished requests: pending + formed + in flight.
-        self._backlog = 0
-        #: Requests close() failed with ServerClosedError instead of serving;
-        #: drain() consults this to distinguish "served" from "discarded".
-        self._dropped_on_close = 0
-
-        # Stats (guarded by _lock; latencies bounded to keep memory flat).
-        self._submitted = 0
-        self._completed = 0
-        self._rejected = 0
-        self._expired = 0
-        self._failed = 0
-        self._max_depth_seen = 0
-        self._batches = 0
-        self._batched_rows = 0
-        self._latencies_ms: Deque[float] = deque(maxlen=8192)
-        self._queue_waits_ms: Deque[float] = deque(maxlen=8192)
-        self._services_ms: Deque[float] = deque(maxlen=8192)
-        self._first_submit_at: float | None = None
-        self._last_done_at: float | None = None
-
-        self._scheduler: threading.Thread | None = None
-        self._workers: List[threading.Thread] = []
-        self._live_workers = 0
+        self.router = create_router(router)
+        self._board = StatsBoard()
+        self._admission = AdmissionController(self.max_queue_depth, self._board)
+        self._former = BatchFormer(
+            max_batch_size=self.max_batch_size,
+            bucket_size=pool.config.bucket_size,
+            max_sequence_length=pool.max_sequence_length,
+            max_wait_s=self.max_wait_s,
+        )
+        self._fleet = FleetManager(
+            pool=pool,
+            router=self.router,
+            former=self._former,
+            admission=self._admission,
+            board=self._board,
+            replace_dead=replace_dead_replicas,
+        )
+        self._autoscaler = (
+            Autoscaler(self, autoscale) if autoscale is not None else None
+        )
         if start:
             self.start()
 
@@ -550,46 +483,10 @@ class ServingQueue:
     # ------------------------------------------------------------------ #
     def start(self) -> "ServingQueue":
         """Start the scheduler and one worker thread per replica (idempotent)."""
-        with self._lock:
-            if self._closed:
-                raise ServerClosedError("cannot start a closed ServingQueue")
-            if self._started:
-                return self
-            self._started = True
-            # _worker_loop decrements this under the same lock as it exits;
-            # publishing it unguarded would race a worker that dies instantly.
-            self._live_workers = self.pool.num_replicas
-        self._scheduler = threading.Thread(
-            target=self._scheduler_loop, name="serving-scheduler", daemon=True
-        )
-        self._scheduler.start()
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop, args=(replica,),
-                name=f"serving-worker-{replica}", daemon=True,
-            )
-            for replica in range(self.pool.num_replicas)
-        ]
-        for worker in self._workers:
-            worker.start()
+        self._fleet.start()
+        if self._autoscaler is not None:
+            self._autoscaler.start()
         return self
-
-    def _shut_down(self, reason: str) -> None:
-        """Mark the queue closed and fail the dropped backlog (idempotent)."""
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-            dropped = list(self._pending)
-            self._pending.clear()
-            for batch in self._batch_queue:
-                dropped.extend(batch)
-            self._batch_queue.clear()
-            self._backlog -= len(dropped)
-            self._dropped_on_close += len(dropped)
-            self._work.notify_all()
-        for pending in dropped:
-            pending.future._fail(ServerClosedError(reason))
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop serving.  In-flight batches finish; queued requests fail.
@@ -597,16 +494,27 @@ class ServingQueue:
         Safe to call more than once.  Requests still waiting (pending or in
         formed-but-undispatched batches) receive :class:`ServerClosedError`.
         """
-        self._shut_down("ServingQueue was closed")
-        for thread in [self._scheduler, *self._workers]:
-            if thread is not None and thread.is_alive():
-                thread.join(timeout)
+        if self._autoscaler is not None:
+            self._autoscaler.stop(timeout)
+        self._fleet.shut_down("ServingQueue was closed")
+        self._fleet.join(timeout)
 
     def __enter__(self) -> "ServingQueue":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    @property
+    def autoscaler(self) -> Optional[Autoscaler]:
+        """The scaling loop, when constructed with ``autoscale=`` (else None)."""
+        return self._autoscaler
+
+    @property
+    def _inflight_batches(self) -> int:
+        # Kept for tests/tools that poll dispatch progress; the counter
+        # itself now lives on the fleet.
+        return self._fleet.inflight_batches
 
     # ------------------------------------------------------------------ #
     # Client surface
@@ -620,45 +528,21 @@ class ServingQueue:
         within that many milliseconds of submission fails with
         :class:`DeadlineExceededError` (it is never half-served).
         """
-        tokens = np.asarray(tokens)
-        if tokens.ndim != 1 or tokens.size == 0:
-            raise ValueError(
-                f"a request must be a non-empty 1-D token id sequence, "
-                f"got shape {tokens.shape}"
-            )
-        if not np.issubdtype(tokens.dtype, np.integer):
-            raise ValueError(f"token ids must be integers, got {tokens.dtype}")
-        if tokens.size > self.pool.max_sequence_length:
-            raise ValueError(
-                f"request length {tokens.size} exceeds the model's maximum "
-                f"sequence length {self.pool.max_sequence_length}"
-            )
-        if deadline_ms is not None and deadline_ms < 0:
-            raise ValueError(f"deadline_ms must be >= 0, got {deadline_ms}")
+        tokens = AdmissionController.validate(
+            tokens, self.pool.max_sequence_length, deadline_ms
+        )
         now = time.monotonic()
         future = ServingFuture()
-        pending = _Pending(
-            tokens=tokens,
-            future=future,
-            submitted_at=now,
-            deadline_at=None if deadline_ms is None else now + deadline_ms / 1000.0,
+        self._fleet.submit(
+            Pending(
+                tokens=tokens,
+                future=future,
+                submitted_at=now,
+                deadline_at=(
+                    None if deadline_ms is None else now + deadline_ms / 1000.0
+                ),
+            )
         )
-        with self._lock:
-            if self._closed:
-                raise ServerClosedError("ServingQueue is closed")
-            if self._backlog >= self.max_queue_depth:
-                self._rejected += 1
-                raise QueueFullError(
-                    f"queue depth {self._backlog} is at max_queue_depth="
-                    f"{self.max_queue_depth}; request rejected"
-                )
-            self._pending.append(pending)
-            self._backlog += 1
-            self._submitted += 1
-            if self._first_submit_at is None:
-                self._first_submit_at = now
-            self._max_depth_seen = max(self._max_depth_seen, self._backlog)
-            self._work.notify_all()
         return future
 
     def serve_one(
@@ -699,24 +583,7 @@ class ServingQueue:
         normally would falsely report it drained.  A close() that raced in
         *after* everything was genuinely served does not raise.
         """
-        closed_error = ServerClosedError(
-            "ServingQueue was closed while draining; the remaining "
-            "backlog will never be served"
-        )
-        deadline = time.monotonic() + timeout
-        with self._work:
-            while self._pending or self._batch_queue or self._inflight_batches:
-                if self._closed:
-                    raise closed_error
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise TimeoutError("ServingQueue did not drain in time")
-                self._work.wait(remaining)
-            # The backlog is gone — but close() *discards* the pending and
-            # formed backlog (failing those futures), so an empty closed
-            # queue is not necessarily a served one.
-            if self._closed and self._dropped_on_close:
-                raise closed_error
+        self._fleet.drain(timeout)
 
     def reset_stats(self) -> None:
         """Zero the counters, latency digest and throughput span anchors.
@@ -730,239 +597,64 @@ class ServingQueue:
         completions/latencies are counted here (a latency necessarily
         includes queueing time from before the reset), the high-water mark
         restarts from the current backlog, and the throughput span is
-        anchored at the reset while any backlog remains.
+        anchored at the reset while any backlog remains.  Per-replica
+        counters in ``stats().replicas`` are lifetime values and are not
+        windowed.
         """
-        with self._lock:
-            self._submitted = 0
-            self._completed = 0
-            self._rejected = 0
-            self._expired = 0
-            self._failed = 0
-            self._batches = 0
-            self._batched_rows = 0
-            self._latencies_ms.clear()
-            self._queue_waits_ms.clear()
-            self._services_ms.clear()
-            # Anchor the span at the reset when requests are still in the
-            # system — their completions land in this window and must not
-            # report as zero throughput.
-            self._first_submit_at = time.monotonic() if self._backlog else None
-            self._last_done_at = None
-            self._max_depth_seen = self._backlog
-
-    @staticmethod
-    def _digest(values_ms: Deque[float]) -> tuple[float, float, float]:
-        """``(p50, p99, mean)`` of a bounded latency deque (0s when empty)."""
-        if not values_ms:
-            return 0.0, 0.0, 0.0
-        values = np.asarray(values_ms, dtype=np.float64)
-        return (
-            float(np.percentile(values, 50)),
-            float(np.percentile(values, 99)),
-            float(np.mean(values)),
-        )
+        self._fleet.reset_stats()
 
     def stats(self) -> ServingStats:
         """A consistent snapshot of the queue's counters and latency digest."""
-        with self._lock:
-            p50, p99, mean = self._digest(self._latencies_ms)
-            wait_p50, wait_p99, wait_mean = self._digest(self._queue_waits_ms)
-            service_p50, service_p99, service_mean = self._digest(self._services_ms)
-            span = None
-            if self._first_submit_at is not None and self._last_done_at is not None:
-                span = self._last_done_at - self._first_submit_at
-            return ServingStats(
-                submitted=self._submitted,
-                completed=self._completed,
-                rejected=self._rejected,
-                expired=self._expired,
-                failed=self._failed,
-                queue_depth=self._backlog,
-                max_queue_depth_seen=self._max_depth_seen,
-                batches=self._batches,
-                mean_batch_size=(
-                    self._batched_rows / self._batches if self._batches else 0.0
-                ),
-                p50_latency_ms=p50,
-                p99_latency_ms=p99,
-                mean_latency_ms=mean,
-                p50_queue_wait_ms=wait_p50,
-                p99_queue_wait_ms=wait_p99,
-                mean_queue_wait_ms=wait_mean,
-                p50_service_ms=service_p50,
-                p99_service_ms=service_p99,
-                mean_service_ms=service_mean,
-                throughput_rps=(
-                    self._completed / span if span and span > 0 else 0.0
-                ),
-            )
+        return self._fleet.snapshot()
 
     # ------------------------------------------------------------------ #
-    # Scheduler: pending window -> length-grouped batches
+    # Live membership
     # ------------------------------------------------------------------ #
-    def _bucketed_length(self, length: int) -> int:
-        bucket = self.pool.config.bucket_size
-        bucketed = -(-length // bucket) * bucket
-        return min(bucketed, self.pool.max_sequence_length)
-
-    def _form_batches(self, window: List[_Pending]) -> List[List[_Pending]]:
-        """Group a coalescing window by bucketed length, chunk to batch size.
-
-        The same stable grouping rule as ``RequestBatcher.plan`` — requests
-        with equal bucketed length stay in arrival order — so queued serving
-        inherits the exact-length parity guarantee.
-        """
-        groups: Dict[int, List[_Pending]] = {}
-        for pending in window:
-            groups.setdefault(self._bucketed_length(pending.tokens.size), []).append(
-                pending
-            )
-        batches: List[List[_Pending]] = []
-        for length in sorted(groups):
-            group = groups[length]
-            for start in range(0, len(group), self.max_batch_size):
-                batches.append(group[start : start + self.max_batch_size])
-        return batches
-
-    def _scheduler_loop(self) -> None:
-        full_fleet = self.max_batch_size * self.pool.num_replicas
-        while True:
-            with self._lock:
-                while not self._pending and not self._closed:
-                    self._work.wait()
-                if self._closed:
-                    return
-                window_end = self._pending[0].submitted_at + self.max_wait_s
-                while (
-                    not self._closed
-                    and len(self._pending) < full_fleet
-                    and (remaining := window_end - time.monotonic()) > 0
-                ):
-                    self._work.wait(remaining)
-                if self._closed:
-                    return
-                window = list(self._pending)
-                self._pending.clear()
-
-            now = time.monotonic()
-            expired, live = [], []
-            for pending in window:
-                if pending.deadline_at is not None and pending.deadline_at < now:
-                    expired.append(pending)
-                else:
-                    live.append(pending)
-            batches = self._form_batches(live)
-            with self._lock:
-                if self._closed:
-                    # close() already failed everything it saw; fail the rest.
-                    self._backlog -= len(window)
-                    self._dropped_on_close += len(window)
-                    self._work.notify_all()
-                    for pending in window:
-                        pending.future._fail(
-                            ServerClosedError("ServingQueue was closed")
-                        )
-                    return
-                self._expired += len(expired)
-                self._backlog -= len(expired)
-                self._batch_queue.extend(batches)
-                self._work.notify_all()
-            for pending in expired:
-                pending.future._fail(
-                    DeadlineExceededError(
-                        "request deadline elapsed before dispatch "
-                        f"(queued {1000 * (now - pending.submitted_at):.1f} ms)"
-                    )
-                )
-
-    # ------------------------------------------------------------------ #
-    # Workers: one thread per replica
-    # ------------------------------------------------------------------ #
-    def _worker_loop(self, replica: int) -> None:
-        session = self.pool.sessions[replica]
-        while True:
-            with self._lock:
-                while not self._batch_queue and not self._closed:
-                    self._work.wait()
-                if self._closed and not self._batch_queue:
-                    return
-                batch = self._batch_queue.popleft()
-                self._inflight_batches += 1
-            # Re-check deadlines at pick-up: a formed batch can sit behind a
-            # backlog long past the window-close check, and a request whose
-            # deadline lapsed must fail rather than be served arbitrarily
-            # late (or waste forward time).
-            now = time.monotonic()
-            expired, live = [], []
-            for pending in batch:
-                if pending.deadline_at is not None and pending.deadline_at < now:
-                    expired.append(pending)
-                else:
-                    live.append(pending)
-            if expired:
-                with self._lock:
-                    self._expired += len(expired)
-                    self._backlog -= len(expired)
-                    if not live:
-                        self._inflight_batches -= 1
-                    self._work.notify_all()
-                for pending in expired:
-                    pending.future._fail(
-                        DeadlineExceededError(
-                            "request deadline elapsed before its forward "
-                            f"started (queued {1000 * (now - pending.submitted_at):.1f} ms)"
-                        )
-                    )
-                if not live:
-                    continue
-                batch = live
-            # The queue-wait / service boundary for every request in the
-            # batch: the moment this worker committed to serving it.
-            dispatched_at = time.monotonic()
+    def add_replica(self) -> int:
+        """Hot-add one replica (pool spawn + fleet adoption); returns its id."""
+        handle = self.pool.spawn_replica()
+        try:
+            return self._fleet.add_member(handle)
+        except BaseException:
+            # The fleet refused (e.g. the queue closed between spawn and
+            # adopt): don't leak a live replica outside the fleet.
             try:
-                results = session.forward([pending.tokens for pending in batch])
-            except BaseException as exc:
-                with self._lock:
-                    self._failed += len(batch)
-                    self._backlog -= len(batch)
-                    self._inflight_batches -= 1
-                    self._work.notify_all()
-                for pending in batch:
-                    pending.future._fail(_per_future_error(exc))
-                if getattr(session, "defunct", False):
-                    # A permanently-dead replica (a shard worker process that
-                    # died or was poisoned) must stop consuming the shared
-                    # batch queue: failing batches instantly, this thread
-                    # would outrace the healthy replicas and poison traffic
-                    # they could have served.  And once the *last* live
-                    # worker exits, the queue must fail fast rather than
-                    # silently accept requests nothing will ever serve.
-                    with self._lock:
-                        self._live_workers -= 1
-                        fleet_dead = self._live_workers <= 0
-                    if fleet_dead:
-                        self._shut_down(
-                            "every replica of this ServingQueue's pool is "
-                            "dead; the queue closed itself"
-                        )
-                    return
-                continue
-            done_at = time.monotonic()
-            with self._lock:
-                self._batches += 1
-                self._batched_rows += len(batch)
-                self._completed += len(batch)
-                self._backlog -= len(batch)
-                self._last_done_at = done_at
-                for pending in batch:
-                    self._latencies_ms.append(
-                        1000.0 * (done_at - pending.submitted_at)
-                    )
-                    self._queue_waits_ms.append(
-                        1000.0 * (dispatched_at - pending.submitted_at)
-                    )
-                    self._services_ms.append(1000.0 * (done_at - dispatched_at))
-                self._inflight_batches -= 1
-                self._work.notify_all()
-            for pending, result in zip(batch, results):
-                pending.future._fulfill(result)
+                self.pool.retire_replica(handle)
+            except Exception:
+                pass
+            raise
+
+    def drain_replica(self, replica_id: int) -> None:
+        """Stop routing new work to a replica; its queued work completes.
+
+        The member stays visible in :meth:`stats` as ``draining`` until
+        :meth:`retire_replica` removes it.
+        """
+        self._fleet.drain_member(replica_id)
+
+    def retire_replica(self, replica_id: int, timeout: float = 30.0) -> None:
+        """Remove a replica from the fleet and release it from the pool.
+
+        Queued batches are re-routed to the surviving replicas; the batch
+        the replica is currently serving completes on it before this call
+        returns (in-flight work is never abandoned).
+        """
+        session = self._fleet.retire_member(replica_id, timeout)
+        try:
+            self.pool.retire_replica(session)
+        except NotImplementedError:
+            # A pool without live membership: the fleet no longer routes to
+            # the handle, which is all the scheduler needs.
+            pass
+
+    def retire_one_replica(self, timeout: float = 30.0) -> Optional[int]:
+        """Shed the least-loaded replica (autoscaler scale-down hook).
+
+        Returns the retired replica id, or ``None`` when the fleet is
+        already at a single live replica.
+        """
+        replica_id = self._fleet.scaledown_candidate()
+        if replica_id is None:
+            return None
+        self.retire_replica(replica_id, timeout=timeout)
+        return replica_id

@@ -630,6 +630,28 @@ class InferenceSession:
             self.spec, registry=self.registry, lut_overrides=self.lut_overrides
         )
 
+    def clone_for_serving(self) -> "InferenceSession":
+        """A sibling session over the *same* frozen encoder.
+
+        The clone adopts this session's model object (no weight copy), spec,
+        registry and batching knobs, and inherits any calibrated LUT
+        overrides, so a replica pool can grow by one serving handle without
+        rebuilding or re-calibrating anything.  Mutable serving state — the
+        batcher and the backend with its recorder — is fresh per clone,
+        which is what makes the siblings safe to drive from separate
+        threads.
+        """
+        clone = InferenceSession.from_model(
+            self.model,
+            spec=self.spec,
+            registry=self.registry,
+            max_batch_size=self.config.max_batch_size,
+            bucket_size=self.config.bucket_size,
+        )
+        if self.lut_overrides:
+            clone.apply_lut_overrides(self.lut_overrides)
+        return clone
+
 
 # --------------------------------------------------------------------------- #
 # Recorded activations -> calibrated primitive tables

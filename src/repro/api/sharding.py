@@ -690,6 +690,15 @@ class ShardedPool(ReplicaPool):
             request_bytes, response_bytes = self._ring_sizes(
                 template, ring_bytes
             )
+            # Everything spawn_replica() needs to repeat this loop for one
+            # more worker after construction (live hot-add).
+            self._worker_init = init
+            self._context = context
+            self._request_bytes = request_bytes
+            self._response_bytes = response_bytes
+            self._start_timeout_s = start_timeout_s
+            self._request_timeout_s = request_timeout_s
+            self._next_worker_index = num_replicas
             for index in range(num_replicas):
                 worker_transport = create_transport(
                     transport,
@@ -796,6 +805,77 @@ class ShardedPool(ReplicaPool):
         for client in self.sessions:
             client.apply_lut_overrides(calibrated)
         return calibrated
+
+    # ------------------------------------------------------------------ #
+    # Live membership
+    # ------------------------------------------------------------------ #
+    def spawn_replica(self) -> "_ShardClient":
+        """Start one more worker process and adopt it into the pool.
+
+        Repeats the construction recipe for a single worker — fresh
+        transport, spawned process over the *same* shared-memory weight
+        blocks and serialized init — waits for readiness, and installs any
+        tables calibrated since construction, so the newcomer serves the
+        same backend as the incumbents.  The new client is appended to
+        ``sessions`` before returning.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "ShardedPool is closed; it cannot spawn a replica"
+            )
+        index = self._next_worker_index
+        self._next_worker_index += 1
+        worker_transport = create_transport(
+            self.transport_name,
+            self._context,
+            request_bytes=self._request_bytes,
+            response_bytes=self._response_bytes,
+        )
+        # Tracked immediately so the GC finalizer unlinks this worker's ring
+        # blocks even if readiness below fails (the finalizer holds the
+        # list object, so appends stay visible to it).
+        self._transports.append(worker_transport)
+        try:
+            process = self._context.Process(
+                target=_worker_main,
+                args=(worker_transport.endpoint(), self._worker_init),
+                name=f"shard-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+        except BaseException:
+            worker_transport.close()
+            raise
+        worker_transport.on_worker_started()
+        client = _ShardClient(
+            index, process, worker_transport, self._request_timeout_s
+        )
+        try:
+            client.wait_ready(self._start_timeout_s)
+            if (
+                self._template.lut_overrides
+                and self._template.lut_overrides
+                != self._worker_init.lut_overrides
+            ):
+                # The pool was calibrated after construction; the baked init
+                # predates those tables.
+                client.apply_lut_overrides(self._template.lut_overrides)
+        except BaseException:
+            client.shutdown(5.0)
+            raise
+        self.sessions.append(client)
+        return client
+
+    def retire_replica(self, handle: "_ShardClient") -> None:
+        """Shut one worker down and drop it from ``sessions``.
+
+        The worker's shared ring blocks are released by its transport close
+        (via the client shutdown); the weight blocks stay — they belong to
+        the pool, not the worker.
+        """
+        if handle in self.sessions:
+            self.sessions.remove(handle)
+        handle.shutdown(10.0)
 
     # ------------------------------------------------------------------ #
     # Lifecycle

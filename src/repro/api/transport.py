@@ -436,6 +436,25 @@ class _PipeBackedTransport(WorkerTransport):
             self._child_conn.close()
 
     @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` ran; a closed transport refuses to send."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        """Raise instead of letting a send hit a dropped pipe end.
+
+        With live retirement the pool can close a worker's transport while
+        some other holder of the client still tries to talk to it; an OSError
+        on a closed ``Connection`` is indistinguishable from a worker death,
+        so surface the lifecycle error explicitly.
+        """
+        if self._closed:
+            raise TransportError(
+                "transport is closed; its worker was retired or the pool "
+                "shut down"
+            )
+
+    @property
     def wait_handle(self):
         return self._parent_conn
 
@@ -493,6 +512,7 @@ class PipeTransport(_PipeBackedTransport):
         return _PipeEndpoint(self._child_conn)
 
     def send(self, op: str, payload: object) -> None:
+        self._check_open()
         self.stats["pipe_requests"] += 1
         self._parent_conn.send((op, payload))
 
@@ -629,6 +649,7 @@ class ShmRingTransport(_PipeBackedTransport):
             self._child_conn.close()
 
     def send(self, op: str, payload: object) -> None:
+        self._check_open()
         self._seq += 1
         assert self._request_ring is not None
         if self._request_ring.try_encode(payload, self._seq):

@@ -1,0 +1,699 @@
+"""The scheduling package: routing, membership, autoscaling, trace replay.
+
+PR 9's decomposition gates.  The parity-critical contract: the default
+``DeterministicRouter`` must keep queued serving bitwise-equal to
+single-session serving under float64 (the pre-refactor guarantee), and
+``LeastLoadedRouter`` — whose *placement* is timing-dependent — must keep
+the *results* bitwise-identical too, because replica identity never
+changes a float-engine forward.  The membership gates: retiring the
+replica that is currently serving a batch lets the in-flight work finish
+on it (and routes nothing new there), hot-adds join mid-traffic, a dead
+replica is retired (and optionally replaced) instead of poisoning the
+queue, and a trace-replay burst with churn mid-run loses no futures and
+double-serves none.
+"""
+
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AutoscaleDecision,
+    Autoscaler,
+    AutoscalerConfig,
+    BackendSpec,
+    DeterministicRouter,
+    InferenceSession,
+    LeastLoadedRouter,
+    ReplicaStats,
+    ServingQueue,
+    ServingStats,
+    SessionConfig,
+    SessionPool,
+    ShardedPool,
+    create_router,
+)
+from repro.api.scheduling import AdmissionController, BatchFormer, Pending, ServingFuture
+from repro.api.scheduling.admission import QueueFullError
+from repro.api.scheduling.stats import StatsBoard
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+import traces  # noqa: E402  (benchmarks/ is not a package)
+
+
+@pytest.fixture(scope="module")
+def pool64(fast_registry):
+    config = SessionConfig(
+        model_family="tiny", compute_dtype="float64", max_batch_size=3
+    )
+    return SessionPool(
+        config, spec=BackendSpec.nn_lut(), registry=fast_registry, num_replicas=2
+    )
+
+
+@pytest.fixture(scope="module")
+def single64(pool64, fast_registry):
+    """Single-session serving over the same frozen model (the parity oracle)."""
+    return InferenceSession.from_model(
+        pool64.model, spec=pool64.spec, registry=fast_registry, max_batch_size=3
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_requests():
+    rng = np.random.default_rng(7)
+    lengths = (5, 12, 5, 9, 30, 12, 7, 5, 9, 5)
+    return [rng.integers(0, 100, size=length) for length in lengths]
+
+
+def _fresh_pool(pool64, fast_registry, num_replicas=2):
+    """A private pool over the shared frozen model (safe to mutate/retire)."""
+    return SessionPool.from_model(
+        pool64.model, spec=pool64.spec, registry=fast_registry,
+        num_replicas=num_replicas, max_batch_size=3,
+    )
+
+
+def _wait_for_inflight(queue: ServingQueue, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while queue._inflight_batches == 0:
+        if time.monotonic() > deadline:
+            raise TimeoutError("no batch reached a worker in time")
+        time.sleep(0.001)
+
+
+# --------------------------------------------------------------------------- #
+# Routers (unit level)
+# --------------------------------------------------------------------------- #
+class _FakeMember:
+    def __init__(self, replica_id, load=0, batches=()):
+        self.replica_id = replica_id
+        self.load = load
+        self.batches = list(batches)
+
+
+class TestRouters:
+    def test_create_router_by_name_and_instance(self):
+        assert isinstance(create_router("deterministic"), DeterministicRouter)
+        assert isinstance(create_router("least_loaded"), LeastLoadedRouter)
+        router = LeastLoadedRouter()
+        assert create_router(router) is router
+
+    def test_create_router_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            create_router("round_robin")
+        with pytest.raises(ValueError, match="available routers"):
+            create_router(None)
+
+    def test_deterministic_round_robin_is_a_pure_function_of_order(self):
+        members = [_FakeMember(i) for i in range(3)]
+        router = DeterministicRouter()
+        picks = [router.select(members, None).replica_id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+        # A second router replays the identical sequence: no hidden state
+        # beyond the counter, nothing timing-dependent.
+        replay = DeterministicRouter()
+        assert [replay.select(members, None).replica_id for _ in range(6)] == picks
+        assert not DeterministicRouter.steal_when_idle
+
+    def test_deterministic_counter_survives_membership_changes(self):
+        router = DeterministicRouter()
+        members = [_FakeMember(i) for i in range(3)]
+        assert router.select(members, None).replica_id == 0
+        assert router.select(members[:2], None).replica_id == 1
+        # Counter keeps advancing over the *current* membership.
+        assert router.select(members[:2], None).replica_id == 0
+
+    def test_least_loaded_picks_smallest_outstanding_cost(self):
+        members = [
+            _FakeMember(0, load=30),
+            _FakeMember(1, load=5),
+            _FakeMember(2, load=12),
+        ]
+        assert LeastLoadedRouter().select(members, None).replica_id == 1
+        assert LeastLoadedRouter.steal_when_idle
+
+    def test_least_loaded_ties_break_by_queue_then_id(self):
+        members = [
+            _FakeMember(0, load=5, batches=[object()]),
+            _FakeMember(1, load=5, batches=[]),
+            _FakeMember(2, load=5, batches=[]),
+        ]
+        assert LeastLoadedRouter().select(members, None).replica_id == 1
+
+
+# --------------------------------------------------------------------------- #
+# Batch former and admission (unit level)
+# --------------------------------------------------------------------------- #
+def _pending(length, submitted_at=0.0, deadline_at=None):
+    return Pending(
+        tokens=np.arange(length, dtype=np.int64),
+        future=ServingFuture(),
+        submitted_at=submitted_at,
+        deadline_at=deadline_at,
+    )
+
+
+class TestBatchFormer:
+    def test_groups_by_exact_length_in_arrival_order(self):
+        former = BatchFormer(
+            max_batch_size=3, bucket_size=1, max_sequence_length=64, max_wait_s=0.01
+        )
+        window = [_pending(n) for n in (5, 9, 5, 5, 9, 5)]
+        groups = former.form(window)
+        # Exact-length grouping, stable within a length, chunked to 3 rows.
+        assert [[p.tokens.size for p in g] for g in groups] == [[5, 5, 5], [5], [9, 9]]
+        assert groups[0][0] is window[0] and groups[0][1] is window[2]
+
+    def test_bucketed_length_rounds_up_and_clamps(self):
+        former = BatchFormer(
+            max_batch_size=4, bucket_size=8, max_sequence_length=16, max_wait_s=0.0
+        )
+        assert former.bucketed_length(5) == 8
+        assert former.bucketed_length(9) == 16
+        assert former.bucketed_length(20) == 16  # clamped to the model max
+
+    def test_saturated_scales_with_live_replicas(self):
+        former = BatchFormer(
+            max_batch_size=4, bucket_size=1, max_sequence_length=64, max_wait_s=0.0
+        )
+        assert former.saturated(4, live_replicas=1)
+        assert not former.saturated(4, live_replicas=2)
+        assert former.saturated(8, live_replicas=2)
+        # A fleet transiently at zero members still saturates at one batch.
+        assert former.saturated(4, live_replicas=0)
+
+    def test_window_deadline_anchors_at_oldest(self):
+        former = BatchFormer(
+            max_batch_size=4, bucket_size=1, max_sequence_length=64, max_wait_s=0.25
+        )
+        assert former.window_deadline(10.0) == pytest.approx(10.25)
+
+
+class TestAdmission:
+    def test_backlog_bound_and_release(self):
+        board = StatsBoard()
+        admission = AdmissionController(2, board)
+        admission.admit()
+        admission.admit()
+        with pytest.raises(QueueFullError, match="max_queue_depth=2"):
+            admission.admit()
+        assert board.rejected == 1
+        admission.release(1)
+        admission.admit()  # capacity returned
+        assert admission.backlog == 2
+
+    def test_validate_contract(self):
+        validate = AdmissionController.validate
+        with pytest.raises(ValueError, match="non-empty 1-D"):
+            validate(np.zeros((2, 2), dtype=np.int64), 64, None)
+        with pytest.raises(ValueError, match="integers"):
+            validate(np.zeros(3, dtype=np.float32), 64, None)
+        with pytest.raises(ValueError, match="maximum"):
+            validate(np.zeros(65, dtype=np.int64), 64, None)
+        with pytest.raises(ValueError, match="deadline_ms"):
+            validate(np.zeros(3, dtype=np.int64), 64, -1.0)
+        out = validate([1, 2, 3], 64, None)
+        assert out.dtype.kind == "i" and out.size == 3
+
+    def test_split_expired_partitions_by_deadline(self):
+        live = _pending(3, deadline_at=None)
+        fresh = _pending(3, deadline_at=100.0)
+        lapsed = _pending(3, deadline_at=1.0)
+        kept, expired = AdmissionController.split_expired([live, fresh, lapsed], 50.0)
+        assert kept == [live, fresh] and expired == [lapsed]
+
+
+# --------------------------------------------------------------------------- #
+# Router parity through the queue (float64, the PR's hard gate)
+# --------------------------------------------------------------------------- #
+class TestRouterParity:
+    def test_deterministic_router_bitwise_matches_oracle(
+        self, pool64, single64, mixed_requests
+    ):
+        with ServingQueue(pool64, max_wait_ms=1.0) as queue:
+            assert queue.stats().router == "deterministic"
+            served = queue.serve(mixed_requests, timeout=60)
+        oracle = single64.forward(mixed_requests)
+        for i, (a, b) in enumerate(zip(served, oracle)):
+            assert np.array_equal(a, b), f"request {i}"
+
+    def test_least_loaded_router_bitwise_matches_oracle(
+        self, pool64, single64, mixed_requests
+    ):
+        # Placement is timing-dependent under least-loaded routing; results
+        # must not be (every replica serves the same frozen float64 model).
+        with ServingQueue(pool64, max_wait_ms=1.0, router="least_loaded") as queue:
+            assert queue.stats().router == "least_loaded"
+            served = queue.serve(mixed_requests, timeout=60)
+            stats = queue.stats()
+        oracle = single64.forward(mixed_requests)
+        for i, (a, b) in enumerate(zip(served, oracle)):
+            assert np.array_equal(a, b), f"request {i}"
+        assert stats.completed == len(mixed_requests)
+
+    def test_per_replica_stats_rows(self, pool64, mixed_requests):
+        with ServingQueue(pool64, max_wait_ms=1.0) as queue:
+            queue.serve(mixed_requests, timeout=60)
+            stats = queue.stats()
+        assert [r.replica_id for r in stats.replicas] == [0, 1]
+        assert all(isinstance(r, ReplicaStats) for r in stats.replicas)
+        assert stats.live_replicas == 2
+        assert sum(r.completed for r in stats.replicas) == len(mixed_requests)
+        assert sum(r.batches_served for r in stats.replicas) == stats.batches
+        assert all(
+            r.queued_cost == 0 and r.in_flight_requests == 0 for r in stats.replicas
+        )
+        assert stats.replicas_added == 0 and stats.replicas_retired == 0
+
+
+# --------------------------------------------------------------------------- #
+# Live membership
+# --------------------------------------------------------------------------- #
+class TestMembership:
+    def test_retire_waits_for_inflight_and_routes_nothing_new(
+        self, pool64, fast_registry, mixed_requests
+    ):
+        pool = _fresh_pool(pool64, fast_registry)
+        gate = threading.Event()
+        inner = pool.sessions[0].forward
+
+        def gated_forward(requests):
+            gate.wait(30)
+            return inner(requests)
+
+        pool.sessions[0].forward = gated_forward  # type: ignore[method-assign]
+        queue = ServingQueue(pool, max_wait_ms=0.0)
+        try:
+            # Deterministic routing: the first formed batch lands on replica 0,
+            # whose forward is gated — it is now mid-service.
+            first = queue.submit(mixed_requests[0])
+            _wait_for_inflight(queue)
+
+            retired = threading.Event()
+
+            def retire() -> None:
+                queue.retire_replica(0, timeout=30)
+                retired.set()
+
+            thread = threading.Thread(target=retire, daemon=True)
+            thread.start()
+            time.sleep(0.1)
+            # The retire must block on the in-flight batch, not abandon it.
+            assert not retired.is_set()
+            # New work submitted mid-retire routes to the survivor only.
+            second = queue.submit(mixed_requests[1])
+            gate.set()
+            thread.join(30)
+            assert retired.is_set()
+            assert first.result(timeout=60).shape[0] == mixed_requests[0].size
+            assert second.result(timeout=60).shape[0] == mixed_requests[1].size
+            stats = queue.stats()
+            assert [r.replica_id for r in stats.replicas] == [1]
+            assert stats.replicas_retired == 1
+            assert stats.replicas[0].completed >= 1  # the survivor served it
+            assert pool.num_replicas == 1  # released from the pool too
+        finally:
+            gate.set()
+            queue.close()
+
+    def test_cannot_retire_or_drain_last_replica(self, pool64, fast_registry):
+        pool = _fresh_pool(pool64, fast_registry, num_replicas=1)
+        queue = ServingQueue(pool, max_wait_ms=0.0)
+        try:
+            with pytest.raises(ValueError, match="last live replica"):
+                queue.retire_replica(0)
+            with pytest.raises(ValueError, match="last live replica"):
+                queue.drain_replica(0)
+            with pytest.raises(ValueError, match="unknown replica id"):
+                queue.retire_replica(99)
+            assert queue.retire_one_replica() is None
+        finally:
+            queue.close()
+
+    def test_drain_replica_stops_new_routing(self, pool64, fast_registry, mixed_requests):
+        pool = _fresh_pool(pool64, fast_registry)
+        queue = ServingQueue(pool, max_wait_ms=0.0)
+        try:
+            queue.drain_replica(0)
+            stats = queue.stats()
+            assert stats.replicas[0].draining and not stats.replicas[1].draining
+            assert stats.live_replicas == 1
+            served = queue.serve(mixed_requests[:4], timeout=60)
+            assert all(out is not None for out in served)
+            # Everything went to the non-draining member.
+            stats = queue.stats()
+            survivor = stats.replicas[1]
+            assert survivor.completed == 4
+        finally:
+            queue.close()
+
+    def test_hot_add_under_load(self, pool64, single64, fast_registry, mixed_requests):
+        pool = _fresh_pool(pool64, fast_registry, num_replicas=1)
+        queue = ServingQueue(pool, max_wait_ms=1.0)
+        try:
+            first_half = [queue.submit(tokens) for tokens in mixed_requests[:5]]
+            new_id = queue.add_replica()
+            assert new_id == 1
+            assert pool.num_replicas == 2
+            second_half = [queue.submit(tokens) for tokens in mixed_requests[5:]]
+            results = [f.result(60) for f in first_half + second_half]
+            oracle = single64.forward(mixed_requests)
+            for i, (a, b) in enumerate(zip(results, oracle)):
+                assert np.array_equal(a, b), f"request {i}"
+            stats = queue.stats()
+            assert stats.replicas_added == 1
+            assert stats.live_replicas == 2
+            assert stats.completed == len(mixed_requests)
+        finally:
+            queue.close()
+
+    def test_dead_replica_is_retired_and_replaced(
+        self, pool64, fast_registry, mixed_requests
+    ):
+        pool = _fresh_pool(pool64, fast_registry)
+
+        def dying_forward(requests):
+            raise RuntimeError("replica poisoned")
+
+        pool.sessions[1].forward = dying_forward  # type: ignore[method-assign]
+        pool.sessions[1].defunct = True  # what a dead shard client reports
+        queue = ServingQueue(
+            pool, max_wait_ms=0.0, replace_dead_replicas=True
+        )
+        try:
+            outcomes = []
+            for tokens in mixed_requests[:4]:
+                try:
+                    outcomes.append(queue.serve_one(tokens, timeout=60))
+                except RuntimeError:
+                    outcomes.append(None)
+            # Round-robin hits the dead replica exactly once before it is
+            # retired; everything else serves on the healthy member(s).
+            failures = sum(1 for out in outcomes if out is None)
+            assert failures <= 1
+            deadline = time.monotonic() + 10
+            while queue.stats().replicas_added < 1:
+                assert time.monotonic() < deadline, "replacement never joined"
+                time.sleep(0.01)
+            stats = queue.stats()
+            assert stats.replicas_retired == 1
+            assert stats.live_replicas == 2  # survivor + replacement
+            assert all(r.replica_id != 1 for r in stats.replicas)
+            # The replacement actually serves traffic.
+            served = queue.serve(mixed_requests[4:8], timeout=60)
+            assert len(served) == 4
+        finally:
+            queue.close()
+
+    def test_sharded_pool_hot_add_and_retire(self, fast_registry, mixed_requests):
+        config = SessionConfig(
+            model_family="tiny", compute_dtype="float64", max_batch_size=3
+        )
+        pool = ShardedPool(
+            config, spec=BackendSpec.nn_lut(), registry=fast_registry,
+            num_replicas=1,
+        )
+        try:
+            oracle = pool.template.forward(mixed_requests[:4])
+            with ServingQueue(pool, max_wait_ms=1.0) as queue:
+                queue.serve(mixed_requests[:2], timeout=120)
+                new_id = queue.add_replica()
+                assert pool.num_replicas == 2
+                served = queue.serve(mixed_requests[:4], timeout=120)
+                for i, (a, b) in enumerate(zip(served, oracle)):
+                    assert np.array_equal(a, b), f"request {i}"
+                queue.retire_replica(new_id, timeout=60)
+                assert pool.num_replicas == 1
+                # The worker process is truly gone, not just unrouted.
+                again = queue.serve(mixed_requests[:4], timeout=120)
+                for i, (a, b) in enumerate(zip(again, oracle)):
+                    assert np.array_equal(a, b), f"request {i}"
+                stats = queue.stats()
+                assert stats.replicas_added == 1 and stats.replicas_retired == 1
+        finally:
+            pool.close()
+
+
+# --------------------------------------------------------------------------- #
+# Autoscaler (pure hysteresis over synthetic stats, plus actuation)
+# --------------------------------------------------------------------------- #
+def _stats(wait_ms, service_ms, completed, live=2):
+    replicas = tuple(
+        ReplicaStats(
+            replica_id=i, queued_batches=0, queued_requests=0, queued_cost=0,
+            in_flight_requests=0, in_flight_cost=0, batches_served=0,
+            completed=0, failed=0, stolen=0, draining=False, live=True,
+        )
+        for i in range(live)
+    )
+    return ServingStats(
+        submitted=completed, completed=completed, rejected=0, expired=0,
+        failed=0, queue_depth=0, max_queue_depth_seen=0, batches=completed,
+        mean_batch_size=1.0, p50_latency_ms=wait_ms + service_ms,
+        p99_latency_ms=wait_ms + service_ms,
+        mean_latency_ms=wait_ms + service_ms, p50_queue_wait_ms=wait_ms,
+        p99_queue_wait_ms=wait_ms, mean_queue_wait_ms=wait_ms,
+        p50_service_ms=service_ms, p99_service_ms=service_ms,
+        mean_service_ms=service_ms, throughput_rps=1.0, replicas=replicas,
+    )
+
+
+class TestAutoscalerHysteresis:
+    def _scaler(self, **overrides):
+        defaults = dict(
+            min_replicas=1, max_replicas=4, patience=2, cooldown_ticks=2
+        )
+        defaults.update(overrides)
+        return Autoscaler(queue=None, config=AutoscalerConfig(**defaults))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="min_replicas"):
+            AutoscalerConfig(min_replicas=0)
+        with pytest.raises(ValueError, match="max_replicas"):
+            AutoscalerConfig(min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError, match="patience"):
+            AutoscalerConfig(patience=0)
+        with pytest.raises(ValueError, match="interval_s"):
+            AutoscalerConfig(interval_s=0)
+
+    def test_single_spike_does_not_scale(self):
+        scaler = self._scaler()
+        # Spike, settle, spike: the up-streak never reaches patience=2.
+        assert scaler.observe(_stats(50.0, 1.0, completed=5)).action == "hold"
+        assert scaler.observe(_stats(0.5, 1.0, completed=10)).action == "hold"
+        assert scaler.observe(_stats(50.0, 1.0, completed=15)).action == "hold"
+        assert scaler.observe(_stats(0.5, 1.0, completed=20)).action == "hold"
+
+    def test_sustained_pressure_scales_up_then_cools_down(self):
+        scaler = self._scaler()
+        assert scaler.observe(_stats(50.0, 1.0, completed=5)).action == "hold"
+        decision = scaler.observe(_stats(50.0, 1.0, completed=10))
+        assert decision.action == "up"
+        # Cooldown: the same pressure is ignored while the fleet settles.
+        third = scaler.observe(_stats(50.0, 1.0, completed=15))
+        assert third.action == "hold" and "cooldown" in third.reason
+        assert scaler.observe(_stats(50.0, 1.0, completed=20)).action == "hold"
+        # Pressure persisting after the cooldown builds a fresh streak.
+        assert scaler.observe(_stats(50.0, 1.0, completed=25)).action == "hold"
+        assert scaler.observe(_stats(50.0, 1.0, completed=30)).action == "up"
+
+    def test_rising_service_time_is_not_queue_pressure(self):
+        scaler = self._scaler()
+        assert scaler.observe(_stats(10.0, 5.0, completed=5)).action == "hold"
+        # Service doubled alongside wait: the replicas got slower; scaling
+        # out cannot unqueue anything, so no up-streak accumulates.
+        decision = scaler.observe(_stats(30.0, 20.0, completed=10))
+        assert decision.action == "hold"
+        assert "service time rising" in decision.reason
+
+    def test_idle_and_low_pressure_scale_down_within_bounds(self):
+        scaler = self._scaler()
+        assert scaler.observe(_stats(0.01, 1.0, completed=5, live=3)).action == "hold"
+        decision = scaler.observe(_stats(0.01, 1.0, completed=10, live=3))
+        assert decision.action == "down"
+        # Idle windows (no completions) also build down-pressure.
+        idle = self._scaler()
+        # A mid-band tick first, so only the idle streak drives the decision.
+        assert idle.observe(_stats(0.5, 1.0, completed=5, live=2)).action == "hold"
+        assert idle.observe(_stats(0.0, 0.0, completed=5, live=2)).action == "hold"
+        decision = idle.observe(_stats(0.0, 0.0, completed=5, live=2))
+        assert decision.action == "down" and "idle" in decision.reason
+
+    def test_bounds_suppress_actions(self):
+        scaler = self._scaler(min_replicas=2, max_replicas=2)
+        assert scaler.observe(_stats(50.0, 1.0, completed=5)).action == "hold"
+        at_max = scaler.observe(_stats(50.0, 1.0, completed=10))
+        assert at_max.action == "hold" and "max_replicas" in at_max.reason
+        down = self._scaler(min_replicas=2)
+        down.observe(_stats(0.01, 1.0, completed=5, live=2))
+        at_min = down.observe(_stats(0.01, 1.0, completed=10, live=2))
+        assert at_min.action == "hold" and "min_replicas" in at_min.reason
+
+    def test_below_min_scales_up_immediately(self):
+        scaler = self._scaler(min_replicas=2)
+        decision = scaler.observe(_stats(0.0, 0.0, completed=0, live=1))
+        assert decision.action == "up" and "below min_replicas" in decision.reason
+
+
+class _FakeQueue:
+    """Records autoscaler actuation without any serving machinery."""
+
+    def __init__(self, stats_rows):
+        self._rows = list(stats_rows)
+        self.added = 0
+        self.retired = 0
+
+    def stats(self):
+        return self._rows.pop(0)
+
+    def add_replica(self):
+        self.added += 1
+        return 7
+
+    def retire_one_replica(self, timeout=30.0):
+        self.retired += 1
+        return 3
+
+
+class TestAutoscalerActuation:
+    def test_step_applies_up_and_records_episode(self):
+        queue = _FakeQueue([
+            _stats(50.0, 1.0, completed=5),
+            _stats(50.0, 1.0, completed=10),
+        ])
+        scaler = Autoscaler(
+            queue, AutoscalerConfig(patience=2, cooldown_ticks=0, max_replicas=4)
+        )
+        assert scaler.step().action == "hold"
+        decision = scaler.step()
+        assert decision.action == "up" and decision.applied
+        assert decision.replica_id == 7 and queue.added == 1
+        episodes = scaler.episodes()
+        assert len(episodes) == 2
+        assert all(isinstance(e, AutoscaleDecision) for e in episodes)
+
+    def test_step_folds_actuation_failure_into_reason(self):
+        class _Failing(_FakeQueue):
+            def add_replica(self):
+                raise RuntimeError("pool refused")
+
+        queue = _Failing([_stats(50.0, 1.0, completed=5)])
+        scaler = Autoscaler(
+            queue, AutoscalerConfig(patience=1, cooldown_ticks=0)
+        )
+        decision = scaler.step()
+        assert decision.action == "up" and not decision.applied
+        assert "add failed" in decision.reason
+
+    def test_queue_scales_up_to_min_via_manual_step(self, pool64, fast_registry):
+        pool = _fresh_pool(pool64, fast_registry, num_replicas=1)
+        queue = ServingQueue(
+            pool, max_wait_ms=1.0,
+            autoscale=AutoscalerConfig(
+                min_replicas=2, max_replicas=3, interval_s=30.0
+            ),
+        )
+        try:
+            assert queue.autoscaler is not None
+            decision = queue.autoscaler.step()
+            assert decision.action == "up" and decision.applied
+            assert queue.stats().live_replicas == 2
+            assert pool.num_replicas == 2
+        finally:
+            queue.close()
+
+
+# --------------------------------------------------------------------------- #
+# Trace replay: burst + churn, no lost or double-served futures
+# --------------------------------------------------------------------------- #
+class TestTraceReplay:
+    def test_trace_generation_is_seed_deterministic(self):
+        first = traces.generate_trace(
+            num_requests=32, duration_s=0.5, seed=3, max_length=16
+        )
+        again = traces.generate_trace(
+            num_requests=32, duration_s=0.5, seed=3, max_length=16
+        )
+        assert first.arrivals_s == again.arrivals_s
+        assert first.lengths == again.lengths
+        assert all(
+            np.array_equal(a, b) for a, b in zip(first.requests, again.requests)
+        )
+        assert first.burst_windows == again.burst_windows
+        other = traces.generate_trace(
+            num_requests=32, duration_s=0.5, seed=4, max_length=16
+        )
+        assert first.arrivals_s != other.arrivals_s
+
+    def test_trace_shape_contract(self):
+        trace = traces.generate_trace(
+            num_requests=64, duration_s=1.0, seed=5, min_length=2, max_length=16,
+            num_bursts=2,
+        )
+        assert len(trace.arrivals_s) == 64 and len(trace.requests) == 64
+        assert list(trace.arrivals_s) == sorted(trace.arrivals_s)
+        assert all(0.0 <= at <= 1.0 for at in trace.arrivals_s)
+        assert all(2 <= length <= 16 for length in trace.lengths)
+        assert len(trace.burst_windows) == 2
+        assert any(trace.in_burst(i) for i in range(64))  # bursts attract mass
+
+    def test_replay_with_midrun_churn_loses_nothing(
+        self, pool64, single64, fast_registry
+    ):
+        trace = traces.generate_trace(
+            num_requests=24, duration_s=0.4, seed=11,
+            min_length=2, max_length=16, vocab_size=100,
+        )
+        pool = _fresh_pool(pool64, fast_registry, num_replicas=2)
+        queue = ServingQueue(pool, max_wait_ms=1.0, router="least_loaded")
+        try:
+            result = traces.replay(
+                queue,
+                trace,
+                actions=[
+                    (0.12, queue.add_replica),
+                    (0.25, lambda: queue.retire_one_replica(timeout=30)),
+                ],
+            )
+            stats = queue.stats()
+        finally:
+            queue.close()
+        assert result.failed == 0, [o.error for o in result.outcomes if not o.ok]
+        # No future lost (everything completed) and none double-served (the
+        # completion count matches the request count exactly).
+        assert result.completed == trace.config.num_requests
+        assert stats.completed == trace.config.num_requests
+        assert stats.queue_depth == 0
+        assert stats.replicas_added == 1 and stats.replicas_retired == 1
+        assert stats.live_replicas == 2
+        # Bitwise parity vs the single-session oracle, churn and all.
+        oracle = single64.forward(list(trace.requests))
+        for outcome in result.outcomes:
+            assert np.array_equal(outcome.result, oracle[outcome.index]), (
+                f"request {outcome.index}"
+            )
+
+    def test_burst_digest_partitions_outcomes(self):
+        trace = traces.generate_trace(
+            num_requests=40, duration_s=0.5, seed=9, max_length=16
+        )
+        outcomes = tuple(
+            traces.ReplayOutcome(
+                index=i, arrival_s=trace.arrivals_s[i], length=trace.lengths[i],
+                in_burst=trace.in_burst(i), latency_ms=float(1 + i % 7),
+                error=None,
+            )
+            for i in range(40)
+        )
+        digest = traces.burst_digest(
+            traces.ReplayResult(outcomes=outcomes, elapsed_s=0.5)
+        )
+        assert digest["failed"] == 0
+        assert digest["all"]["count"] == 40
+        assert digest["burst"]["count"] + digest["steady"]["count"] == 40
+        assert digest["all"]["p99_ms"] >= digest["all"]["p50_ms"] > 0.0
