@@ -60,6 +60,7 @@ def test_report_schema(engine_report):
         "server_sharded_fp32",
         "server_sharded_shm_fp32",
         "server_sharded_leastloaded_fp32",
+        "server_sharded_chaos_fp32",
     }
     for row in engine_report["ops"].values():
         assert row["seed_s"] > 0 and row["fast_s"] > 0 and row["speedup"] > 0
@@ -85,7 +86,14 @@ def test_report_schema(engine_report):
         assert kernels["ops"]["encoder_forward_int8"]["bitwise_equal_vs_numpy"]
     else:
         assert kernels["native_unavailable_reason"]
-    for row in engine_report["end_to_end"].values():
+    for name, row in engine_report["end_to_end"].items():
+        if name == "server_sharded_chaos_fp32":
+            # The chaos row compares two replays of the same queue setup,
+            # so its rate is goodput (completed req/s), not a seed-vs-fast
+            # tokens/s pair.
+            assert row["clean"]["goodput_rps"] > 0
+            assert row["chaos"]["goodput_rps"] > 0
+            continue
         assert row["tokens_per_s_fast"] > 0 and row["tokens_per_s_seed"] > 0
     ipc = engine_report["ipc"]
     assert ipc["pipe_per_request_s"] > 0 and ipc["shm_ring_per_request_s"] > 0
@@ -257,6 +265,41 @@ def test_server_trace_leastloaded_row(engine_report):
     assert queue["completed"] >= row["num_requests"]
     assert queue["rejected"] == 0 and queue["expired"] == 0
     assert queue["stolen"] >= 0
+
+
+def test_server_chaos_row(engine_report):
+    """The chaos row: a worker crash mid-trace must not lose a request.
+
+    Runs in tier-1 smoke mode too, so the fault injector, the retrying
+    queue and the fleet's dead-replica retirement path cannot rot.  The
+    plan hard-kills worker 0 on its first served batch, so the chaos
+    replay is guaranteed to exercise a retry and a retirement — yet every
+    future must still resolve (goodput degrades; correctness does not),
+    and the float64 twin proves the retried responses stay bitwise-equal
+    to per-call serving.
+    """
+    row = engine_report["end_to_end"]["server_sharded_chaos_fp32"]
+    assert row["router"] == "least_loaded"
+    assert row["num_replicas"] >= 2 and row["num_requests"] >= 1
+    assert row["fault_plan"]["worker_crash_at"] == 1
+    assert row["retry"]["max_attempts"] >= 2
+    clean, chaos = row["clean"], row["chaos"]
+    # Fault-free pass: nothing retries, nothing dies.
+    assert clean["failed"] == 0
+    assert clean["retry_attempts"] == 0 and clean["replicas_retired"] == 0
+    assert clean["completed"] == row["num_requests"]
+    # Chaos pass: the crash fires (a retirement and at least one retried
+    # batch) but zero futures are lost.
+    assert chaos["failed"] == 0
+    assert chaos["completed"] == row["num_requests"]
+    assert chaos["retry_attempts"] >= 1
+    assert chaos["replicas_retired"] >= 1
+    assert row["goodput_ratio"] > 0
+    assert row["p99_degradation_x"] >= 0
+    # Retry idempotency: re-dispatched float64 batches are bitwise-equal
+    # to per-call serving.
+    assert row["chaos64_failed"] == 0
+    assert row["cached_float64_bitwise_equal"]
 
 
 @pytest.mark.benchmark(group="engine")

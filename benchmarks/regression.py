@@ -53,6 +53,14 @@ the queue's ``router="least_loaded"`` scheduling, fed a seeded trace replay
 latency digest split into inside-burst vs steady-state percentiles (the
 p99-under-burst number load-aware routing exists for) and the same float64
 bitwise-parity check vs per-call serving.
+Schema v8 adds ``server_sharded_chaos_fp32`` — the same trace replayed twice
+against the retrying queue (``RetryPolicy`` + per-replica circuit breakers),
+once fault-free and once under a seeded ``FaultPlan`` that crashes a worker
+on its first served batch: the row reports ``goodput_ratio`` (chaos vs clean
+completed requests per second), ``p99_degradation_x`` for the tail stretch
+while the survivor absorbs rerouted work, the retry/breaker/retirement
+counters, and a float64 twin proving retried responses stay bitwise-equal to
+per-call serving (the retry-idempotency contract).
 
 Run directly to regenerate the report (or use ``scripts/bench.sh``)::
 
@@ -84,12 +92,15 @@ import traces  # noqa: E402  (benchmarks/ is not a package)
 
 from repro.api import (
     BackendSpec,
+    FaultPlan,
     InferenceSession,
     RequestBatcher,
+    RetryPolicy,
     ServingQueue,
     SessionPool,
     ShardedPool,
     build_backend,
+    inject,
 )
 from repro.api.transport import (
     _shutdown_echo_worker,
@@ -113,7 +124,7 @@ from repro.transformer import (
     backend_from_luts,
 )
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 #: Default report location: the repository root (next to ROADMAP.md).
 DEFAULT_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -985,6 +996,145 @@ def benchmark_server_trace_leastloaded(
         _close_pool(pool)
 
 
+def benchmark_server_chaos(
+    registry: LutRegistry,
+    shapes: EngineShapes,
+    num_requests: int = 48,
+    num_replicas: int = 2,
+    duration_s: float = 0.3,
+    check_equivalence: bool = True,
+) -> Dict[str, object]:
+    """Goodput and tail latency under an injected worker crash (schema v8).
+
+    Replays the same seeded trace twice against a sharded pool behind the
+    retrying queue — identical queue configuration both times, only the
+    fault plan differs.  The clean pass establishes the fault-free
+    baseline; the chaos pass arms a :class:`FaultPlan` that hard-kills
+    worker 0 (``os._exit``) on its first served batch, so the retry policy
+    must re-route the orphaned batch and the fleet must retire the corpse
+    while traffic keeps arriving.  The row reports what resilience
+    actually buys: ``goodput_ratio`` (completed requests per second, chaos
+    vs clean) and ``p99_degradation_x`` (how far the tail stretches while
+    the survivor absorbs rerouted work), plus the retry/breaker/retirement
+    counters.
+
+    The float64 twin replays the *chaos* scenario and requires every
+    successful response — including the retried ones — to be bitwise
+    identical to per-call serving: re-dispatching a batch to a different
+    replica must never change results (the retry-idempotency contract).
+    """
+    trace = traces.generate_trace(
+        traces.TraceConfig(
+            num_requests=num_requests,
+            duration_s=duration_s,
+            seed=17,
+            min_length=2,
+            max_length=shapes.sequence_length,
+            vocab_size=shapes.vocab_size,
+        )
+    )
+    plan = FaultPlan(seed=17, worker_crash_at=1, crash_worker_index=0)
+    retry = RetryPolicy(
+        max_attempts=3, backoff_base_s=0.005, backoff_max_s=0.05
+    )
+    model = build_engine(shapes, "fp32", compute_dtype="float32")
+
+    def _replay_once():
+        pool = ShardedPool.from_model(
+            model, spec=BackendSpec.nn_lut(), registry=registry,
+            num_replicas=num_replicas, max_batch_size=16,
+        )
+        try:
+            transport_name = pool.transport_name
+            with ServingQueue(
+                pool, max_wait_ms=2.0, max_queue_depth=4 * num_requests,
+                router="least_loaded", retry=retry,
+            ) as queue:
+                replayed = traces.replay(queue, trace, keep_results=False)
+                stats = queue.stats()
+        finally:
+            _close_pool(pool)
+        return replayed, stats, transport_name
+
+    def _run_row(replayed, stats) -> Dict[str, object]:
+        digest = traces.burst_digest(replayed)
+        return {
+            "elapsed_s": replayed.elapsed_s,
+            "completed": replayed.completed,
+            "failed": replayed.failed,
+            "goodput_rps": replayed.completed / replayed.elapsed_s,
+            "p50_ms": digest["all"]["p50_ms"],
+            "p99_ms": digest["all"]["p99_ms"],
+            "retry_attempts": stats.retry_attempts,
+            "retried_requests": stats.retried_requests,
+            "breaker_opens": stats.breaker_opens,
+            "breaker_closes": stats.breaker_closes,
+            "integrity_failures": stats.integrity_failures,
+            "expired_in_flight": stats.expired_in_flight,
+            "replicas_retired": stats.replicas_retired,
+        }
+
+    clean, clean_stats, transport_name = _replay_once()
+    # The injector must be live while the pool *spawns*: worker-side
+    # faults ship with the worker init message, not per request.
+    with inject(plan):
+        chaos, chaos_stats, _ = _replay_once()
+
+    clean_row = _run_row(clean, clean_stats)
+    chaos_row = _run_row(chaos, chaos_stats)
+    clean_p99 = clean_row["p99_ms"]
+    row: Dict[str, object] = {
+        "shape": asdict(shapes),
+        "trace": traces.trace_row(trace),
+        "num_requests": num_requests,
+        "num_replicas": num_replicas,
+        "router": "least_loaded",
+        "transport": transport_name,
+        "cpu_count": os.cpu_count(),
+        "fault_plan": asdict(plan),
+        "retry": asdict(retry),
+        "clean": clean_row,
+        "chaos": chaos_row,
+        "goodput_ratio": (
+            chaos_row["goodput_rps"] / clean_row["goodput_rps"]
+            if clean_row["goodput_rps"] > 0 else 0.0
+        ),
+        "p99_degradation_x": (
+            chaos_row["p99_ms"] / clean_p99 if clean_p99 > 0 else 0.0
+        ),
+    }
+    if check_equivalence:
+        model64 = build_engine(shapes, "fp32", compute_dtype="float64")
+        with inject(plan):
+            pool64 = ShardedPool.from_model(
+                model64, spec=BackendSpec.nn_lut(), registry=registry,
+                num_replicas=num_replicas, max_batch_size=16,
+            )
+            try:
+                with ServingQueue(
+                    pool64, max_wait_ms=2.0, router="least_loaded",
+                    retry=retry,
+                ) as queue64:
+                    replay64 = traces.replay(queue64, trace)
+                oracle64 = pool64.template.backend
+                bitwise = all(
+                    np.array_equal(
+                        model64.forward(
+                            trace.requests[o.index][None, :],
+                            backend=oracle64,
+                        )[0],
+                        o.result,
+                    )
+                    for o in replay64.outcomes
+                    if o.ok
+                )
+            finally:
+                _close_pool(pool64)
+        row["chaos64_failed"] = replay64.failed
+        row["cached_float64_bitwise_equal"] = bool(bitwise)
+    return row
+
+
 def benchmark_ipc_transports(
     shapes: EngineShapes,
     num_requests: int = 48,
@@ -1105,6 +1255,10 @@ def run_engine_benchmark(mode: str = "smoke", registry: LutRegistry | None = Non
                 transport="shm_ring",
             ),
             "server_sharded_leastloaded_fp32": benchmark_server_trace_leastloaded(
+                registry, shapes, num_requests=48 if mode == "full" else 8,
+                duration_s=2.0 if mode == "full" else 0.2,
+            ),
+            "server_sharded_chaos_fp32": benchmark_server_chaos(
                 registry, shapes, num_requests=48 if mode == "full" else 8,
                 duration_s=2.0 if mode == "full" else 0.2,
             ),
@@ -1244,6 +1398,20 @@ def main(argv: list[str] | None = None) -> int:
         f"p50 {latency['steady']['p50_ms']:.0f} ms / "
         f"p99 {latency['steady']['p99_ms']:.0f} ms, "
         f"{trace_replay['queue']['stolen']} batches stolen)"
+    )
+    chaos = report["end_to_end"]["server_sharded_chaos_fp32"]
+    print(
+        f"server_sharded_chaos_fp32: worker crash at batch "
+        f"{chaos['fault_plan']['worker_crash_at']} -> goodput ratio "
+        f"{chaos['goodput_ratio']:.2f} "
+        f"({chaos['clean']['goodput_rps']:.0f} -> "
+        f"{chaos['chaos']['goodput_rps']:.0f} req/s), "
+        f"p99 {chaos['p99_degradation_x']:.2f}x "
+        f"({chaos['clean']['p99_ms']:.0f} -> {chaos['chaos']['p99_ms']:.0f} ms), "
+        f"{chaos['chaos']['retry_attempts']} retries / "
+        f"{chaos['chaos']['replicas_retired']} retired, "
+        f"{chaos['chaos']['failed']} lost, "
+        f"float64 bitwise equal: {chaos.get('cached_float64_bitwise_equal')}"
     )
     print_ipc_row(report["ipc"])
     print_kernel_rows(report["kernels"])

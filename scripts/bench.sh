@@ -66,6 +66,19 @@ print(
     f"{trace_row['queue']['stolen']} batches stolen, "
     f"{latency['failed']} failed"
 )
+chaos = report["end_to_end"]["server_sharded_chaos_fp32"]
+print(
+    f"server_sharded_chaos_fp32: worker crash at batch "
+    f"{chaos['fault_plan']['worker_crash_at']}, goodput ratio "
+    f"{chaos['goodput_ratio']:.2f} "
+    f"({chaos['clean']['goodput_rps']:.0f} -> "
+    f"{chaos['chaos']['goodput_rps']:.0f} req/s), "
+    f"p99 {chaos['p99_degradation_x']:.2f}x, "
+    f"{chaos['chaos']['retry_attempts']} retries, "
+    f"{chaos['chaos']['replicas_retired']} retired, "
+    f"{chaos['chaos']['failed']} lost, "
+    f"float64 bitwise equal: {chaos['cached_float64_bitwise_equal']}"
+)
 ipc = report["ipc"]
 print(
     f"ipc transport: pipe {1e6 * ipc['pipe_per_request_s']:.0f} us/req vs "

@@ -20,6 +20,13 @@ The two halves of the API:
   multi-core machines (see :mod:`repro.api.sharding`), with a pluggable
   :class:`WorkerTransport` for the request/response channel — pickle over a
   pipe, or zero-copy shared-memory rings (see :mod:`repro.api.transport`).
+* Resilience & chaos testing — :class:`RetryPolicy` /
+  :class:`CircuitBreakerConfig` harden a :class:`ServingQueue` against
+  replica failure (retries with backoff, per-replica breakers, in-flight
+  deadline propagation, checksummed ring frames surfacing
+  :class:`TransportIntegrityError`), and :class:`FaultPlan` /
+  :func:`inject` arm deterministic fault schedules at the serving seams
+  to *prove* it (see :mod:`repro.api.faults`).
 
 Every experiment, example and benchmark in the repo goes through this
 surface; the legacy ``*_backend()`` constructors in
@@ -27,14 +34,17 @@ surface; the legacy ``*_backend()`` constructors in
 """
 
 from .batching import MicroBatch, RequestBatcher
+from .faults import FaultInjector, FaultPlan, InjectedFaultError, inject
 from .scheduling import (
     ROUTERS,
     AutoscaleDecision,
     Autoscaler,
     AutoscalerConfig,
+    CircuitBreakerConfig,
     DeterministicRouter,
     LeastLoadedRouter,
     ReplicaStats,
+    RetryPolicy,
     Router,
     create_router,
 )
@@ -62,6 +72,7 @@ from .transport import (
     PipeTransport,
     ShmRingTransport,
     TransportError,
+    TransportIntegrityError,
     WorkerTransport,
     create_transport,
 )
@@ -103,6 +114,7 @@ __all__ = [
     "PipeTransport",
     "ShmRingTransport",
     "TransportError",
+    "TransportIntegrityError",
     "create_transport",
     "ServingQueue",
     "ServingFuture",
@@ -119,4 +131,10 @@ __all__ = [
     "Autoscaler",
     "AutoscaleDecision",
     "AutoscalerConfig",
+    "RetryPolicy",
+    "CircuitBreakerConfig",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFaultError",
+    "inject",
 ]

@@ -16,6 +16,11 @@ this package gives each policy a seam of its own:
 * :mod:`~repro.api.scheduling.fleet` — live membership (hot-add, drain,
   retire, dead-replica replacement) plus the scheduler and worker
   threads, all under one condition lock.
+* :mod:`~repro.api.scheduling.resilience` — the pure fault-handling
+  policy objects: :class:`RetryPolicy` (re-route failed batches with
+  exponential backoff under a per-window budget),
+  :class:`CircuitBreakerConfig` and the per-replica
+  :class:`ReplicaHealth` ledger/breaker state machine the fleet drives.
 * :mod:`~repro.api.scheduling.stats` — the frozen
   :class:`ServingStats`/:class:`ReplicaStats` snapshots and the mutable
   board behind them.
@@ -37,6 +42,7 @@ from .admission import (
 from .autoscaler import Autoscaler, AutoscaleDecision, AutoscalerConfig
 from .fleet import FleetManager, FormedBatch, ReplicaMember
 from .former import BatchFormer
+from .resilience import CircuitBreakerConfig, ReplicaHealth, RetryPolicy
 from .routing import (
     ROUTERS,
     DeterministicRouter,
@@ -52,6 +58,7 @@ __all__ = [
     "AutoscaleDecision",
     "AutoscalerConfig",
     "BatchFormer",
+    "CircuitBreakerConfig",
     "DeadlineExceededError",
     "DeterministicRouter",
     "FleetManager",
@@ -59,8 +66,10 @@ __all__ = [
     "LeastLoadedRouter",
     "Pending",
     "QueueFullError",
+    "ReplicaHealth",
     "ReplicaMember",
     "ReplicaStats",
+    "RetryPolicy",
     "ROUTERS",
     "Router",
     "ServerClosedError",

@@ -109,6 +109,16 @@ class Pending:
         """Routing cost of this request: its token count."""
         return int(self.tokens.size)
 
+    def remaining_budget_s(self, now: float) -> float | None:
+        """Seconds left until the deadline (``None`` when there is none).
+
+        Clamped at 0: an already-expired request still has a well-defined
+        budget to ship (the worker will skip it on arrival).
+        """
+        if self.deadline_at is None:
+            return None
+        return max(0.0, self.deadline_at - now)
+
 
 class AdmissionController:
     """Bounded-backlog admission plus the deadline policy.

@@ -16,13 +16,26 @@ batches are re-routed to the survivors instead of being failed, and with
 take its place.  Only when the *last* member dies does the queue close
 itself, exactly like the pre-refactor behaviour.
 
+New in this PR, the fleet is *resilient*: with a
+:class:`~repro.api.scheduling.resilience.RetryPolicy` installed, a batch
+hit by a replica-level failure (worker death, timeout, transport/integrity
+fault) is re-routed to the survivors — after an exponential-backoff sleep
+taken strictly outside the lock — instead of failing its futures; every
+member carries a :class:`~repro.api.scheduling.resilience.ReplicaHealth`
+ledger whose circuit breaker (when configured) drains a flaky replica and
+re-admits it through a half-open probe; and requests that carry deadlines
+ship their remaining budget with the batch (``forward_deadline`` on shard
+clients), capping the transport wait and letting workers skip requests
+that expired in flight.
+
 Locking story (kept deliberately boring so the interprocedural
 ``lock-order`` / ``blocking-under-lock`` static checks stay clean): the
 fleet condition (``_cond`` over ``_lock``) is the **only** lock in the
 scheduling package.  The admission controller, batch former, router and
 stats board are all lock-free and only ever touched while it is held;
 everything that can block — replica forwards, pool spawn/retire hooks,
-thread joins, future fulfilment — happens strictly outside it.
+thread joins, future fulfilment, **retry backoff sleeps** — happens
+strictly outside it.
 """
 
 from __future__ import annotations
@@ -31,8 +44,11 @@ import copy
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
+import numpy as np
+
+from ..transport import TransportIntegrityError
 from .admission import (
     AdmissionController,
     DeadlineExceededError,
@@ -40,6 +56,7 @@ from .admission import (
     ServerClosedError,
 )
 from .former import BatchFormer
+from .resilience import CircuitBreakerConfig, ReplicaHealth, RetryPolicy
 from .routing import Router
 from .stats import ReplicaStats, ServingStats, StatsBoard
 
@@ -89,13 +106,18 @@ def _per_future_error(exc: BaseException) -> BaseException:
 
 
 class FormedBatch:
-    """One routed unit of work: a length-homogeneous group of requests."""
+    """One routed unit of work: a length-homogeneous group of requests.
 
-    __slots__ = ("requests", "cost")
+    ``attempts`` counts completed dispatches that failed — 0 for a fresh
+    batch, bumped each time the retry machinery re-routes it.
+    """
 
-    def __init__(self, requests: List[Pending]) -> None:
+    __slots__ = ("requests", "cost", "attempts")
+
+    def __init__(self, requests: List[Pending], attempts: int = 0) -> None:
         self.requests = requests
         self.cost = sum(pending.cost for pending in requests)
+        self.attempts = attempts
 
 
 class ReplicaMember:
@@ -110,9 +132,15 @@ class ReplicaMember:
         "replica_id", "session", "thread", "batches", "queued_cost",
         "in_flight_requests", "in_flight_cost", "batches_served",
         "completed", "failed", "stolen", "draining", "retired", "exited",
+        "health",
     )
 
-    def __init__(self, replica_id: int, session) -> None:
+    def __init__(
+        self,
+        replica_id: int,
+        session,
+        breaker: Optional[CircuitBreakerConfig] = None,
+    ) -> None:
         self.replica_id = replica_id
         self.session = session
         self.thread: Optional[threading.Thread] = None
@@ -127,6 +155,7 @@ class ReplicaMember:
         self.draining = False
         self.retired = False
         self.exited = False
+        self.health = ReplicaHealth(breaker)
 
     @property
     def load(self) -> int:
@@ -151,6 +180,10 @@ class ReplicaMember:
             stolen=self.stolen,
             draining=self.draining,
             live=not self.retired and not self.exited,
+            errors=self.health.errors,
+            timeouts=self.health.timeouts,
+            service_ewma_ms=self.health.service_ewma_ms,
+            breaker_state=self.health.state,
         )
 
 
@@ -170,6 +203,8 @@ class FleetManager:
         admission: AdmissionController,
         board: StatsBoard,
         replace_dead: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreakerConfig] = None,
     ) -> None:
         self._pool = pool
         self._router = router
@@ -177,6 +212,15 @@ class FleetManager:
         self._admission = admission
         self._board = board
         self._replace_dead = replace_dead
+        self._retry = retry
+        self._breaker = breaker
+        #: Jitter stream for retry backoffs; drawn from only under the
+        #: fleet lock, which is what makes sharing it across workers safe.
+        self._retry_rng = np.random.default_rng(retry.seed if retry else 0)
+        #: Requests whose batch is between a failed dispatch and its retry
+        #: re-route (the backoff sleep); drain() must wait these out — they
+        #: are in no queue and no in-flight counter while parked.
+        self._retry_parked = 0
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._members: Dict[int, ReplicaMember] = {}
@@ -265,6 +309,7 @@ class FleetManager:
             while (
                 self._pending
                 or self._inflight_batches
+                or self._retry_parked
                 or any(m.batches for m in self._members.values())
             ):
                 if self._closed:
@@ -396,7 +441,7 @@ class FleetManager:
 
     def _register(self, session) -> ReplicaMember:
         """Create and index a member (fleet lock held by the caller)."""
-        member = ReplicaMember(self._next_replica_id, session)
+        member = ReplicaMember(self._next_replica_id, session, self._breaker)
         self._next_replica_id += 1
         self._members[member.replica_id] = member
         return member
@@ -410,9 +455,21 @@ class FleetManager:
         thread.start()
 
     def _routable(self) -> List[ReplicaMember]:
-        """Members new work may be routed to (fleet lock held)."""
+        """Members new work may be routed to (fleet lock held).
+
+        Lifecycle (``routable``) and circuit-breaker admission both apply:
+        an open breaker keeps a flaky member registered and serving its
+        existing queue, but invisible to the router until its cooldown
+        half-opens it for a probe.
+        """
+        now = time.monotonic()
         return sorted(
-            (m for m in self._members.values() if m.routable),
+            (
+                m for m in self._members.values()
+                if m.routable and m.health.admits(
+                    now, idle=not m.batches and m.in_flight_requests == 0
+                )
+            ),
             key=lambda m: m.replica_id,
         )
 
@@ -443,6 +500,28 @@ class FleetManager:
         thief.stolen += 1
         return batch
 
+    def _breaker_poll_s(self) -> Optional[float]:
+        """Wait bound while work is pending but no member admits it.
+
+        Breaker reopening is time-driven — no thread notifies the condition
+        when a cooldown elapses — so when open breakers are what blocks
+        routing, the scheduler polls at the earliest half-open ETA instead
+        of waiting forever.  ``None`` (wait untouched) when nothing is
+        pending or no breaker is counting down.  Fleet lock held.
+        """
+        if not self._pending:
+            return None
+        now = time.monotonic()
+        etas = [
+            eta
+            for m in self._members.values()
+            if m.routable
+            and (eta := m.health.reopen_eta_s(now)) is not None
+        ]
+        if not etas:
+            return None
+        return max(0.005, min(etas))
+
     # ------------------------------------------------------------------ #
     # Scheduler: pending window -> formed batches -> member queues
     # ------------------------------------------------------------------ #
@@ -452,7 +531,7 @@ class FleetManager:
                 while not self._closed and (
                     not self._pending or not self._routable()
                 ):
-                    self._cond.wait()
+                    self._cond.wait(self._breaker_poll_s())
                 if self._closed:
                     return
                 window_end = self._former.window_deadline(
@@ -565,19 +644,23 @@ class FleetManager:
             # batch: the moment this worker committed to serving it.
             dispatched_at = time.monotonic()
             try:
-                results = session.forward([p.tokens for p in live])
+                tokens = [p.tokens for p in live]
+                if any(p.deadline_at is not None for p in live) and hasattr(
+                    session, "forward_deadline"
+                ):
+                    # Deadline propagation: ship each request's remaining
+                    # budget with the batch so the shard client caps its
+                    # transport wait and the worker skips requests that
+                    # expire in flight (returned as zero-length row blocks;
+                    # a real result always has >= 1 row).
+                    budgets = [
+                        p.remaining_budget_s(dispatched_at) for p in live
+                    ]
+                    results = session.forward_deadline(tokens, budgets)
+                else:
+                    results = session.forward(tokens)
             except BaseException as exc:
-                live_cost = sum(p.cost for p in live)
-                with self._cond:
-                    self._board.failed += len(live)
-                    self._admission.release(len(live))
-                    member.failed += len(live)
-                    member.in_flight_requests -= len(live)
-                    member.in_flight_cost -= live_cost
-                    self._inflight_batches -= 1
-                    self._cond.notify_all()
-                for pending in live:
-                    pending.future._fail(_per_future_error(exc))
+                self._after_batch_failure(member, batch, live, exc)
                 if getattr(session, "defunct", False):
                     # A permanently-dead replica (a shard worker process that
                     # died or was poisoned) must leave the fleet: failing
@@ -598,18 +681,131 @@ class FleetManager:
                     return
                 continue
             done_at = time.monotonic()
+            served: List[Tuple[Pending, object]] = []
+            skipped: List[Pending] = []
+            for pending, result in zip(live, results):
+                if (
+                    pending.deadline_at is not None
+                    and getattr(result, "shape", (1,))[0] == 0
+                ):
+                    skipped.append(pending)
+                else:
+                    served.append((pending, result))
             live_cost = sum(p.cost for p in live)
             with self._cond:
-                self._board.record_batch(live, dispatched_at, done_at)
+                if member.health.record_success(
+                    1000.0 * (done_at - dispatched_at)
+                ):
+                    self._board.breaker_closes += 1
+                self._board.record_batch(
+                    [p for p, _ in served], dispatched_at, done_at
+                )
+                if skipped:
+                    self._board.expired += len(skipped)
+                    self._board.expired_in_flight += len(skipped)
                 self._admission.release(len(live))
                 member.batches_served += 1
-                member.completed += len(live)
+                member.completed += len(served)
                 member.in_flight_requests -= len(live)
                 member.in_flight_cost -= live_cost
                 self._inflight_batches -= 1
                 self._cond.notify_all()
-            for pending, result in zip(live, results):
+            for pending in skipped:
+                pending.future._fail(
+                    DeadlineExceededError(
+                        "request deadline elapsed in flight; the worker "
+                        "skipped its forward"
+                    )
+                )
+            for pending, result in served:
                 pending.future._fulfill(result)
+
+    def _after_batch_failure(
+        self,
+        member: ReplicaMember,
+        batch: FormedBatch,
+        live: List[Pending],
+        exc: BaseException,
+    ) -> None:
+        """Account one failed dispatch: health/breaker, then retry or fail.
+
+        With a :class:`RetryPolicy` installed and a *replica-level* failure
+        (``RetryPolicy.retryable``), the batch is re-routed to the fleet —
+        after an exponential-backoff sleep taken strictly OUTSIDE the fleet
+        lock — instead of failing its futures; the batch keeps its
+        admission slots while parked (``_retry_parked`` makes it visible
+        to ``drain``).  Non-retryable failures, exhausted attempts, an
+        exhausted window retry budget, or a closed queue fail each future
+        with its own error clone, exactly like the pre-retry behaviour.
+        """
+        live_cost = sum(p.cost for p in live)
+        now = time.monotonic()
+        retry_batch: Optional[FormedBatch] = None
+        backoff_s = 0.0
+        with self._cond:
+            if getattr(member.session, "defunct", False):
+                # The replica is dead or poisoned: _retire_dead_member (on
+                # this same thread, right after this method returns) will
+                # remove it — but the retry below routes *first*, so take
+                # the member out of the routable set now or the retried
+                # batch can land straight back on the corpse.
+                member.draining = True
+            if member.health.record_failure(
+                now, timeout=isinstance(exc, TimeoutError)
+            ):
+                self._board.breaker_opens += 1
+            if isinstance(exc, TransportIntegrityError):
+                self._board.integrity_failures += 1
+            member.in_flight_requests -= len(live)
+            member.in_flight_cost -= live_cost
+            self._inflight_batches -= 1
+            retry = self._retry
+            if (
+                retry is not None
+                and not self._closed
+                and batch.attempts + 1 < retry.max_attempts
+                and retry.retryable(exc)
+                and self._board.retried_requests + len(live)
+                <= retry.retry_budget
+            ):
+                retry_batch = FormedBatch(live, attempts=batch.attempts + 1)
+                self._board.retry_attempts += 1
+                self._board.retried_requests += len(live)
+                self._retry_parked += len(live)
+                backoff_s = retry.backoff_s(
+                    retry_batch.attempts, self._retry_rng
+                )
+            else:
+                self._board.failed += len(live)
+                self._admission.release(len(live))
+                member.failed += len(live)
+            self._cond.notify_all()
+        if retry_batch is None:
+            for pending in live:
+                pending.future._fail(_per_future_error(exc))
+            return
+        if backoff_s > 0.0:
+            time.sleep(backoff_s)  # deliberately outside the fleet lock
+        dropped: List[Pending] = []
+        with self._cond:
+            self._retry_parked -= len(live)
+            if self._closed:
+                dropped = list(retry_batch.requests)
+                self._admission.release(len(dropped))
+                self._dropped_on_close += len(dropped)
+            else:
+                # If no member admits right now, _route pushes the requests
+                # back onto the pending deque — the scheduler re-forms them
+                # (attempt count resets, but the window retry budget still
+                # bounds the total re-execution work).
+                self._route(retry_batch)
+            self._cond.notify_all()
+        for pending in dropped:
+            pending.future._fail(
+                ServerClosedError(
+                    "ServingQueue was closed while a batch awaited its retry"
+                )
+            )
 
     def _retire_dead_member(self, member: ReplicaMember) -> bool:
         """Drop a dead member; re-route its queue.  True if the fleet died.

@@ -17,7 +17,11 @@ A :class:`Router` maps a formed batch to one live
   engine's per-batch activation scales make batch placement observable.
 
 ``select`` is only ever called under the fleet scheduler lock, so
-routers may keep unsynchronized state (the round-robin counter).
+routers may keep unsynchronized state (the round-robin counter).  The
+candidate list the fleet hands a router already excludes members whose
+circuit breaker is open (see
+:mod:`repro.api.scheduling.resilience`) — routing policy never has to
+reason about replica health itself.
 """
 
 from __future__ import annotations

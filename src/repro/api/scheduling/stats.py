@@ -31,6 +31,13 @@ class ReplicaStats:
     outside.  ``draining`` members finish their queue but receive no new
     work; a member that is neither ``live`` nor draining has exited (its
     worker returned, e.g. after the replica died).
+
+    The health fields mirror the member's
+    :class:`~repro.api.scheduling.resilience.ReplicaHealth` ledger:
+    cumulative batch ``errors`` (of which ``timeouts``), the
+    service-latency EWMA, and the circuit ``breaker_state``
+    (``closed``/``open``/``half_open``; always ``closed`` when no breaker
+    is configured).
     """
 
     replica_id: int
@@ -45,6 +52,10 @@ class ReplicaStats:
     stolen: int
     draining: bool
     live: bool
+    errors: int = 0
+    timeouts: int = 0
+    service_ewma_ms: float = 0.0
+    breaker_state: str = "closed"
 
     @property
     def routable(self) -> bool:
@@ -75,6 +86,14 @@ class ServingStats:
     :class:`ReplicaStats` row per current fleet member, and
     ``replicas_added``/``replicas_retired`` count live membership changes
     (hot-adds and drain/retire/death removals) in the window.
+
+    The resilience counters cover the retry/breaker/integrity machinery:
+    ``retry_attempts`` re-dispatches of failed batches (``retried_requests``
+    requests total, bounded by the policy's retry budget per window),
+    ``breaker_opens``/``breaker_closes`` circuit-breaker transitions,
+    ``integrity_failures`` ring frames rejected by their checksum, and
+    ``expired_in_flight`` requests whose deadline lapsed after dispatch
+    (workers skip them; they are also counted in ``expired``).
     """
 
     submitted: int
@@ -99,6 +118,12 @@ class ServingStats:
     router: str = "deterministic"
     replicas_added: int = 0
     replicas_retired: int = 0
+    retry_attempts: int = 0
+    retried_requests: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    integrity_failures: int = 0
+    expired_in_flight: int = 0
     replicas: Tuple[ReplicaStats, ...] = ()
 
     @property
@@ -125,6 +150,12 @@ class StatsBoard:
         self.batched_rows = 0
         self.replicas_added = 0
         self.replicas_retired = 0
+        self.retry_attempts = 0
+        self.retried_requests = 0
+        self.breaker_opens = 0
+        self.breaker_closes = 0
+        self.integrity_failures = 0
+        self.expired_in_flight = 0
         self.max_depth_seen = 0
         self.latencies_ms: Deque[float] = deque(maxlen=8192)
         self.queue_waits_ms: Deque[float] = deque(maxlen=8192)
@@ -164,6 +195,12 @@ class StatsBoard:
         self.batched_rows = 0
         self.replicas_added = 0
         self.replicas_retired = 0
+        self.retry_attempts = 0
+        self.retried_requests = 0
+        self.breaker_opens = 0
+        self.breaker_closes = 0
+        self.integrity_failures = 0
+        self.expired_in_flight = 0
         self.latencies_ms.clear()
         self.queue_waits_ms.clear()
         self.services_ms.clear()
@@ -225,5 +262,11 @@ class StatsBoard:
             router=router,
             replicas_added=self.replicas_added,
             replicas_retired=self.replicas_retired,
+            retry_attempts=self.retry_attempts,
+            retried_requests=self.retried_requests,
+            breaker_opens=self.breaker_opens,
+            breaker_closes=self.breaker_closes,
+            integrity_failures=self.integrity_failures,
+            expired_in_flight=self.expired_in_flight,
             replicas=replicas,
         )

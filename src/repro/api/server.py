@@ -55,6 +55,7 @@ import numpy as np
 
 from ..core.registry import LutRegistry
 from ..transformer.models import EncoderModel
+from . import faults as _faults
 from .scheduling.admission import (
     AdmissionController,
     DeadlineExceededError,
@@ -66,6 +67,7 @@ from .scheduling.admission import (
 from .scheduling.autoscaler import Autoscaler, AutoscalerConfig
 from .scheduling.fleet import FleetManager, _per_future_error  # noqa: F401
 from .scheduling.former import BatchFormer
+from .scheduling.resilience import CircuitBreakerConfig, RetryPolicy
 from .scheduling.routing import Router, create_router
 from .scheduling.stats import ReplicaStats, ServingStats, StatsBoard
 from .session import InferenceSession, SessionConfig, adopted_model_config
@@ -79,6 +81,8 @@ __all__ = [
     "ServingStats",
     "ReplicaStats",
     "AutoscalerConfig",
+    "RetryPolicy",
+    "CircuitBreakerConfig",
     "ReplicaPool",
     "SessionPool",
     "ServingQueue",
@@ -339,6 +343,8 @@ class SessionPool(ReplicaPool):
     # ------------------------------------------------------------------ #
     def spawn_replica(self) -> InferenceSession:
         """One more warmed replica over the shared frozen encoder."""
+        if _faults._ACTIVE is not None:
+            _faults._ACTIVE.on_spawn()
         replica = self._template.clone_for_serving()
         replica.forward([np.zeros(1, dtype=np.int64)])
         self.sessions.append(replica)
@@ -411,6 +417,19 @@ class ServingQueue:
     replace_dead_replicas:
         Spawn a replacement (via the pool's :meth:`~ReplicaPool.spawn_replica`
         hook) whenever a replica dies mid-service.
+    retry:
+        Optional :class:`~repro.api.scheduling.resilience.RetryPolicy`.
+        When given, batches hit by replica-level failures (worker death,
+        request timeouts, transport faults) are re-routed to surviving
+        replicas with exponential backoff instead of failing their futures
+        — safe because inference is pure (see the resilience module's
+        retry-idempotency contract).  Default ``None``: failures propagate
+        immediately, exactly as before.
+    breaker:
+        Optional :class:`~repro.api.scheduling.resilience.CircuitBreakerConfig`.
+        When given, a replica accumulating consecutive batch failures is
+        drained of new traffic and re-admitted via half-open probes once
+        its cooldown elapses.  Default ``None``: no breaker.
     """
 
     def __init__(
@@ -423,6 +442,8 @@ class ServingQueue:
         router: str | Router = "deterministic",
         autoscale: AutoscalerConfig | None = None,
         replace_dead_replicas: bool = False,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreakerConfig | None = None,
     ) -> None:
         if isinstance(pool, InferenceSession):
             source = pool
@@ -471,6 +492,8 @@ class ServingQueue:
             admission=self._admission,
             board=self._board,
             replace_dead=replace_dead_replicas,
+            retry=retry,
+            breaker=breaker,
         )
         self._autoscaler = (
             Autoscaler(self, autoscale) if autoscale is not None else None

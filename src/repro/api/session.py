@@ -50,6 +50,7 @@ from ..transformer.nonlinear_backend import (
     OperatorRecorder,
     _validate_replace,
 )
+from . import faults as _faults
 from .batching import RequestBatcher
 from .spec import BackendSpec, build_backend
 
@@ -464,6 +465,8 @@ class InferenceSession:
         Requests are served in dynamically formed micro-batches; results come
         back in request order, trimmed to each request's true length.
         """
+        if _faults._ACTIVE is not None:
+            _faults._ACTIVE.on_session_forward()
         return self._serve(
             requests, lambda hidden, row, length, index: hidden[row, :length].copy()
         )

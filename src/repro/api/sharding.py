@@ -61,7 +61,7 @@ import weakref
 from multiprocessing import connection as mp_connection
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,6 +69,8 @@ from ..core.lut import LookupTable
 from ..core.registry import LutRegistry
 from ..transformer.config import TransformerConfig
 from ..transformer.models import EncoderModel
+from . import faults as _faults
+from .faults import FaultPlan
 from .server import ReplicaPool
 from .session import (
     InferenceSession,
@@ -236,6 +238,8 @@ class _WorkerInit:
     #: never re-fit registry primitives.
     tables: Dict[Tuple[str, int], LookupTable]
     lut_overrides: Dict[str, LookupTable]
+    #: Fault schedule armed in the worker (chaos testing); None = no faults.
+    fault_plan: Optional[FaultPlan] = None
 
 
 class _ShippedRegistry:
@@ -290,8 +294,15 @@ def _build_worker_session(
     return session, handles
 
 
-def _worker_main(endpoint: WorkerEndpoint, init: _WorkerInit) -> None:
+def _worker_main(
+    endpoint: WorkerEndpoint, init: _WorkerInit, worker_index: int = 0
+) -> None:
     """Entry point of one shard worker process (spawn-safe, module level)."""
+    injector = None
+    if init.fault_plan is not None:
+        # Arm worker-side faults before the session warmup runs (the
+        # warmup's session.forward ticks the session_forward counter).
+        injector = _faults.install(init.fault_plan, worker_index=worker_index)
     try:
         session, handles = _build_worker_session(init)
     except BaseException:
@@ -310,6 +321,9 @@ def _worker_main(endpoint: WorkerEndpoint, init: _WorkerInit) -> None:
                 op, payload = endpoint.recv()
             except (EOFError, OSError):
                 return  # parent went away; nothing left to serve
+            received_at = time.monotonic()
+            if injector is not None:
+                injector.on_worker_request(op)  # may stall or crash here
             if op == "close":
                 endpoint.send("ok", None)
                 return
@@ -329,6 +343,43 @@ def _worker_main(endpoint: WorkerEndpoint, init: _WorkerInit) -> None:
                         endpoint.commit_packed_response()
                         continue
                     result = session.forward(payload)
+                elif op == "forward_deadline":
+                    # Deadline-aware forward: the payload's last element is
+                    # an int64 row of per-request remaining budgets in
+                    # microseconds (-1 = no deadline), measured from this
+                    # request's receipt.  A request whose budget already
+                    # lapsed — e.g. after a stall between receipt and
+                    # compute — is skipped and answered with a zero-length
+                    # row block (a real request always has >= 1 token, so
+                    # zero rows is an unambiguous expired-in-flight mark).
+                    budgets_us = np.asarray(payload[-1])
+                    now = time.monotonic()
+                    lengths = []
+                    live_payload = []
+                    for budget_us, request in zip(budgets_us, payload[:-1]):
+                        budget_us = int(budget_us)
+                        if 0 <= budget_us and received_at + budget_us / 1e6 <= now:
+                            lengths.append(0)
+                        else:
+                            lengths.append(int(np.asarray(request).shape[0]))
+                            live_payload.append(request)
+                    flat = endpoint.begin_packed_response(
+                        lengths, hidden_size, result_dtype
+                    )
+                    if flat is not None:
+                        # Expired requests occupy zero rows, so the live
+                        # rows pack contiguously in request order.
+                        if live_payload:
+                            session.forward_packed(live_payload, out=flat)
+                        endpoint.commit_packed_response()
+                        continue
+                    served = iter(
+                        session.forward(live_payload) if live_payload else []
+                    )
+                    empty = np.empty((0, hidden_size), dtype=result_dtype)
+                    result = [
+                        next(served) if length else empty for length in lengths
+                    ]
                 elif op == "pooled":
                     result = session.pooled(payload)
                 elif op == "apply_lut_overrides":
@@ -364,11 +415,13 @@ class _ShardClient:
         process,
         transport: WorkerTransport,
         request_timeout_s: float,
+        deadline_grace_s: float = 5.0,
     ) -> None:
         self.index = index
         self.process = process
         self.transport = transport
         self._request_timeout_s = request_timeout_s
+        self._deadline_grace_s = deadline_grace_s
         self._lock = threading.Lock()
         #: Set when the channel can no longer be trusted (a request timed
         #: out with the worker still computing: its eventual reply would be
@@ -431,19 +484,21 @@ class _ShardClient:
                 # release the slots so the accounting never wedges.
                 self.transport.release()
                 raise
+            except TimeoutError:
+                # Checked before OSError — TimeoutError subclasses it, and
+                # the death branch below must not swallow timeouts.  The
+                # worker may still answer this request later; reusing the
+                # channel would hand that stale reply to the next caller.
+                # Poison the client and put the worker down.
+                self._broken = True
+                self.transport.release()
+                self.process.terminate()
+                raise
             except (BrokenPipeError, EOFError, OSError) as exc:
                 self.transport.release()
                 raise WorkerDiedError(
                     self._death_message(f"while serving {op!r}")
                 ) from exc
-            except TimeoutError:
-                # The worker may still answer this request later; reusing
-                # the channel would hand that stale reply to the next
-                # caller.  Poison the client and put the worker down.
-                self._broken = True
-                self.transport.release()
-                self.process.terminate()
-                raise
         if status == "ok":
             return value
         if status == "error":
@@ -486,6 +541,36 @@ class _ShardClient:
     # ------------------------------------------------------------------ #
     def forward(self, requests: Sequence[np.ndarray]) -> List[np.ndarray]:
         return self._call("forward", [np.asarray(r) for r in requests])
+
+    def forward_deadline(
+        self,
+        requests: Sequence[np.ndarray],
+        budgets_s: Sequence[Optional[float]],
+    ) -> List[np.ndarray]:
+        """``forward`` with per-request remaining deadline budgets.
+
+        ``budgets_s[i]`` is request ``i``'s remaining time in seconds
+        (``None`` = no deadline).  The budgets ship with the batch as one
+        extra int64 microsecond row, so the worker can skip requests that
+        expire in flight — those come back as zero-length row blocks.  When
+        *every* request carries a deadline the transport wait is capped at
+        the largest budget plus the grace window instead of the full
+        request timeout; a worker that blows through the cap is treated
+        exactly like a timed-out one (poisoned and terminated), since its
+        eventual reply could no longer be delivered to anyone.
+        """
+        budget_us = np.asarray(
+            [-1 if b is None else max(0, int(b * 1e6)) for b in budgets_s],
+            dtype=np.int64,
+        )
+        payload = [np.asarray(r) for r in requests] + [budget_us]
+        timeout_s = None
+        if len(budget_us) and bool(np.all(budget_us >= 0)):
+            timeout_s = min(
+                self._request_timeout_s,
+                float(budget_us.max()) / 1e6 + self._deadline_grace_s,
+            )
+        return self._call("forward_deadline", payload, timeout_s=timeout_s)
 
     def pooled(self, requests: Sequence[np.ndarray]) -> np.ndarray:
         return self._call("pooled", [np.asarray(r) for r in requests])
@@ -637,6 +722,7 @@ class ShardedPool(ReplicaPool):
         request_timeout_s: float = 600.0,
         transport: str = "pipe",
         ring_bytes: int | None = None,
+        deadline_grace_s: float = 5.0,
     ) -> None:
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
@@ -685,6 +771,10 @@ class ShardedPool(ReplicaPool):
                 manifest=store.manifest(),
                 tables=_required_tables(template.spec, template.registry),
                 lut_overrides=dict(template.lut_overrides),
+                # A fault plan armed in this process at construction time is
+                # baked into every worker (they are spawned, not forked, so
+                # the injector cannot be inherited).
+                fault_plan=_faults.active_plan(),
             )
             context = multiprocessing.get_context(mp_context)
             request_bytes, response_bytes = self._ring_sizes(
@@ -698,6 +788,7 @@ class ShardedPool(ReplicaPool):
             self._response_bytes = response_bytes
             self._start_timeout_s = start_timeout_s
             self._request_timeout_s = request_timeout_s
+            self._deadline_grace_s = deadline_grace_s
             self._next_worker_index = num_replicas
             for index in range(num_replicas):
                 worker_transport = create_transport(
@@ -710,7 +801,7 @@ class ShardedPool(ReplicaPool):
                 try:
                     process = context.Process(
                         target=_worker_main,
-                        args=(worker_transport.endpoint(), init),
+                        args=(worker_transport.endpoint(), init, index),
                         name=f"shard-worker-{index}",
                         daemon=True,
                     )
@@ -721,7 +812,8 @@ class ShardedPool(ReplicaPool):
                     raise
                 worker_transport.on_worker_started()
                 client = _ShardClient(
-                    index, process, worker_transport, request_timeout_s
+                    index, process, worker_transport, request_timeout_s,
+                    deadline_grace_s=deadline_grace_s,
                 )
                 # Track before waiting so close() reaps it on any failure.
                 self.sessions.append(client)
@@ -823,6 +915,8 @@ class ShardedPool(ReplicaPool):
             raise RuntimeError(
                 "ShardedPool is closed; it cannot spawn a replica"
             )
+        if _faults._ACTIVE is not None:
+            _faults._ACTIVE.on_spawn()
         index = self._next_worker_index
         self._next_worker_index += 1
         worker_transport = create_transport(
@@ -838,7 +932,7 @@ class ShardedPool(ReplicaPool):
         try:
             process = self._context.Process(
                 target=_worker_main,
-                args=(worker_transport.endpoint(), self._worker_init),
+                args=(worker_transport.endpoint(), self._worker_init, index),
                 name=f"shard-worker-{index}",
                 daemon=True,
             )
@@ -848,7 +942,8 @@ class ShardedPool(ReplicaPool):
             raise
         worker_transport.on_worker_started()
         client = _ShardClient(
-            index, process, worker_transport, self._request_timeout_s
+            index, process, worker_transport, self._request_timeout_s,
+            deadline_grace_s=self._deadline_grace_s,
         )
         try:
             client.wait_ready(self._start_timeout_s)

@@ -23,6 +23,9 @@ the channel a seam instead of an implementation detail:
   header; the pipe carries only a tiny doorbell per message.  Anything the
   rings cannot describe — control dicts, oversized batches — falls back to
   the pickle pipe transparently (counted in :attr:`WorkerTransport.stats`).
+  Every ring frame carries a CRC32 of its payload; a frame that fails the
+  check at decode raises :class:`TransportIntegrityError` and demotes the
+  channel to pipe-only, so corruption never decodes as truth.
 
 The wire discipline is strictly one request in flight per worker (the shard
 client serialises calls under a lock), so each direction needs exactly one
@@ -41,16 +44,19 @@ from __future__ import annotations
 # staticcheck: pickle-boundary -- payloads here must survive pickling into spawned workers
 
 import time
+import zlib
 from abc import ABC, abstractmethod
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import faults as _faults
 from .batching import RequestBatcher
 
 __all__ = [
     "TransportError",
+    "TransportIntegrityError",
     "WorkerTransport",
     "WorkerEndpoint",
     "PipeTransport",
@@ -64,6 +70,17 @@ class TransportError(RuntimeError):
     """A transport-level protocol violation (stale doorbell, bad reserve)."""
 
 
+class TransportIntegrityError(TransportError):
+    """A ring frame failed its checksum (or describes an impossible payload).
+
+    Raised by the parent-side decode so corruption surfaces as a typed
+    error instead of garbage results.  The transport degrades to the pickle
+    pipe for the rest of its life (the ring memory is suspect); the
+    scheduler's retry policy treats this as a replica-channel fault and
+    re-routes the batch.
+    """
+
+
 #: Transport kinds accepted by :func:`create_transport` (and the
 #: ``ShardedPool(transport=...)`` knob).
 TRANSPORTS: Tuple[str, ...] = ("pipe", "shm_ring")
@@ -74,10 +91,13 @@ _SHM_TAG = "__shm__"
 
 #: Ring header: int64[16] at the start of each block.
 #: [0] seq  [1] kind  [2] n (ragged items / array ndim)  [3] dtype code
-#: [4] trailing dim (ragged rows; 0 = 1-D items)  [5..12] array shape.
+#: [4] trailing dim (ragged rows; 0 = 1-D items)  [5..12] array shape
+#: [13] CRC32 of the payload bytes the header describes (sealed at encode
+#: time, verified at decode time — see :class:`TransportIntegrityError`).
 _HEADER_SLOTS = 16
 _HEADER_BYTES = _HEADER_SLOTS * 8
 _MAX_ARRAY_NDIM = 8
+_CRC_SLOT = 13
 
 _KIND_RAGGED = 1
 _KIND_ARRAY = 2
@@ -173,6 +193,85 @@ class _ShmRing:
         )
 
     # ------------------------------------------------------------------ #
+    # Integrity
+    # ------------------------------------------------------------------ #
+    def _described_payload_nbytes(self, header: np.ndarray) -> int:
+        """Payload bytes the header claims follow it, or ``-1`` when the
+        header itself is implausible (corrupt shape/length fields would
+        otherwise send the checksum — or the decode — out of bounds)."""
+        kind = int(header[1])
+        dtype = _CODE_DTYPES.get(int(header[3]))
+        if dtype is None:
+            return -1
+        if kind == _KIND_RAGGED:
+            n = int(header[2])
+            trailing = int(header[4])
+            if n < 1 or trailing < 0 or n * 8 > self.payload_capacity:
+                return -1
+            total = 0
+            for value in self._view(n, np.dtype(np.int64), 0):
+                length = int(value)
+                if length < 0:
+                    return -1
+                total += length
+            nbytes = n * 8 + total * max(1, trailing) * dtype.itemsize
+        elif kind == _KIND_ARRAY:
+            ndim = int(header[2])
+            if ndim < 0 or ndim > _MAX_ARRAY_NDIM:
+                return -1
+            count = 1
+            for axis in range(ndim):
+                extent = int(header[5 + axis])
+                if extent < 0:
+                    return -1
+                count *= extent
+            nbytes = count * dtype.itemsize
+        else:
+            return -1
+        return nbytes if nbytes <= self.payload_capacity else -1
+
+    def _payload_crc(self, nbytes: int) -> int:
+        return zlib.crc32(self._shm.buf[_HEADER_BYTES:_HEADER_BYTES + nbytes])
+
+    def seal(self) -> None:
+        """Stamp the current message's payload CRC32 into the header.
+
+        Every encode path ends here — ``try_encode`` for whole payloads,
+        and the packed-response commit for results written directly into a
+        :meth:`reserve_ragged` view (the reservation cannot seal: the
+        caller writes the payload *after* reserving).
+        """
+        header = self._header()
+        nbytes = self._described_payload_nbytes(header)
+        header[_CRC_SLOT] = self._payload_crc(max(0, nbytes))
+
+    def verify(self) -> None:
+        """Raise :class:`TransportIntegrityError` unless the frame is intact."""
+        header = self._header()
+        nbytes = self._described_payload_nbytes(header)
+        if nbytes < 0:
+            raise TransportIntegrityError(
+                "ring frame header describes an impossible payload; the "
+                "frame is corrupt"
+            )
+        actual = self._payload_crc(nbytes)
+        if actual != int(header[_CRC_SLOT]) & 0xFFFFFFFF:
+            raise TransportIntegrityError(
+                f"ring frame checksum mismatch (stored "
+                f"{int(header[_CRC_SLOT]) & 0xFFFFFFFF:#010x}, computed "
+                f"{actual:#010x}); the frame is corrupt"
+            )
+
+    def corrupt_payload(self, salt: int) -> None:
+        """Flip one payload byte in place (fault injection / tests only)."""
+        header = self._header()
+        nbytes = self._described_payload_nbytes(header)
+        if nbytes <= 0:
+            return
+        offset = _HEADER_BYTES + (salt % nbytes)
+        self._shm.buf[offset] ^= 0xFF
+
+    # ------------------------------------------------------------------ #
     # Encode
     # ------------------------------------------------------------------ #
     def try_encode(self, payload: object, seq: int) -> bool:
@@ -190,6 +289,7 @@ class _ShmRing:
             if flat is None:
                 return False
             RequestBatcher.pack_ragged(payload, flat)  # type: ignore[arg-type]
+            self.seal()
             return True
         if isinstance(payload, np.ndarray):
             if (
@@ -208,6 +308,7 @@ class _ShmRing:
                 header[5 + axis] = payload.shape[axis]
             flat = self._view(payload.size, payload.dtype, 0)
             flat.reshape(payload.shape if payload.ndim else (1,))[...] = payload
+            self.seal()
             return True
         return False
 
@@ -260,6 +361,7 @@ class _ShmRing:
                 f"shared-memory ring message is stamped seq {int(header[0])}, "
                 f"expected {expected_seq}; the channel is out of sync"
             )
+        self.verify()
         kind = int(header[1])
         dtype = _CODE_DTYPES.get(int(header[3]))
         if dtype is None:
@@ -356,12 +458,14 @@ class WorkerTransport(ABC):
 
     def __init__(self) -> None:
         #: Message-routing counters: how many requests/responses used the
-        #: zero-copy rings vs the pickle-pipe fallback.
+        #: zero-copy rings vs the pickle-pipe fallback, and how many ring
+        #: frames failed their integrity check (always 0 for pipe).
         self.stats: Dict[str, int] = {
             "ring_requests": 0,
             "pipe_requests": 0,
             "ring_responses": 0,
             "pipe_responses": 0,
+            "integrity_failures": 0,
         }
 
     @abstractmethod
@@ -586,6 +690,8 @@ class _ShmRingEndpoint(WorkerEndpoint):
                 "no packed response was reserved on this endpoint"
             )
         seq, self._reserved_seq, self._seq = self._reserved_seq, None, None
+        _, response_ring = self._rings()
+        response_ring.seal()
         self._conn.send((_SHM_TAG, seq, status))
 
     def close(self) -> None:
@@ -629,6 +735,7 @@ class ShmRingTransport(_PipeBackedTransport):
         self._response_ring: Optional[_ShmRing] = None
         self._seq = 0
         self._slot_busy = False
+        self._degraded = False
         super().__init__(context)
         try:
             self._request_ring = _ShmRing.create(request_bytes)
@@ -648,11 +755,18 @@ class ShmRingTransport(_PipeBackedTransport):
             self._child_closed = True
             self._child_conn.close()
 
+    @property
+    def degraded(self) -> bool:
+        """Whether an integrity failure demoted this channel to pipe-only."""
+        return self._degraded
+
     def send(self, op: str, payload: object) -> None:
         self._check_open()
         self._seq += 1
         assert self._request_ring is not None
-        if self._request_ring.try_encode(payload, self._seq):
+        if not self._degraded and self._request_ring.try_encode(
+            payload, self._seq
+        ):
             self._slot_busy = True
             self.stats["ring_requests"] += 1
             self._parent_conn.send((_SHM_TAG, self._seq, op))
@@ -670,7 +784,18 @@ class ShmRingTransport(_PipeBackedTransport):
                     f"{self._seq}; the channel is out of sync"
                 )
             assert self._response_ring is not None
-            value = self._response_ring.decode(seq, copy=True)
+            try:
+                if _faults._ACTIVE is not None:
+                    _faults._ACTIVE.on_ring_response(self._response_ring)
+                value = self._response_ring.decode(seq, copy=True)
+            except TransportIntegrityError:
+                # The ring memory is suspect: free the slot, fall back to
+                # the pipe for every later message, and let the caller's
+                # retry policy re-route the batch.
+                self._slot_busy = False
+                self._degraded = True
+                self.stats["integrity_failures"] += 1
+                raise
             self._slot_busy = False
             self.stats["ring_responses"] += 1
             return status, value

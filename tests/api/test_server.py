@@ -455,11 +455,35 @@ class TestQueueContract:
             assert zeroed.mean_service_ms == zeroed.p99_service_ms == 0.0
             assert zeroed.throughput_rps == 0.0
             assert zeroed.queue_depth == 0
+            assert zeroed.retry_attempts == zeroed.retried_requests == 0
+            assert zeroed.breaker_opens == zeroed.breaker_closes == 0
+            assert zeroed.integrity_failures == zeroed.expired_in_flight == 0
             queue.serve(mixed_requests[4:6], timeout=60)
             queue.drain(timeout=30)
             window = queue.stats()
             assert window.submitted == window.completed == 2
             assert window.p50_latency_ms > 0 and window.throughput_rps > 0
+        finally:
+            queue.close()
+
+    def test_resilience_counters_zero_on_healthy_traffic(
+        self, pool64, mixed_requests
+    ):
+        # Fault-free serving without retry/breaker configured must leave
+        # every resilience counter untouched and report closed breakers.
+        queue = ServingQueue(pool64, max_wait_ms=1.0)
+        try:
+            queue.serve(mixed_requests[:4], timeout=60)
+            queue.drain(timeout=30)
+            stats = queue.stats()
+            assert stats.retry_attempts == stats.retried_requests == 0
+            assert stats.breaker_opens == stats.breaker_closes == 0
+            assert stats.integrity_failures == stats.expired_in_flight == 0
+            for replica in stats.replicas:
+                assert replica.errors == replica.timeouts == 0
+                assert replica.breaker_state == "closed"
+                # Served traffic seeds the latency EWMA.
+                assert replica.service_ewma_ms >= 0.0
         finally:
             queue.close()
 

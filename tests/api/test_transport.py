@@ -73,15 +73,71 @@ class TestShmRingCodec:
 
     def test_write_into_ring_reservation(self):
         # reserve_ragged hands out the ring's own memory: filling the view
-        # IS the packing step the response path uses.
+        # IS the packing step the response path uses.  The caller seals the
+        # frame once it is done writing (commit_packed_response does this).
         ring = self._ring()
         try:
             flat = ring.reserve_ragged([2, 3], trailing=4, dtype=np.float64, seq=9)
             assert flat.shape == (5, 4)
             flat[...] = np.arange(20).reshape(5, 4)
+            ring.seal()
             decoded = ring.decode(9, copy=True)
             assert np.array_equal(decoded[0], flat[:2])
             assert np.array_equal(decoded[1], flat[2:])
+        finally:
+            ring.unlink()
+            ring.close()
+
+    def test_unsealed_reservation_fails_verification(self):
+        # Decoding a reservation that was never sealed must not hand back
+        # whatever bytes happen to be in the payload region.
+        ring = self._ring()
+        try:
+            flat = ring.reserve_ragged([2], trailing=4, dtype=np.float64, seq=2)
+            flat[...] = 1.0
+            from repro.api.transport import TransportIntegrityError
+
+            with pytest.raises(TransportIntegrityError, match="checksum"):
+                ring.decode(2, copy=True)
+        finally:
+            ring.unlink()
+            ring.close()
+
+    def test_corrupt_payload_byte_raises_integrity_error(self):
+        # A single flipped payload byte — what FaultInjector.on_ring_response
+        # does — must surface as TransportIntegrityError, not bad data.
+        from repro.api.transport import TransportIntegrityError
+
+        ring = self._ring()
+        try:
+            items = [np.arange(7, dtype=np.int64), np.arange(4, dtype=np.int64)]
+            assert ring.try_encode(items, seq=11)
+            ring.decode(11, copy=True)  # sealed frame verifies clean
+            # salt 5 flips a byte in the ragged lengths prefix (implausible
+            # header); salt 40 flips token data (checksum mismatch) — both
+            # must surface as the typed integrity error.
+            ring.corrupt_payload(salt=40)
+            with pytest.raises(TransportIntegrityError, match="checksum"):
+                ring.decode(11, copy=True)
+            assert ring.try_encode(items, seq=12)
+            ring.corrupt_payload(salt=5)
+            with pytest.raises(TransportIntegrityError, match="corrupt"):
+                ring.decode(12, copy=True)
+        finally:
+            ring.unlink()
+            ring.close()
+
+    def test_corrupt_header_raises_integrity_error(self):
+        # An implausible header (e.g. a dtype code no encoder writes) is
+        # caught before the payload is even touched.
+        from repro.api.transport import TransportIntegrityError
+
+        ring = self._ring()
+        try:
+            assert ring.try_encode(np.arange(6, dtype=np.float64), seq=4)
+            ring._header()[3] = 99  # no such dtype code
+            with pytest.raises(TransportIntegrityError, match="impossible"):
+                ring.decode(4, copy=True)
         finally:
             ring.unlink()
             ring.close()
@@ -226,3 +282,28 @@ def test_worker_death_surfaces_as_eof_and_slot_release():
     for name in names:
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)
+
+
+@pytest.mark.parametrize("kind", TRANSPORTS)
+def test_send_after_close_raises_transport_error(kind):
+    # Both transports must refuse traffic symmetrically once closed —
+    # a closed channel is a programming error, not a worker fault.
+    transport, process = _spawn_echo(kind)
+    try:
+        transport.send("echo", [np.arange(3, dtype=np.int64)])
+        assert transport.poll(60)
+        status, _ = transport.recv()
+        assert status == "ok"
+    finally:
+        _shutdown_echo(transport, process)
+    with pytest.raises(TransportError, match="closed"):
+        transport.send("echo", [np.arange(3, dtype=np.int64)])
+
+
+@pytest.mark.parametrize("kind", TRANSPORTS)
+def test_close_is_idempotent_and_release_after_close_is_noop(kind):
+    transport, process = _spawn_echo(kind)
+    _shutdown_echo(transport, process)
+    transport.close()  # second close: no-op
+    transport.release()  # slot hygiene after close: no-op, no raise
+    assert transport.slots_in_use == 0

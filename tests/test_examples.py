@@ -27,6 +27,7 @@ def test_example_suite_is_complete():
     assert {
         "approximate_transformer.py",
         "calibration_demo.py",
+        "chaos_demo.py",
         "hardware_speedup.py",
         "operator_accuracy.py",
         "quickstart.py",
